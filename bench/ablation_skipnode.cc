@@ -1,0 +1,91 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Ablation study for SkipNode's design choices (beyond the paper's tables;
+// DESIGN.md calls these out):
+//   1. sampling rate rho at a fixed depth (coarse view of Figure 5),
+//   2. uniform vs degree-biased sampling,
+//   3. constant rho vs a per-layer ramp (rho_growth extension): early layers
+//      convolve more, deep layers skip more,
+//   4. which layers skip: the middle-layer placement of Eq. 4 is compared
+//      against skipping with the same budget spread as a residual add
+//      (SkipConnection), isolating the value of *replacing* vs *adding*.
+
+#include <vector>
+
+#include "base/result_table.h"
+#include "bench_common.h"
+
+namespace skipnode {
+namespace {
+
+void Main() {
+  bench::PrintHeader("Ablation: SkipNode design choices (16-layer GCN)");
+
+  Graph graph =
+      BuildDatasetByName("cora_like", bench::Pick(0.25, 1.0), /*seed=*/15);
+  Rng split_rng(15);
+  Split split = PublicSplit(graph, 20, bench::Pick(150, 500),
+                            bench::Pick(250, 1000), split_rng);
+  const int depth = 16;
+  const int epochs = bench::Pick(150, 400);
+  const int hidden = bench::Pick(32, 64);
+
+  struct Arm {
+    const char* label;
+    StrategyConfig config;
+  };
+  std::vector<Arm> arms;
+  arms.push_back({"vanilla", StrategyConfig::None()});
+  arms.push_back({"skip-connection", StrategyConfig::SkipConnection()});
+  for (const float rho : {0.5f, 0.7f, 0.9f}) {
+    StrategyConfig u = StrategyConfig::SkipNodeU(rho);
+    StrategyConfig b = StrategyConfig::SkipNodeB(rho);
+    static char labels[64][32];
+    static int next = 0;
+    char* lu = labels[next++];
+    std::snprintf(lu, 32, "uniform rho=%.1f", rho);
+    char* lb = labels[next++];
+    std::snprintf(lb, 32, "biased  rho=%.1f", rho);
+    arms.push_back({lu, u});
+    arms.push_back({lb, b});
+  }
+  // Ramped rho: start at 0.4, grow by 0.04 per middle layer (reaches ~0.95
+  // at the deepest middle layer of a 16-layer stack).
+  StrategyConfig ramp = StrategyConfig::SkipNodeU(0.4f);
+  ramp.rho_growth = 0.04f;
+  arms.push_back({"uniform ramp 0.4+0.04l", ramp});
+  StrategyConfig ramp_b = StrategyConfig::SkipNodeB(0.4f);
+  ramp_b.rho_growth = 0.04f;
+  arms.push_back({"biased  ramp 0.4+0.04l", ramp_b});
+
+  ResultTable table({"arm", "acc(%)"});
+  std::printf("%-24s %9s\n", "arm", "acc(%)");
+  for (const Arm& arm : arms) {
+    const double acc =
+        bench::RunCell("GCN", graph, split, arm.config, depth, hidden,
+                       epochs, /*seed=*/33, /*dropout=*/0.2f);
+    table.AddRow({arm.label, ResultTable::Cell(acc)});
+    std::printf("%-24s %9.1f\n", arm.label, acc);
+    std::fflush(stdout);
+  }
+  const std::string csv = "/tmp/skipnode_ablation.csv";
+  if (table.SaveCsv(csv)) std::printf("\nresults written to %s\n", csv.c_str());
+  std::printf(
+      "\nExpected shape: larger rho helps at this depth (Fig. 5's lesson), "
+      "with the best SkipNode arms well above vanilla; biased sampling "
+      "peaks at a smaller rho than uniform; the ramp sits between its "
+      "endpoint rhos. Plain skip connections are a strong baseline at this "
+      "small-graph scale (they fix optimisation, and the shrunk graph's "
+      "eval-time over-smoothing is milder than the paper's full-size "
+      "setting, where Table 6 shows ResGCN still collapsing by L=32 while "
+      "SkipNode variants survive).\n");
+}
+
+}  // namespace
+}  // namespace skipnode
+
+int main() {
+  skipnode::Main();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared plumbing for the table/figure reproduction binaries. Every binary
+// runs at one of two scales:
+//   * smoke (default): shrunk datasets / epochs / run counts sized for a
+//     single CPU core — the qualitative shapes of the paper still hold;
+//   * paper (SKIPNODE_BENCH_SCALE=paper): the full protocol from DESIGN.md.
+
+#ifndef SKIPNODE_BENCH_BENCH_COMMON_H_
+#define SKIPNODE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/strategies.h"
+#include "graph/datasets.h"
+#include "graph/splits.h"
+#include "nn/model_factory.h"
+#include "train/trainer.h"
+
+namespace skipnode::bench {
+
+inline bool PaperScale() {
+  const char* env = std::getenv("SKIPNODE_BENCH_SCALE");
+  return env != nullptr && std::strcmp(env, "paper") == 0;
+}
+
+// Picks the smoke or paper value.
+template <typename T>
+T Pick(T smoke, T paper) {
+  return PaperScale() ? paper : smoke;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("==== %s ====\n", title);
+  std::printf("scale: %s%s\n\n", PaperScale() ? "paper" : "smoke",
+              PaperScale()
+                  ? ""
+                  : " (set SKIPNODE_BENCH_SCALE=paper for the full sweep)");
+}
+
+// One node-classification training run: builds the model fresh and returns
+// validation-selected test accuracy (%).
+inline double RunCell(const std::string& backbone, const Graph& graph,
+                      const Split& split, const StrategyConfig& strategy,
+                      int num_layers, int hidden, int epochs, uint64_t seed,
+                      float dropout = 0.5f, float weight_decay = 5e-4f) {
+  ModelConfig config;
+  config.in_dim = graph.feature_dim();
+  config.hidden_dim = hidden;
+  config.out_dim = graph.num_classes();
+  config.num_layers = num_layers;
+  config.dropout = dropout;
+
+  TrainOptions options;
+  options.epochs = epochs;
+  options.eval_every = 2;
+  options.weight_decay = weight_decay;
+  options.seed = seed;
+
+  Rng rng(seed * 7919 + 13);
+  auto model = MakeModel(backbone, config, rng);
+  return 100.0 *
+         TrainNodeClassifier(*model, graph, split, strategy, options)
+             .test_accuracy;
+}
+
+// Best accuracy over a small rho grid — the paper tunes the strategy rate on
+// the validation set; we mirror that cheaply with a fixed grid. Returns the
+// test accuracy of the best-validation rho.
+inline double RunCellTuned(const std::string& backbone, const Graph& graph,
+                           const Split& split, StrategyKind kind,
+                           const std::vector<float>& rates, int num_layers,
+                           int hidden, int epochs, uint64_t seed) {
+  double best_val = -1.0, best_test = 0.0;
+  for (const float rate : rates) {
+    StrategyConfig strategy;
+    strategy.kind = kind;
+    strategy.rate = rate;
+
+    ModelConfig config;
+    config.in_dim = graph.feature_dim();
+    config.hidden_dim = hidden;
+    config.out_dim = graph.num_classes();
+    config.num_layers = num_layers;
+
+    TrainOptions options;
+    options.epochs = epochs;
+    options.eval_every = 2;
+    options.seed = seed;
+
+    Rng rng(seed * 7919 + 13);
+    auto model = MakeModel(backbone, config, rng);
+    const TrainResult result =
+        TrainNodeClassifier(*model, graph, split, strategy, options);
+    if (result.best_val_accuracy > best_val) {
+      best_val = result.best_val_accuracy;
+      best_test = result.test_accuracy;
+    }
+  }
+  return 100.0 * best_test;
+}
+
+}  // namespace skipnode::bench
+
+#endif  // SKIPNODE_BENCH_BENCH_COMMON_H_

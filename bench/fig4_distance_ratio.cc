@@ -1,0 +1,123 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Reproduces Figure 4: the anti-over-smoothing effect of SkipNode measured
+// by distances to the lower-information subspace M on an Erdos-Renyi graph.
+//   (a) log( d_M(X^(l)) / d_M(X^(0)) ) per layer l for varying rho and s:
+//       vanilla (rho = 0) decays linearly in the log domain; larger rho
+//       flattens the slope.
+//   (b) one-layer log( d_M(X2) / d_M(X1) ) over a (rho, s) grid: always > 0,
+//       increasing in rho, decreasing in s.
+// Results are averaged over multiple runs with fresh features/weights/masks,
+// exactly as in the paper.
+
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/oversmoothing.h"
+#include "core/skipnode.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "tensor/ops.h"
+
+namespace skipnode {
+namespace {
+
+// One SkipNode layer on raw matrices: X2 = (I-P) ReLU(A_hat X W) + P X.
+Matrix SkipNodeLayer(const CsrMatrix& a_hat, const Matrix& x, const Matrix& w,
+                     float rho, Rng& rng) {
+  Matrix conv = Relu(a_hat.Multiply(MatMul(x, w)));
+  if (rho <= 0.0f) return conv;
+  const auto mask = SampleSkipMaskUniform(x.rows(), rho, rng);
+  for (int r = 0; r < x.rows(); ++r) {
+    if (mask[r]) std::copy(x.row(r), x.row(r) + x.cols(), conv.row(r));
+  }
+  return conv;
+}
+
+void Main() {
+  bench::PrintHeader(
+      "Figure 4: log distance ratios to the subspace M (Erdos-Renyi)");
+
+  const int n = bench::Pick(200, 500);
+  const int dim = 16;
+  const int runs = bench::Pick(20, 100);
+  Rng graph_rng(1);
+  EdgeList edges = ErdosRenyi(n, 0.5, graph_rng);
+  Graph graph("er", n, std::move(edges), Matrix(n, dim), {}, 0);
+  SubspaceAnalyzer analyzer(graph);
+  const auto a_hat = graph.normalized_adjacency();
+  std::printf("graph: n=%d, p=0.5, lambda=%.4f, runs=%d\n\n", n,
+              analyzer.Lambda(), runs);
+
+  // ---- Panel (a): per-layer trajectories ----------------------------------
+  const int layers = 10;
+  const std::vector<float> s_values = {0.2f, 0.5f};
+  const std::vector<float> rho_values = {0.0f, 0.3f, 0.5f, 0.7f};
+  std::printf("(a) log(d_M(X^l)/d_M(X^0)), averaged over %d runs\n", runs);
+  for (const float s : s_values) {
+    std::printf("\ns = %.1f\n%10s", s, "layer");
+    for (int l = 1; l <= layers; ++l) std::printf(" %8d", l);
+    std::printf("\n");
+    for (const float rho : rho_values) {
+      std::vector<double> log_ratio(layers, 0.0);
+      Rng rng(42);
+      for (int run = 0; run < runs; ++run) {
+        Matrix x = Matrix::Random(n, dim, rng, 0.0f, 1.0f);
+        const float d0 = analyzer.DistanceToM(x);
+        for (int l = 0; l < layers; ++l) {
+          Matrix w = Matrix::RandomNormal(dim, dim, rng);
+          SetMaxSingularValue(w, s);
+          x = SkipNodeLayer(*a_hat, x, w, rho, rng);
+          log_ratio[l] += std::log(
+              std::max(analyzer.DistanceToM(x), 1e-30f) / d0);
+        }
+      }
+      std::printf("rho = %4.1f", rho);
+      for (int l = 0; l < layers; ++l) {
+        std::printf(" %8.2f", log_ratio[l] / runs);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+
+  // ---- Panel (b): one-layer grid -------------------------------------------
+  std::printf("\n(b) one-layer log(d_M(X2)/d_M(X1)) over (rho, s)\n%8s",
+              "rho\\s");
+  const std::vector<float> grid_s = {0.1f, 0.3f, 0.5f, 0.7f, 0.9f};
+  for (const float s : grid_s) std::printf(" %7.1f", s);
+  std::printf("\n");
+  for (float rho = 0.1f; rho <= 0.91f; rho += 0.2f) {
+    std::printf("%8.1f", rho);
+    for (const float s : grid_s) {
+      double total = 0.0;
+      Rng rng(77);
+      for (int run = 0; run < runs; ++run) {
+        Matrix x = Matrix::Random(n, dim, rng, 0.0f, 1.0f);
+        Matrix w = Matrix::RandomNormal(dim, dim, rng);
+        SetMaxSingularValue(w, s);
+        Matrix x1 = Relu(a_hat->Multiply(MatMul(x, w)));
+        Matrix x2 = SkipNodeLayer(*a_hat, x, w, rho, rng);
+        total += std::log(std::max(analyzer.DistanceToM(x2), 1e-30f) /
+                          std::max(analyzer.DistanceToM(x1), 1e-30f));
+      }
+      std::printf(" %7.2f", total / runs);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 4): (a) the rho=0 row dives steeply and "
+      "roughly linearly; larger rho flattens it. (b) all entries > 0, "
+      "increasing with rho, decreasing with s.\n");
+}
+
+}  // namespace
+}  // namespace skipnode
+
+int main() {
+  skipnode::Main();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Reproduces Figure 5: sensitivity of a 32-layer GCN to SkipNode's only
+// hyper-parameter, the sampling rate rho, on the three citation stand-ins.
+//   (a) test accuracy vs rho (vanilla GCN as the flat baseline),
+//   (b) MAD of the learned features after training vs rho.
+// Expected shape: at this extreme depth, larger rho performs better; the
+// vanilla baseline sits at chance with MAD ~ 0, while SkipNode's MAD is
+// positive and grows with rho.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/oversmoothing.h"
+#include "train/trainer.h"
+
+namespace skipnode {
+namespace {
+
+struct RhoPoint {
+  double accuracy = 0.0;
+  double mad = 0.0;
+};
+
+RhoPoint RunPoint(const Graph& graph, const Split& split,
+                  const StrategyConfig& strategy, int epochs, int hidden,
+                  int depth) {
+  ModelConfig config;
+  config.in_dim = graph.feature_dim();
+  config.hidden_dim = hidden;
+  config.out_dim = graph.num_classes();
+  config.num_layers = depth;
+  config.dropout = 0.1f;
+
+  TrainOptions options;
+  options.epochs = epochs;
+  options.eval_every = 4;
+  options.weight_decay = 5e-4f;
+  options.seed = 19;
+
+  Rng rng(19);
+  auto model = MakeModel("GCN", config, rng);
+  RhoPoint point;
+  point.accuracy = 100.0 * TrainNodeClassifier(*model, graph, split,
+                                               strategy, options)
+                               .test_accuracy;
+  // MAD of the trained model's penultimate features (paper Fig. 5b).
+  Tape tape;
+  Rng eval_rng(20);
+  StrategyContext ctx(graph, strategy, /*training=*/false, eval_rng);
+  model->Forward(tape, graph, ctx, /*training=*/false, eval_rng);
+  point.mad = MeanAverageDistance(graph, model->Penultimate().value());
+  return point;
+}
+
+void Main() {
+  bench::PrintHeader("Figure 5: rho sensitivity of a 32-layer GCN");
+
+  const std::vector<std::string> datasets = {"cora_like", "citeseer_like",
+                                             "pubmed_like"};
+  const std::vector<float> rhos = {0.1f, 0.3f, 0.5f, 0.7f, 0.9f};
+  // The paper trains the 32-layer model for 500 epochs on the full graphs;
+  // the smoke scale cannot afford that, so it studies the same sweep at
+  // depth 16 with 150 epochs (the accuracy-increases-with-rho shape is the
+  // same, just at a shallower collapse point).
+  const int depth = bench::Pick(16, 32);
+  const int epochs = bench::Pick(150, 500);
+  const int hidden = bench::Pick(32, 64);
+  const double scale = bench::Pick(0.15, 1.0);
+
+  for (const std::string& dataset : datasets) {
+    Graph graph = BuildDatasetByName(dataset, scale, /*seed=*/14);
+    Rng split_rng(14);
+    Split split = PublicSplit(graph, 20, bench::Pick(120, 500),
+                              bench::Pick(200, 1000), split_rng);
+
+    const RhoPoint baseline = RunPoint(graph, split, StrategyConfig::None(),
+                                       epochs, hidden, depth);
+    std::printf("\n--- %s (chance %.1f%%, L=%d) ---\n", dataset.c_str(),
+                100.0 / graph.num_classes(), depth);
+    std::printf("%-14s %9s %9s\n", "setting", "acc(%)", "MAD");
+    std::printf("%-14s %9.1f %9.4f\n", "GCN (no skip)", baseline.accuracy,
+                baseline.mad);
+    for (const float rho : rhos) {
+      const RhoPoint u = RunPoint(graph, split, StrategyConfig::SkipNodeU(rho),
+                                  epochs, hidden, depth);
+      const RhoPoint b = RunPoint(graph, split, StrategyConfig::SkipNodeB(rho),
+                                  epochs, hidden, depth);
+      std::printf("SkipNode-U %.1f %9.1f %9.4f\n", rho, u.accuracy, u.mad);
+      std::printf("SkipNode-B %.1f %9.1f %9.4f\n", rho, b.accuracy, b.mad);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 5): the vanilla 32-layer GCN sits near "
+      "chance with MAD ~ 0; SkipNode accuracy improves as rho grows (the "
+      "deeper the model, the larger the best rho) and its MAD stays "
+      "positive.\n");
+}
+
+}  // namespace
+}  // namespace skipnode
+
+int main() {
+  skipnode::Main();
+  return 0;
+}

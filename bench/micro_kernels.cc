@@ -1,0 +1,101 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Engineering micro-benchmarks (not a paper table): throughput of the hot
+// kernels behind every experiment — dense GEMM, sparse SpMM, adjacency
+// renormalisation (DropEdge's per-epoch cost), and SkipNode mask sampling
+// (its claimed near-zero overhead).
+
+#include <benchmark/benchmark.h>
+
+#include "core/skipnode.h"
+#include "graph/datasets.h"
+#include "sparse/graph_ops.h"
+#include "tensor/ops.h"
+
+namespace skipnode {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::Random(n, 64, rng);
+  Matrix b = Matrix::Random(64, 64, rng);
+  for (auto _ : state) {
+    Matrix c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * 64 * 64);
+}
+BENCHMARK(BM_MatMul)->Arg(512)->Arg(2048);
+
+void BM_SpMM(benchmark::State& state) {
+  const int cols = static_cast<int>(state.range(0));
+  Graph graph = BuildDatasetByName("cora_like", 1.0, 1);
+  const auto a_hat = graph.normalized_adjacency();
+  Rng rng(2);
+  Matrix x = Matrix::Random(graph.num_nodes(), cols, rng);
+  for (auto _ : state) {
+    Matrix y = a_hat->Multiply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a_hat->nnz() * cols);
+}
+BENCHMARK(BM_SpMM)->Arg(16)->Arg(64);
+
+void BM_DropEdgeRenormalize(benchmark::State& state) {
+  // The per-epoch cost DropEdge pays and SkipNode avoids (Table 8's story).
+  Graph graph = BuildDatasetByName("cora_like", 1.0, 1);
+  Rng rng(3);
+  for (auto _ : state) {
+    CsrMatrix sampled =
+        DropEdgeAdjacency(graph.num_nodes(), graph.edges(), 0.3, rng);
+    benchmark::DoNotOptimize(sampled.nnz());
+  }
+}
+BENCHMARK(BM_DropEdgeRenormalize);
+
+void BM_DropNodeRenormalize(benchmark::State& state) {
+  Graph graph = BuildDatasetByName("cora_like", 1.0, 1);
+  Rng rng(4);
+  for (auto _ : state) {
+    CsrMatrix sampled =
+        DropNodeAdjacency(graph.num_nodes(), graph.edges(), 0.3, rng);
+    benchmark::DoNotOptimize(sampled.nnz());
+  }
+}
+BENCHMARK(BM_DropNodeRenormalize);
+
+void BM_SkipMaskUniform(benchmark::State& state) {
+  Rng rng(5);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto mask = SampleSkipMaskUniform(n, 0.5f, rng);
+    benchmark::DoNotOptimize(mask.data());
+  }
+}
+BENCHMARK(BM_SkipMaskUniform)->Arg(2708)->Arg(100000);
+
+void BM_SkipMaskBiased(benchmark::State& state) {
+  Graph graph = BuildDatasetByName("cora_like", 1.0, 1);
+  Rng rng(6);
+  for (auto _ : state) {
+    auto mask = SampleSkipMaskBiased(graph.degrees(), 0.5f, rng);
+    benchmark::DoNotOptimize(mask.data());
+  }
+}
+BENCHMARK(BM_SkipMaskBiased);
+
+void BM_NormalizedAdjacency(benchmark::State& state) {
+  Graph graph = BuildDatasetByName("cora_like", 1.0, 1);
+  for (auto _ : state) {
+    CsrMatrix a_hat = NormalizedAdjacency(graph.num_nodes(), graph.edges());
+    benchmark::DoNotOptimize(a_hat.nnz());
+  }
+}
+BENCHMARK(BM_NormalizedAdjacency);
+
+}  // namespace
+}  // namespace skipnode
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Reproduces Table 3: full-supervised classification accuracy on three
+// homophilic + four heterophilic graphs for seven backbones, each vanilla,
+// with DropEdge, and with SkipNode-U / SkipNode-B, plus the average gain of
+// each strategy over the vanilla backbone. Expected shape: SkipNode rows win
+// most cells and show the largest average gain.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace skipnode {
+namespace {
+
+void Main() {
+  bench::PrintHeader("Table 3: full-supervised accuracy (60/20/20 splits)");
+
+  const std::vector<std::string> datasets = {
+      "cora_like",    "citeseer_like", "pubmed_like", "chameleon_like",
+      "cornell_like", "texas_like",    "wisconsin_like"};
+  const std::vector<std::string> backbones = {
+      "GCN", "JKNet", "IncepGCN", "GCNII", "GRAND", "GPRGNN", "APPNP"};
+  struct StrategyRow {
+    const char* label;
+    StrategyKind kind;
+  };
+  // The paper grid-searches every strategy's sampling rate on the
+  // validation set; mirror that with a small per-cell rate grid.
+  const std::vector<StrategyRow> strategies = {
+      {"-", StrategyKind::kNone},
+      {"DropEdge", StrategyKind::kDropEdge},
+      {"SkipNode-U", StrategyKind::kSkipNodeUniform},
+      {"SkipNode-B", StrategyKind::kSkipNodeBiased},
+  };
+  // The paper's grid spans {0.05, 0.1, ..., 0.9}; near-zero rates matter
+  // because they let saturated cells fall back to almost-vanilla behaviour.
+  const std::vector<float> rate_grid =
+      bench::PaperScale()
+          ? std::vector<float>{0.05f, 0.1f, 0.3f, 0.5f, 0.7f, 0.9f}
+          : std::vector<float>{0.1f, 0.3f, 0.5f};
+
+  const int num_splits = bench::Pick(2, 10);
+  const int epochs = bench::Pick(50, 300);
+  const int hidden = bench::Pick(32, 64);
+  const int layers = 4;
+
+  // Build all graphs once (scaled down in smoke mode except the tiny ones).
+  std::vector<Graph> graphs;
+  for (const std::string& name : datasets) {
+    const DatasetSpec& spec = FindDatasetSpec(name);
+    const double scale =
+        bench::PaperScale() ? 1.0 : (spec.num_nodes > 1000 ? 0.2 : 1.0);
+    graphs.push_back(BuildDataset(spec, scale, /*seed=*/2));
+  }
+
+  std::printf("%-10s %-11s", "backbone", "strategy");
+  for (const std::string& name : datasets) {
+    std::printf(" %9.9s", name.c_str());
+  }
+  std::printf(" %9s\n", "avg.gain");
+
+  for (const std::string& backbone : backbones) {
+    std::vector<double> vanilla_acc(datasets.size(), 0.0);
+    for (const StrategyRow& strategy : strategies) {
+      std::printf("%-10s %-11s", backbone.c_str(), strategy.label);
+      double gain_total = 0.0;
+      for (size_t d = 0; d < datasets.size(); ++d) {
+        double acc_total = 0.0;
+        for (int split_id = 0; split_id < num_splits; ++split_id) {
+          Rng split_rng(100 + split_id);
+          Split split = RandomSplit(graphs[d], 0.6, 0.2, split_rng);
+          if (strategy.kind == StrategyKind::kNone) {
+            acc_total += bench::RunCell(backbone, graphs[d], split,
+                                        StrategyConfig::None(), layers,
+                                        hidden, epochs,
+                                        /*seed=*/31 + split_id);
+          } else {
+            // Every sampling strategy (DropEdge included) gets the same
+            // validation-tuned rate grid, as in the paper.
+            acc_total += bench::RunCellTuned(backbone, graphs[d], split,
+                                             strategy.kind, rate_grid,
+                                             layers, hidden, epochs,
+                                             /*seed=*/31 + split_id);
+          }
+        }
+        const double acc = acc_total / num_splits;
+        if (strategy.kind == StrategyKind::kNone) {
+          vanilla_acc[d] = acc;
+        }
+        gain_total += (acc - vanilla_acc[d]) /
+                      std::max(vanilla_acc[d], 1.0) * 100.0;
+        std::printf(" %9.1f", acc);
+        std::fflush(stdout);
+      }
+      std::printf(" %8.1f%%\n",
+                  gain_total / static_cast<double>(datasets.size()));
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Table 3): SkipNode-U/B have the highest "
+      "average gain for most backbones; DropEdge helps less; heterophilic "
+      "columns (chameleon/cornell/texas/wisconsin) are much lower than "
+      "homophilic ones for every method.\n");
+}
+
+}  // namespace
+}  // namespace skipnode
+
+int main() {
+  skipnode::Main();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Reproduces Table 4: node classification on the large arxiv-like graph
+// (temporal split) with GCN at depths 10/12/14/16. Expected shape: accuracy
+// decays with depth for every method, but much more slowly for SkipNode,
+// and the SkipNode columns dominate at every depth.
+
+#include <vector>
+
+#include "bench_common.h"
+
+namespace skipnode {
+namespace {
+
+void Main() {
+  bench::PrintHeader("Table 4: GCN depth sweep on arxiv_like (temporal split)");
+
+  Graph graph =
+      BuildDatasetByName("arxiv_like", bench::Pick(0.15, 1.0), /*seed=*/4);
+  Split split = TemporalSplit(graph, 2017);
+  std::printf("graph: %d nodes, %d edges, %d classes; %zu/%zu/%zu split\n\n",
+              graph.num_nodes(), graph.num_edges(), graph.num_classes(),
+              split.train.size(), split.val.size(), split.test.size());
+
+  struct StrategyRow {
+    const char* label;
+    StrategyConfig config;
+  };
+  const std::vector<StrategyRow> strategies = {
+      {"-", StrategyConfig::None()},
+      {"DropEdge", StrategyConfig::DropEdge(0.3f)},
+      {"SkipNode-U", StrategyConfig::SkipNodeU(0.6f)},
+      {"SkipNode-B", StrategyConfig::SkipNodeB(0.6f)},
+  };
+  // Paper depths are 10-16 on the 169k-node graph. The 1200-node smoke
+  // stand-in is relatively much denser, so each convolution smooths far
+  // more aggressively and total collapse (for *every* method) arrives by
+  // L ~ 8; the smoke sweep therefore covers the same
+  // degrade-then-collapse window at L in {4,5,6,7}.
+  const std::vector<int> depths = bench::PaperScale()
+                                      ? std::vector<int>{10, 12, 14, 16}
+                                      : std::vector<int>{4, 5, 6, 7};
+  const int epochs = bench::Pick(80, 300);
+  const int hidden = bench::Pick(48, 128);
+
+  std::printf("%-11s", "strategy");
+  for (const int depth : depths) std::printf("    L=%-4d", depth);
+  std::printf("\n");
+  for (const StrategyRow& strategy : strategies) {
+    std::printf("%-11s", strategy.label);
+    for (const int depth : depths) {
+      const double acc =
+          bench::RunCell("GCN", graph, split, strategy.config, depth, hidden,
+                         epochs, /*seed=*/5, /*dropout=*/0.1f);
+      std::printf(" %9.1f", acc);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape (paper Table 4): every row decays with depth; the "
+      "vanilla row decays fastest; SkipNode rows stay the highest at every "
+      "depth with a widening margin at the deepest setting.\n");
+}
+
+}  // namespace
+}  // namespace skipnode
+
+int main() {
+  skipnode::Main();
+  return 0;
+}

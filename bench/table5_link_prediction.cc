@@ -1,0 +1,103 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Reproduces Table 5: link prediction on the ppa-like graph with a GCN
+// encoder at depths 4/6/8, scored by Hits@{10,50,100} against a shared
+// ranked-negative pool. Expected shape: the vanilla encoder degrades from
+// L=6 to L=8 while SkipNode keeps improving (or degrades far less), and
+// SkipNode wins at the deepest setting for every K.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "nn/gcn.h"
+#include "train/link_trainer.h"
+
+namespace skipnode {
+namespace {
+
+void Main() {
+  bench::PrintHeader("Table 5: link prediction on ppa_like (Hits@K)");
+
+  Graph graph =
+      BuildDatasetByName("ppa_like", bench::Pick(0.15, 1.0), /*seed=*/6);
+  Rng split_rng(6);
+  LinkSplit split =
+      MakeLinkSplit(graph, /*val_fraction=*/0.05, /*test_fraction=*/0.10,
+                    bench::Pick(1000, 4000), split_rng);
+  Graph message_graph("ppa_like_train", graph.num_nodes(), split.train_edges,
+                      graph.features(), {}, 0);
+  std::printf("graph: %d nodes, %zu train / %zu val / %zu test edges, "
+              "%zu eval negatives\n\n",
+              graph.num_nodes(), split.train_edges.size(),
+              split.val_pos.size(), split.test_pos.size(),
+              split.eval_neg.size());
+
+  struct StrategyRow {
+    const char* label;
+    StrategyConfig config;
+  };
+  const std::vector<StrategyRow> strategies = {
+      {"-", StrategyConfig::None()},
+      {"SkipNode-U", StrategyConfig::SkipNodeU(0.5f)},
+      {"SkipNode-B", StrategyConfig::SkipNodeB(0.5f)},
+  };
+  const std::vector<int> depths = {4, 6, 8};
+  const int epochs = bench::Pick(60, 200);
+  const int hidden = bench::Pick(48, 128);
+
+  std::printf("%-9s %-11s", "metric", "strategy");
+  for (const int depth : depths) std::printf("   L=%-4d", depth);
+  std::printf("\n");
+
+  // Train one encoder per (strategy, depth) and remember all three metrics.
+  std::vector<std::vector<LinkResult>> results(
+      strategies.size(), std::vector<LinkResult>(depths.size()));
+  for (size_t s = 0; s < strategies.size(); ++s) {
+    for (size_t d = 0; d < depths.size(); ++d) {
+      ModelConfig config;
+      config.in_dim = message_graph.feature_dim();
+      config.hidden_dim = hidden;
+      config.out_dim = hidden;
+      config.num_layers = depths[d];
+      config.dropout = 0.0f;
+
+      LinkTrainOptions options;
+      options.epochs = epochs;
+      options.eval_every = 5;
+      options.seed = 17;
+
+      Rng rng(17);
+      GcnModel encoder(config, rng);
+      results[s][d] = TrainLinkPredictor(encoder, message_graph, split,
+                                         strategies[s].config, options);
+    }
+  }
+
+  const auto print_metric = [&](const char* name,
+                                double LinkResult::*member) {
+    for (size_t s = 0; s < strategies.size(); ++s) {
+      std::printf("%-9s %-11s", name, strategies[s].label);
+      for (size_t d = 0; d < depths.size(); ++d) {
+        std::printf(" %8.2f", 100.0 * (results[s][d].*member));
+      }
+      std::printf("\n");
+    }
+  };
+  print_metric("Hits@10", &LinkResult::test_hits10);
+  print_metric("Hits@50", &LinkResult::test_hits50);
+  print_metric("Hits@100", &LinkResult::test_hits100);
+
+  std::printf(
+      "\nExpected shape (paper Table 5): at L=8 the vanilla encoder drops "
+      "relative to L=6 while SkipNode rows hold or improve, winning the "
+      "deepest column for every K.\n");
+}
+
+}  // namespace
+}  // namespace skipnode
+
+int main() {
+  skipnode::Main();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Reproduces Table 6: semi-supervised accuracy vs depth on the three
+// citation stand-ins for GCN, ResGCN, JKNet, IncepGCN and GCNII, each with
+// {-, DropEdge, SkipNode-U, SkipNode-B}. Expected shape: the vanilla GCN
+// collapses to near-chance at L >= 16; ResGCN delays but does not prevent
+// the collapse; JKNet/IncepGCN/GCNII degrade gently; SkipNode improves the
+// deep rows of every backbone, most dramatically for GCN/ResGCN.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace skipnode {
+namespace {
+
+void Main() {
+  bench::PrintHeader("Table 6: semi-supervised accuracy vs depth");
+
+  const std::vector<std::string> datasets = {"cora_like", "citeseer_like",
+                                             "pubmed_like"};
+  // IncepGCN's three branches make it by far the most expensive backbone at
+  // L = 32 (~(7/4)L convolutions); smoke mode defers it to the paper run.
+  const std::vector<std::string> backbones =
+      bench::PaperScale()
+          ? std::vector<std::string>{"GCN", "ResGCN", "JKNet", "IncepGCN",
+                                     "GCNII"}
+          : std::vector<std::string>{"GCN", "ResGCN", "JKNet", "GCNII"};
+  const std::vector<int> depths =
+      bench::PaperScale() ? std::vector<int>{4, 8, 16, 32, 64}
+                          : std::vector<int>{4, 8, 16, 32};
+  const int epochs = bench::Pick(70, 300);
+  const int hidden = bench::Pick(32, 64);
+  const double scale = bench::Pick(0.18, 1.0);
+
+  for (const std::string& dataset : datasets) {
+    Graph graph = BuildDatasetByName(dataset, scale, /*seed=*/8);
+    Rng split_rng(8);
+    Split split = PublicSplit(graph, 20, bench::Pick(150, 500),
+                              bench::Pick(200, 1000), split_rng);
+    std::printf("\n--- %s (%d nodes, chance %.1f%%) ---\n", dataset.c_str(),
+                graph.num_nodes(), 100.0 / graph.num_classes());
+    std::printf("%-9s %-11s", "backbone", "strategy");
+    for (const int depth : depths) std::printf("   L=%-4d", depth);
+    std::printf("\n");
+
+    for (const std::string& backbone : backbones) {
+      for (int row = 0; row < 4; ++row) {
+        // The paper grid-searches rho per cell; mirror its Figure-5 finding
+        // cheaply by scaling rho with depth (deeper stacks skip more).
+        static const char* const kLabels[] = {"-", "DropEdge", "SkipNode-U",
+                                              "SkipNode-B"};
+        std::printf("%-9s %-11s", backbone.c_str(), kLabels[row]);
+        for (const int depth : depths) {
+          // Uniform sampling skips each node independently, so it tolerates
+          // (and at depth needs) large rho; biased sampling picks *exactly*
+          // rho*N nodes and saturates sooner, so its schedule tops out
+          // lower. Both mirror what the paper's per-cell grid search picks.
+          const float rho_u = depth >= 16 ? 0.9f : 0.7f;
+          const float rho_b = depth >= 16 ? 0.7f : 0.5f;
+          StrategyConfig strategy;
+          switch (row) {
+            case 0:
+              strategy = StrategyConfig::None();
+              break;
+            case 1:
+              strategy = StrategyConfig::DropEdge(0.3f);
+              break;
+            case 2:
+              strategy = StrategyConfig::SkipNodeU(rho_u);
+              break;
+            default:
+              strategy = StrategyConfig::SkipNodeB(rho_b);
+              break;
+          }
+          const double acc = bench::RunCell(
+              backbone, graph, split, strategy, depth, hidden, epochs,
+              /*seed=*/9, /*dropout=*/0.3f);
+          std::printf(" %8.1f", acc);
+          std::fflush(stdout);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Table 6): vanilla GCN collapses to ~chance "
+      "by L=16-32; SkipNode keeps the same backbone far above it. "
+      "JKNet/IncepGCN/GCNII resist depth by design, and SkipNode still "
+      "nudges their best cells upward.\n");
+}
+
+}  // namespace
+}  // namespace skipnode
+
+int main() {
+  skipnode::Main();
+  return 0;
+}

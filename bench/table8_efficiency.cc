@@ -1,0 +1,160 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Reproduces Table 8: average training time per epoch of each strategy on
+// Cora-like at L in {3,5,7,9}. Expected shape: DropEdge and DropNode pay a
+// large premium (they re-normalise the adjacency every epoch — DropNode even
+// per layer); SkipNode costs about as little as PairNorm, close to vanilla.
+
+#include <chrono>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/skipnode.h"
+#include "train/optimizer.h"
+
+namespace skipnode {
+namespace {
+
+// Isolates the per-epoch *strategy overhead*: adjacency sampling and
+// renormalisation (DropEdge once per epoch, DropNode once per layer) or
+// mask sampling (SkipNode once per middle layer). On the paper's GPU
+// testbed this CPU-side cost dominates the strategy gap; on this pure-CPU
+// build the dense convolutions are comparatively expensive, so the gap is
+// clearest in this isolated column.
+double OverheadMillisPerEpoch(const Graph& graph,
+                              const StrategyConfig& strategy, int num_layers,
+                              int epochs) {
+  Rng rng(5);
+  // Sink keeps the sampled structures observable so nothing is elided.
+  volatile int64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    StrategyContext ctx(graph, strategy, /*training=*/true, rng);
+    for (int l = 0; l < num_layers; ++l) {
+      auto adjacency = ctx.LayerAdjacency(l);
+      sink += adjacency->nnz();
+    }
+    if (strategy.kind == StrategyKind::kSkipNodeUniform) {
+      for (int l = 1; l < num_layers - 1; ++l) {
+        auto mask =
+            SampleSkipMaskUniform(graph.num_nodes(), strategy.rate, rng);
+        sink += mask.size();
+      }
+    } else if (strategy.kind == StrategyKind::kSkipNodeBiased) {
+      for (int l = 1; l < num_layers - 1; ++l) {
+        auto mask = SampleSkipMaskBiased(graph.degrees(), strategy.rate, rng);
+        sink += mask.size();
+      }
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count() /
+         epochs;
+}
+
+// Times `epochs` full training steps (forward + backward + update).
+double MillisPerEpoch(const std::string& backbone, const Graph& graph,
+                      const Split& split, const StrategyConfig& strategy,
+                      int num_layers, int hidden, int epochs) {
+  ModelConfig config;
+  config.in_dim = graph.feature_dim();
+  config.hidden_dim = hidden;
+  config.out_dim = graph.num_classes();
+  config.num_layers = num_layers;
+  config.dropout = 0.5f;
+
+  Rng rng(3);
+  auto model = MakeModel(backbone, config, rng);
+  const std::vector<Parameter*> params = model->Parameters();
+  Adam optimizer(0.01f, 5e-4f);
+
+  // Warm-up epoch (allocations, adjacency cache) excluded from timing.
+  const auto run_epoch = [&]() {
+    Tape tape;
+    StrategyContext ctx(graph, strategy, /*training=*/true, rng);
+    Var logits = model->Forward(tape, graph, ctx, /*training=*/true, rng);
+    Var loss = tape.SoftmaxCrossEntropy(logits, graph.labels(), split.train);
+    Optimizer::ZeroGrad(params);
+    tape.Backward(loss);
+    optimizer.Step(params);
+  };
+  run_epoch();
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int epoch = 0; epoch < epochs; ++epoch) run_epoch();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count() /
+         epochs;
+}
+
+void Main() {
+  bench::PrintHeader("Table 8: average training time per epoch (ms)");
+
+  Graph graph =
+      BuildDatasetByName("cora_like", bench::Pick(0.5, 1.0), /*seed=*/12);
+  Rng split_rng(12);
+  Split split = PublicSplit(graph, 20, 300, 500, split_rng);
+  std::printf("graph: %d nodes, %d edges, hidden %d\n\n", graph.num_nodes(),
+              graph.num_edges(), bench::Pick(32, 64));
+
+  struct StrategyRow {
+    const char* label;
+    StrategyConfig config;
+  };
+  const std::vector<StrategyRow> strategies = {
+      {"-", StrategyConfig::None()},
+      {"DropEdge", StrategyConfig::DropEdge(0.3f)},
+      {"DropNode", StrategyConfig::DropNode(0.3f)},
+      {"PairNorm", StrategyConfig::PairNorm(1.0f)},
+      {"SkipNode-U", StrategyConfig::SkipNodeU(0.5f)},
+      {"SkipNode-B", StrategyConfig::SkipNodeB(0.5f)},
+  };
+  const std::vector<int> depths = {3, 5, 7, 9};
+  const int timed_epochs = bench::Pick(20, 100);
+  const int hidden = bench::Pick(32, 64);
+
+  std::printf("%-11s", "strategy");
+  for (const int depth : depths) std::printf("    L=%-5d", depth);
+  std::printf("\n");
+  for (const StrategyRow& strategy : strategies) {
+    std::printf("%-11s", strategy.label);
+    for (const int depth : depths) {
+      const double ms = MillisPerEpoch("GCN", graph, split, strategy.config,
+                                       depth, hidden, timed_epochs);
+      std::printf(" %9.2f", ms);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nPer-epoch strategy overhead only (sampling + adjacency "
+              "renormalisation, ms)\n%-11s",
+              "strategy");
+  for (const int depth : depths) std::printf("    L=%-5d", depth);
+  std::printf("\n");
+  for (const StrategyRow& strategy : strategies) {
+    std::printf("%-11s", strategy.label);
+    for (const int depth : depths) {
+      std::printf(" %9.3f",
+                  OverheadMillisPerEpoch(graph, strategy.config, depth,
+                                         timed_epochs * 3));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape (paper Table 8): in the overhead panel DropEdge and "
+      "especially DropNode (per-layer renormalisation) cost orders of "
+      "magnitude more than SkipNode's mask sampling or PairNorm (zero). The "
+      "paper times GPU training where this CPU-side overhead dominates the "
+      "end-to-end gap; on this all-CPU build the dense convolutions mask it "
+      "in the total-time panel.\n");
+}
+
+}  // namespace
+}  // namespace skipnode
+
+int main() {
+  skipnode::Main();
+  return 0;
+}

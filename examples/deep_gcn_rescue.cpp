@@ -1,0 +1,63 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Depth sweep: shows the paper's central phenomenon end-to-end. A vanilla
+// GCN's accuracy collapses as layers are stacked (over-smoothing + gradient
+// vanishing), while the same backbone with SkipNode degrades gracefully.
+// Prints one row per depth with all strategies side by side, like a compact
+// Table 6.
+
+#include <cstdio>
+
+#include "graph/datasets.h"
+#include "graph/splits.h"
+#include "nn/model_factory.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace skipnode;
+
+  Graph graph = BuildDatasetByName("cora_like", 0.35, 3);
+  Rng split_rng(3);
+  Split split = PublicSplit(graph, 20, 250, 400, split_rng);
+
+  std::printf("Test accuracy (%%) on %s (%d nodes) vs depth\n",
+              graph.name().c_str(), graph.num_nodes());
+  std::printf("%6s %12s %12s %12s %12s\n", "L", "-", "DropEdge",
+              "SkipNode-U", "SkipNode-B");
+
+  for (const int depth : {2, 4, 8, 16}) {
+    // The paper's Figure 5: the deeper the stack, the larger the best
+    // sampling rate rho. Scale it with depth like the paper's grid search
+    // would pick.
+    const float rho = depth >= 16 ? 0.9f : depth >= 8 ? 0.7f : 0.5f;
+    const StrategyConfig strategies[] = {
+        StrategyConfig::None(), StrategyConfig::DropEdge(0.3f),
+        StrategyConfig::SkipNodeU(rho), StrategyConfig::SkipNodeB(rho)};
+    std::printf("%6d", depth);
+    for (const auto& strategy : strategies) {
+      ModelConfig config;
+      config.in_dim = graph.feature_dim();
+      config.hidden_dim = 48;
+      config.out_dim = graph.num_classes();
+      config.num_layers = depth;
+      config.dropout = 0.3f;
+
+      TrainOptions options;
+      options.epochs = 150;
+      options.eval_every = 2;
+
+      Rng rng(11);
+      auto model = MakeModel("GCN", config, rng);
+      const TrainResult result =
+          TrainNodeClassifier(*model, graph, split, strategy, options);
+      std::printf(" %12.1f", 100.0 * result.test_accuracy);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: the '-' column collapses toward %.1f%% "
+              "(chance) at L = 16 while SkipNode columns stay well above.\n",
+              100.0 / graph.num_classes());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Over-smoothing laboratory: reproduces the paper's theoretical quantities
+// on a random graph without any training. Shows
+//   * lambda (second-largest eigenvalue magnitude of A_hat),
+//   * the exponential decay of d_M(A_hat^l X W...) for a vanilla stack,
+//   * the slowdown SkipNode achieves, per Theorems 2 and 3,
+// directly mirroring Figure 4's setup (Erdos-Renyi graph, controlled s).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/oversmoothing.h"
+#include "core/skipnode.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "tensor/ops.h"
+
+int main() {
+  using namespace skipnode;
+
+  // The paper's Figure 4 graph: Erdos-Renyi, n = 500, p = 0.5 (scaled to
+  // n = 200 here to keep the example instant; the shapes are identical).
+  const int n = 200;
+  Rng rng(1);
+  EdgeList edges = ErdosRenyi(n, 0.5, rng);
+  Matrix features = Matrix::Random(n, 16, rng, 0.0f, 1.0f);
+  Graph graph("er_lab", n, std::move(edges), std::move(features), {}, 0);
+
+  SubspaceAnalyzer analyzer(graph);
+  const float lambda = analyzer.Lambda();
+  const float s = 0.9f;
+  std::printf("lambda = %.4f, s = %.2f, s*lambda = %.4f\n", lambda, s,
+              s * lambda);
+  std::printf("Theorem 2 coefficient at rho=0.5: %.4f (vanilla: %.4f)\n",
+              Theorem2Coefficient(s, lambda, 0.5f), s * lambda);
+  std::printf("Theorem 3 coefficient at rho=0.5: %.4f (>1 means farther "
+              "from M than vanilla)\n\n",
+              Theorem3Coefficient(s, lambda, 0.5f));
+
+  // Propagate 10 layers with random weights of max singular value s, with
+  // and without SkipNode, and print log(d_M(X^l) / d_M(X^0)).
+  const auto a_hat = graph.normalized_adjacency();
+  std::printf("%5s %14s %14s %14s\n", "layer", "rho=0(vanilla)", "rho=0.5",
+              "rho=0.8");
+  const float d0 = analyzer.DistanceToM(graph.features());
+  Matrix x_vanilla = graph.features();
+  Matrix x_half = graph.features();
+  Matrix x_most = graph.features();
+  Rng weight_rng(2);
+  Rng mask_rng(3);
+  for (int layer = 1; layer <= 10; ++layer) {
+    Matrix w = Matrix::RandomNormal(16, 16, weight_rng);
+    SetMaxSingularValue(w, s);
+    const auto step = [&](Matrix& x, float rho) {
+      Matrix conv = Relu(a_hat->Multiply(MatMul(x, w)));
+      if (rho > 0.0f) {
+        const auto mask = SampleSkipMaskUniform(n, rho, mask_rng);
+        for (int r = 0; r < n; ++r) {
+          if (mask[r]) {
+            std::copy(x.row(r), x.row(r) + x.cols(), conv.row(r));
+          }
+        }
+      }
+      x = conv;
+    };
+    step(x_vanilla, 0.0f);
+    step(x_half, 0.5f);
+    step(x_most, 0.8f);
+    std::printf("%5d %14.3f %14.3f %14.3f\n", layer,
+                std::log(analyzer.DistanceToM(x_vanilla) / d0),
+                std::log(analyzer.DistanceToM(x_half) / d0),
+                std::log(analyzer.DistanceToM(x_most) / d0));
+  }
+  std::printf("\nExpected shape: the vanilla column dives linearly in the "
+              "log domain (exponential over-smoothing); larger rho flattens "
+              "the slope.\n");
+  return 0;
+}

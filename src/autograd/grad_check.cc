@@ -1,0 +1,35 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "autograd/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skipnode {
+
+GradCheckResult CheckGradient(const std::function<float()>& loss_fn,
+                              Parameter& parameter, float epsilon) {
+  GradCheckResult result;
+  for (int64_t i = 0; i < parameter.value.size(); ++i) {
+    float& entry = parameter.value.data()[i];
+    const float original = entry;
+    entry = original + epsilon;
+    const double loss_plus = loss_fn();
+    entry = original - epsilon;
+    const double loss_minus = loss_fn();
+    entry = original;
+
+    const float numeric =
+        static_cast<float>((loss_plus - loss_minus) / (2.0 * epsilon));
+    const float analytic = parameter.grad.data()[i];
+    const float abs_err = std::fabs(numeric - analytic);
+    const float denom = std::max({std::fabs(numeric), std::fabs(analytic),
+                                  1e-4f});
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+  }
+  return result;
+}
+
+}  // namespace skipnode

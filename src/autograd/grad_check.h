@@ -1,0 +1,33 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Finite-difference gradient checking used by the property tests: every
+// autograd op is validated against central differences.
+
+#ifndef SKIPNODE_AUTOGRAD_GRAD_CHECK_H_
+#define SKIPNODE_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "autograd/tape.h"
+
+namespace skipnode {
+
+// Result of comparing an analytic gradient with central differences.
+struct GradCheckResult {
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+};
+
+// Checks d(loss)/d(parameter) for a scalar-valued forward function.
+//
+// `loss_fn` must rebuild the computation from the *current* parameter values
+// and return the scalar loss; it is called O(parameter.size()) times. The
+// analytic gradient must already be accumulated in `parameter.grad` (i.e.
+// run one forward+Backward before calling). `epsilon` is the perturbation.
+GradCheckResult CheckGradient(const std::function<float()>& loss_fn,
+                              Parameter& parameter, float epsilon = 1e-3f);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_AUTOGRAD_GRAD_CHECK_H_

@@ -1,0 +1,493 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Implementations of every differentiable op on the Tape. Each op computes
+// its value eagerly and registers a closure that pushes the output gradient
+// into its parents.
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "autograd/tape.h"
+#include "base/check.h"
+#include "tensor/ops.h"
+
+namespace skipnode {
+
+Var Tape::MatMul(Var a, Var b) {
+  SKIPNODE_CHECK(a.tape_ == this && b.tape_ == this);
+  Var out = Emplace(skipnode::MatMul(a.value(), b.value()));
+  Tape* tape = this;
+  const int oi = out.index_, ai = a.index_, bi = b.index_;
+  node(oi).backward = [tape, oi, ai, bi]() {
+    const Matrix& g = tape->node(oi).grad;
+    // dA += g * B^T ; dB += A^T * g.
+    MatMulTransposeBAccumulate(g, tape->node(bi).value, tape->EnsureGrad(ai));
+    MatMulTransposeAAccumulate(tape->node(ai).value, g, tape->EnsureGrad(bi));
+  };
+  return out;
+}
+
+Var Tape::SpMM(std::shared_ptr<const CsrMatrix> a, Var x) {
+  SKIPNODE_CHECK(a != nullptr);
+  SKIPNODE_CHECK(x.tape_ == this);
+  Var out = Emplace(a->Multiply(x.value()));
+  Tape* tape = this;
+  const int oi = out.index_, xi = x.index_;
+  node(oi).backward = [tape, oi, xi, a = std::move(a)]() {
+    const Matrix& g = tape->node(oi).grad;
+    Matrix gx = a->MultiplyTransposed(g);
+    AddScaled(gx, 1.0f, tape->EnsureGrad(xi));
+  };
+  return out;
+}
+
+Var Tape::Add(Var a, Var b) { return Axpby(a, b, 1.0f, 1.0f); }
+
+Var Tape::Sub(Var a, Var b) { return Axpby(a, b, 1.0f, -1.0f); }
+
+Var Tape::AddRowBroadcast(Var x, Var bias) {
+  SKIPNODE_CHECK(x.tape_ == this && bias.tape_ == this);
+  SKIPNODE_CHECK(bias.rows() == 1 && bias.cols() == x.cols());
+  Matrix value = x.value();
+  const Matrix& bv = bias.value();
+  for (int r = 0; r < value.rows(); ++r) {
+    float* row = value.row(r);
+    for (int c = 0; c < value.cols(); ++c) row[c] += bv(0, c);
+  }
+  Var out = Emplace(std::move(value));
+  Tape* tape = this;
+  const int oi = out.index_, xi = x.index_, bi = bias.index_;
+  node(oi).backward = [tape, oi, xi, bi]() {
+    const Matrix& g = tape->node(oi).grad;
+    AddScaled(g, 1.0f, tape->EnsureGrad(xi));
+    Matrix& gb = tape->EnsureGrad(bi);
+    for (int r = 0; r < g.rows(); ++r) {
+      const float* gr = g.row(r);
+      for (int c = 0; c < g.cols(); ++c) gb(0, c) += gr[c];
+    }
+  };
+  return out;
+}
+
+Var Tape::Axpby(Var a, Var b, float alpha, float beta) {
+  SKIPNODE_CHECK(a.tape_ == this && b.tape_ == this);
+  SKIPNODE_CHECK(a.value().SameShape(b.value()));
+  Matrix value = skipnode::Scale(a.value(), alpha);
+  AddScaled(b.value(), beta, value);
+  Var out = Emplace(std::move(value));
+  Tape* tape = this;
+  const int oi = out.index_, ai = a.index_, bi = b.index_;
+  node(oi).backward = [tape, oi, ai, bi, alpha, beta]() {
+    const Matrix& g = tape->node(oi).grad;
+    AddScaled(g, alpha, tape->EnsureGrad(ai));
+    AddScaled(g, beta, tape->EnsureGrad(bi));
+  };
+  return out;
+}
+
+Var Tape::Scale(Var a, float s) {
+  SKIPNODE_CHECK(a.tape_ == this);
+  Var out = Emplace(skipnode::Scale(a.value(), s));
+  Tape* tape = this;
+  const int oi = out.index_, ai = a.index_;
+  node(oi).backward = [tape, oi, ai, s]() {
+    AddScaled(tape->node(oi).grad, s, tape->EnsureGrad(ai));
+  };
+  return out;
+}
+
+Var Tape::Relu(Var a) {
+  SKIPNODE_CHECK(a.tape_ == this);
+  Var out = Emplace(skipnode::Relu(a.value()));
+  Tape* tape = this;
+  const int oi = out.index_, ai = a.index_;
+  node(oi).backward = [tape, oi, ai]() {
+    // Pass-through where the *input* was positive.
+    Matrix masked = ReluBackward(tape->node(ai).value, tape->node(oi).grad);
+    AddScaled(masked, 1.0f, tape->EnsureGrad(ai));
+  };
+  return out;
+}
+
+Var Tape::Dropout(Var a, float rate, bool training, Rng& rng) {
+  SKIPNODE_CHECK(a.tape_ == this);
+  SKIPNODE_CHECK(rate >= 0.0f && rate < 1.0f);
+  if (!training || rate == 0.0f) return a;
+  const float keep_scale = 1.0f / (1.0f - rate);
+  Matrix mask(a.rows(), a.cols());
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = rng.Bernoulli(rate) ? 0.0f : keep_scale;
+  }
+  Var out = Emplace(Hadamard(a.value(), mask));
+  Tape* tape = this;
+  const int oi = out.index_, ai = a.index_;
+  node(oi).backward = [tape, oi, ai, mask = std::move(mask)]() {
+    Matrix ga = Hadamard(tape->node(oi).grad, mask);
+    AddScaled(ga, 1.0f, tape->EnsureGrad(ai));
+  };
+  return out;
+}
+
+Var Tape::ConcatCols(const std::vector<Var>& parts) {
+  SKIPNODE_CHECK(!parts.empty());
+  std::vector<const Matrix*> values;
+  std::vector<int> indices;
+  values.reserve(parts.size());
+  for (const Var& part : parts) {
+    SKIPNODE_CHECK(part.tape_ == this);
+    values.push_back(&part.value());
+    indices.push_back(part.index_);
+  }
+  Var out = Emplace(skipnode::ConcatCols(values));
+  Tape* tape = this;
+  const int oi = out.index_;
+  node(oi).backward = [tape, oi, indices = std::move(indices)]() {
+    const Matrix& g = tape->node(oi).grad;
+    int col_offset = 0;
+    for (const int pi : indices) {
+      Matrix& gp = tape->EnsureGrad(pi);
+      for (int r = 0; r < gp.rows(); ++r) {
+        const float* src = g.row(r) + col_offset;
+        float* dst = gp.row(r);
+        for (int c = 0; c < gp.cols(); ++c) dst[c] += src[c];
+      }
+      col_offset += gp.cols();
+    }
+  };
+  return out;
+}
+
+Var Tape::LinearCombination(const std::vector<Var>& parts, Var coefficients) {
+  SKIPNODE_CHECK(!parts.empty());
+  SKIPNODE_CHECK(coefficients.tape_ == this);
+  SKIPNODE_CHECK(coefficients.rows() == 1);
+  SKIPNODE_CHECK(coefficients.cols() == static_cast<int>(parts.size()));
+  const Matrix& coeff = coefficients.value();
+  Matrix value(parts[0].rows(), parts[0].cols());
+  std::vector<int> indices;
+  for (size_t k = 0; k < parts.size(); ++k) {
+    SKIPNODE_CHECK(parts[k].tape_ == this);
+    SKIPNODE_CHECK(parts[k].value().SameShape(value));
+    AddScaled(parts[k].value(), coeff(0, static_cast<int>(k)), value);
+    indices.push_back(parts[k].index_);
+  }
+  Var out = Emplace(std::move(value));
+  Tape* tape = this;
+  const int oi = out.index_, ci = coefficients.index_;
+  node(oi).backward = [tape, oi, ci, indices = std::move(indices)]() {
+    const Matrix& g = tape->node(oi).grad;
+    const Matrix& coeff = tape->node(ci).value;
+    Matrix& gc = tape->EnsureGrad(ci);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      const Matrix& xk = tape->node(indices[k]).value;
+      AddScaled(g, coeff(0, static_cast<int>(k)),
+                tape->EnsureGrad(indices[k]));
+      // d/dc_k = <g, X_k>.
+      double dot = 0.0;
+      for (int64_t i = 0; i < g.size(); ++i) {
+        dot += static_cast<double>(g.data()[i]) * xk.data()[i];
+      }
+      gc(0, static_cast<int>(k)) += static_cast<float>(dot);
+    }
+  };
+  return out;
+}
+
+Var Tape::GatherRows(Var x, std::vector<int> rows) {
+  SKIPNODE_CHECK(x.tape_ == this);
+  Var out = Emplace(skipnode::GatherRows(x.value(), rows));
+  Tape* tape = this;
+  const int oi = out.index_, xi = x.index_;
+  node(oi).backward = [tape, oi, xi, rows = std::move(rows)]() {
+    ScatterAddRows(tape->node(oi).grad, rows, tape->EnsureGrad(xi));
+  };
+  return out;
+}
+
+Var Tape::GatAggregate(std::shared_ptr<const CsrMatrix> pattern, Var h,
+                       Var score_src, Var score_dst, float leaky_slope) {
+  SKIPNODE_CHECK(pattern != nullptr);
+  SKIPNODE_CHECK(h.tape_ == this);
+  SKIPNODE_CHECK(score_src.tape_ == this && score_dst.tape_ == this);
+  const int n = h.rows();
+  SKIPNODE_CHECK(pattern->rows() == n && pattern->cols() == n);
+  SKIPNODE_CHECK(score_src.rows() == n && score_src.cols() == 1);
+  SKIPNODE_CHECK(score_dst.rows() == n && score_dst.cols() == 1);
+
+  const std::vector<int>& row_ptr = pattern->row_ptr();
+  const std::vector<int>& col_idx = pattern->col_idx();
+  const Matrix& hv = h.value();
+  const Matrix& src = score_src.value();
+  const Matrix& dst = score_dst.value();
+
+  // Per-edge raw scores (pre-LeakyReLU sign decides the backward slope) and
+  // row-softmax attention weights, cached for the backward pass.
+  std::vector<float> raw(col_idx.size());
+  std::vector<float> alpha(col_idx.size());
+  Matrix value(n, hv.cols());
+  for (int i = 0; i < n; ++i) {
+    const int begin = row_ptr[i], end = row_ptr[i + 1];
+    if (begin == end) continue;
+    float max_e = -std::numeric_limits<float>::infinity();
+    for (int e = begin; e < end; ++e) {
+      const float pre = src(i, 0) + dst(col_idx[e], 0);
+      raw[e] = pre;
+      const float activated = pre > 0.0f ? pre : leaky_slope * pre;
+      alpha[e] = activated;
+      max_e = std::max(max_e, activated);
+    }
+    double total = 0.0;
+    for (int e = begin; e < end; ++e) {
+      alpha[e] = std::exp(alpha[e] - max_e);
+      total += alpha[e];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    float* out_row = value.row(i);
+    for (int e = begin; e < end; ++e) {
+      alpha[e] *= inv;
+      const float* neighbor = hv.row(col_idx[e]);
+      for (int c = 0; c < hv.cols(); ++c) out_row[c] += alpha[e] * neighbor[c];
+    }
+  }
+  Var out = Emplace(std::move(value));
+
+  Tape* tape = this;
+  const int oi = out.index_, hi = h.index_;
+  const int si = score_src.index_, di = score_dst.index_;
+  node(oi).backward = [tape, oi, hi, si, di, leaky_slope,
+                       pattern = std::move(pattern), raw = std::move(raw),
+                       alpha = std::move(alpha)]() {
+    const Matrix& g = tape->node(oi).grad;
+    const Matrix& hv = tape->node(hi).value;
+    Matrix& gh = tape->EnsureGrad(hi);
+    Matrix& gs = tape->EnsureGrad(si);
+    Matrix& gd = tape->EnsureGrad(di);
+    const std::vector<int>& row_ptr = pattern->row_ptr();
+    const std::vector<int>& col_idx = pattern->col_idx();
+    const int n = hv.rows(), d = hv.cols();
+    std::vector<float> dalpha(col_idx.size());
+    for (int i = 0; i < n; ++i) {
+      const int begin = row_ptr[i], end = row_ptr[i + 1];
+      const float* gi = g.row(i);
+      // d out_i / d h_j = alpha_ij; d out_i / d alpha_ij = h_j.
+      double weighted = 0.0;  // sum_k alpha_ik * dalpha_ik (softmax term).
+      for (int e = begin; e < end; ++e) {
+        const int j = col_idx[e];
+        const float* hj = hv.row(j);
+        float* ghj = gh.row(j);
+        double dot = 0.0;
+        for (int c = 0; c < d; ++c) {
+          ghj[c] += alpha[e] * gi[c];
+          dot += static_cast<double>(gi[c]) * hj[c];
+        }
+        dalpha[e] = static_cast<float>(dot);
+        weighted += alpha[e] * dot;
+      }
+      for (int e = begin; e < end; ++e) {
+        // Softmax backward, then the LeakyReLU slope.
+        float de = alpha[e] * (dalpha[e] - static_cast<float>(weighted));
+        if (raw[e] <= 0.0f) de *= leaky_slope;
+        gs(i, 0) += de;
+        gd(col_idx[e], 0) += de;
+      }
+    }
+  };
+  return out;
+}
+
+Var Tape::RowDots(Var a, Var b) {
+  SKIPNODE_CHECK(a.tape_ == this && b.tape_ == this);
+  Var out = Emplace(skipnode::RowDots(a.value(), b.value()));
+  Tape* tape = this;
+  const int oi = out.index_, ai = a.index_, bi = b.index_;
+  node(oi).backward = [tape, oi, ai, bi]() {
+    const Matrix& g = tape->node(oi).grad;  // N x 1
+    const Matrix& av = tape->node(ai).value;
+    const Matrix& bv = tape->node(bi).value;
+    Matrix& ga = tape->EnsureGrad(ai);
+    Matrix& gb = tape->EnsureGrad(bi);
+    for (int r = 0; r < av.rows(); ++r) {
+      const float gr = g(r, 0);
+      const float* ar = av.row(r);
+      const float* br = bv.row(r);
+      float* gar = ga.row(r);
+      float* gbr = gb.row(r);
+      for (int c = 0; c < av.cols(); ++c) {
+        gar[c] += gr * br[c];
+        gbr[c] += gr * ar[c];
+      }
+    }
+  };
+  return out;
+}
+
+Var Tape::RowSelect(const std::vector<uint8_t>& skip_mask, Var skipped,
+                    Var convolved) {
+  SKIPNODE_CHECK(skipped.tape_ == this && convolved.tape_ == this);
+  SKIPNODE_CHECK(skipped.value().SameShape(convolved.value()));
+  SKIPNODE_CHECK(static_cast<int>(skip_mask.size()) == skipped.rows());
+  Matrix value = convolved.value();
+  const Matrix& sv = skipped.value();
+  for (int r = 0; r < value.rows(); ++r) {
+    if (skip_mask[r]) {
+      std::copy(sv.row(r), sv.row(r) + sv.cols(), value.row(r));
+    }
+  }
+  Var out = Emplace(std::move(value));
+  Tape* tape = this;
+  const int oi = out.index_, si = skipped.index_, ci = convolved.index_;
+  node(oi).backward = [tape, oi, si, ci, mask = skip_mask]() {
+    const Matrix& g = tape->node(oi).grad;
+    Matrix& gs = tape->EnsureGrad(si);
+    Matrix& gc = tape->EnsureGrad(ci);
+    for (int r = 0; r < g.rows(); ++r) {
+      const float* gr = g.row(r);
+      float* dst = mask[r] ? gs.row(r) : gc.row(r);
+      for (int c = 0; c < g.cols(); ++c) dst[c] += gr[c];
+    }
+  };
+  return out;
+}
+
+Var Tape::PairNorm(Var x, float scale, float epsilon) {
+  SKIPNODE_CHECK(x.tape_ == this);
+  const Matrix& xv = x.value();
+  Matrix centered = SubtractRowVector(xv, ColumnMeans(xv));
+  Matrix norms = RowNorms(centered);  // N x 1
+  Matrix value = centered;
+  for (int r = 0; r < value.rows(); ++r) {
+    const float inv = scale / std::max(norms(r, 0), epsilon);
+    float* row = value.row(r);
+    for (int c = 0; c < value.cols(); ++c) row[c] *= inv;
+  }
+  Var out = Emplace(std::move(value));
+  Tape* tape = this;
+  const int oi = out.index_, xi = x.index_;
+  node(oi).backward = [tape, oi, xi, centered = std::move(centered),
+                       norms = std::move(norms), scale, epsilon]() {
+    const Matrix& g = tape->node(oi).grad;
+    const int n = g.rows(), d = g.cols();
+    // d/dc of out = s*c/r:  dc = s/r * (g - c * (c.g)/r^2).
+    Matrix dc(n, d);
+    for (int r = 0; r < n; ++r) {
+      const float rn = std::max(norms(r, 0), epsilon);
+      const float* gr = g.row(r);
+      const float* cr = centered.row(r);
+      float* dcr = dc.row(r);
+      double cg = 0.0;
+      for (int c = 0; c < d; ++c) cg += static_cast<double>(cr[c]) * gr[c];
+      const float cg_over_r2 = static_cast<float>(cg) / (rn * rn);
+      const float s_over_r = scale / rn;
+      for (int c = 0; c < d; ++c) {
+        dcr[c] = s_over_r * (gr[c] - cr[c] * cg_over_r2);
+      }
+    }
+    // Centering backward: dx = dc - column_mean(dc).
+    Matrix dx = SubtractRowVector(dc, ColumnMeans(dc));
+    AddScaled(dx, 1.0f, tape->EnsureGrad(xi));
+  };
+  return out;
+}
+
+Var Tape::SoftmaxCrossEntropy(Var logits, const std::vector<int>& labels,
+                              const std::vector<int>& nodes) {
+  SKIPNODE_CHECK(logits.tape_ == this);
+  SKIPNODE_CHECK(!nodes.empty());
+  SKIPNODE_CHECK(static_cast<int>(labels.size()) == logits.rows());
+  const Matrix& z = logits.value();
+  const int num_classes = z.cols();
+  // Cache softmax rows for the selected nodes only.
+  Matrix probs(static_cast<int>(nodes.size()), num_classes);
+  double loss = 0.0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const int node_id = nodes[i];
+    SKIPNODE_CHECK(node_id >= 0 && node_id < z.rows());
+    const int label = labels[node_id];
+    SKIPNODE_CHECK(label >= 0 && label < num_classes);
+    const float* zr = z.row(node_id);
+    float max_v = zr[0];
+    for (int c = 1; c < num_classes; ++c) max_v = std::max(max_v, zr[c]);
+    double total = 0.0;
+    float* pr = probs.row(static_cast<int>(i));
+    for (int c = 0; c < num_classes; ++c) {
+      pr[c] = std::exp(zr[c] - max_v);
+      total += pr[c];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int c = 0; c < num_classes; ++c) pr[c] *= inv;
+    loss -= std::log(std::max(static_cast<double>(pr[label]), 1e-30));
+  }
+  Matrix value(1, 1);
+  value(0, 0) = static_cast<float>(loss / static_cast<double>(nodes.size()));
+  Var out = Emplace(std::move(value));
+
+  Tape* tape = this;
+  const int oi = out.index_, li = logits.index_;
+  node(oi).backward = [tape, oi, li, probs = std::move(probs),
+                       nodes = nodes, labels = labels]() {
+    const float g = tape->node(oi).grad(0, 0);
+    const float inv_batch = 1.0f / static_cast<float>(nodes.size());
+    Matrix& gl = tape->EnsureGrad(li);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const int node_id = nodes[i];
+      const float* pr = probs.row(static_cast<int>(i));
+      float* gr = gl.row(node_id);
+      const int label = labels[node_id];
+      for (int c = 0; c < gl.cols(); ++c) {
+        gr[c] += g * inv_batch * (pr[c] - (c == label ? 1.0f : 0.0f));
+      }
+    }
+  };
+  return out;
+}
+
+Var Tape::BceWithLogits(Var logits, const std::vector<float>& targets) {
+  SKIPNODE_CHECK(logits.tape_ == this);
+  SKIPNODE_CHECK(logits.cols() == 1);
+  SKIPNODE_CHECK(static_cast<int>(targets.size()) == logits.rows());
+  const Matrix& z = logits.value();
+  double loss = 0.0;
+  for (int r = 0; r < z.rows(); ++r) {
+    const double zr = z(r, 0), t = targets[r];
+    // Stable: max(z,0) - t*z + log(1 + exp(-|z|)).
+    loss += std::max(zr, 0.0) - t * zr + std::log1p(std::exp(-std::fabs(zr)));
+  }
+  Matrix value(1, 1);
+  value(0, 0) = static_cast<float>(loss / z.rows());
+  Var out = Emplace(std::move(value));
+  Tape* tape = this;
+  const int oi = out.index_, li = logits.index_;
+  node(oi).backward = [tape, oi, li, targets = targets]() {
+    const float g = tape->node(oi).grad(0, 0);
+    const Matrix& z = tape->node(li).value;
+    Matrix& gl = tape->EnsureGrad(li);
+    const float inv_n = 1.0f / static_cast<float>(z.rows());
+    for (int r = 0; r < z.rows(); ++r) {
+      const float sigmoid = 1.0f / (1.0f + std::exp(-z(r, 0)));
+      gl(r, 0) += g * inv_n * (sigmoid - targets[r]);
+    }
+  };
+  return out;
+}
+
+Var Tape::MseLoss(Var a, Var b) {
+  SKIPNODE_CHECK(a.tape_ == this && b.tape_ == this);
+  SKIPNODE_CHECK(a.value().SameShape(b.value()));
+  const Matrix diff = skipnode::Sub(a.value(), b.value());
+  Matrix value(1, 1);
+  value(0, 0) = diff.SquaredNorm() / static_cast<float>(diff.size());
+  Var out = Emplace(std::move(value));
+  Tape* tape = this;
+  const int oi = out.index_, ai = a.index_, bi = b.index_;
+  node(oi).backward = [tape, oi, ai, bi, diff = std::move(diff)]() {
+    const float g = tape->node(oi).grad(0, 0);
+    const float factor = 2.0f * g / static_cast<float>(diff.size());
+    AddScaled(diff, factor, tape->EnsureGrad(ai));
+    AddScaled(diff, -factor, tape->EnsureGrad(bi));
+  };
+  return out;
+}
+
+}  // namespace skipnode

@@ -1,0 +1,68 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "autograd/tape.h"
+
+#include "base/check.h"
+#include "tensor/ops.h"
+
+namespace skipnode {
+
+const Matrix& Var::value() const {
+  SKIPNODE_CHECK(tape_ != nullptr);
+  return tape_->node(index_).value;
+}
+
+const Matrix& Var::grad() const {
+  SKIPNODE_CHECK(tape_ != nullptr);
+  // Lazily materialise a zero gradient for nodes the backward pass never
+  // reached so callers can treat grad() uniformly.
+  return tape_->EnsureGrad(index_);
+}
+
+Var Tape::Emplace(Matrix value) {
+  auto node = std::make_unique<Node>();
+  node->value = std::move(value);
+  nodes_.push_back(std::move(node));
+  return Var(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+Matrix& Tape::EnsureGrad(int index) {
+  Node& n = node(index);
+  if (!n.grad_ready) {
+    n.grad = Matrix(n.value.rows(), n.value.cols());
+    n.grad_ready = true;
+  }
+  return n.grad;
+}
+
+Var Tape::Leaf(Parameter& parameter) {
+  Var v = Emplace(parameter.value);
+  Node& n = node(v.index_);
+  Parameter* param = &parameter;
+  Tape* tape = this;
+  const int index = v.index_;
+  n.backward = [tape, param, index]() {
+    const Matrix& g = tape->node(index).grad;
+    SKIPNODE_CHECK(g.SameShape(param->grad));
+    AddScaled(g, 1.0f, param->grad);
+  };
+  return v;
+}
+
+Var Tape::Constant(Matrix value) { return Emplace(std::move(value)); }
+
+void Tape::Backward(Var loss) {
+  SKIPNODE_CHECK(loss.tape_ == this);
+  SKIPNODE_CHECK(!backward_done_);
+  SKIPNODE_CHECK(loss.rows() == 1 && loss.cols() == 1);
+  backward_done_ = true;
+  EnsureGrad(loss.index_)(0, 0) = 1.0f;
+  for (int i = loss.index_; i >= 0; --i) {
+    Node& n = node(i);
+    if (!n.grad_ready || !n.backward) continue;
+    n.backward();
+  }
+}
+
+}  // namespace skipnode

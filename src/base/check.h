@@ -1,0 +1,36 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Contract-checking macros. The library does not use exceptions; violated
+// preconditions are programming errors and abort with a diagnostic.
+
+#ifndef SKIPNODE_BASE_CHECK_H_
+#define SKIPNODE_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `condition` is false. Always enabled (the cost
+// of the checks that guard public APIs is negligible next to the math).
+#define SKIPNODE_CHECK(condition)                                             \
+  do {                                                                        \
+    if (!(condition)) {                                                       \
+      std::fprintf(stderr, "SKIPNODE_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #condition);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+// Like SKIPNODE_CHECK but with a printf-style explanation appended.
+#define SKIPNODE_CHECK_MSG(condition, ...)                                    \
+  do {                                                                        \
+    if (!(condition)) {                                                       \
+      std::fprintf(stderr, "SKIPNODE_CHECK failed at %s:%d: %s: ", __FILE__,  \
+                   __LINE__, #condition);                                     \
+      std::fprintf(stderr, __VA_ARGS__);                                      \
+      std::fprintf(stderr, "\n");                                             \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+#endif  // SKIPNODE_BASE_CHECK_H_

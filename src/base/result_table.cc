@@ -1,0 +1,63 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "base/result_table.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "base/check.h"
+
+namespace skipnode {
+
+ResultTable::ResultTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  SKIPNODE_CHECK(!columns_.empty());
+}
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  SKIPNODE_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ResultTable::Cell(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+void ResultTable::Print(std::FILE* out) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+bool ResultTable::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  const auto write_row = [&out](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+  return static_cast<bool>(out);
+}
+
+}  // namespace skipnode

@@ -1,0 +1,43 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Small result-table builder used by the benchmark harness: collects rows of
+// string cells, prints them column-aligned, and exports CSV so experiment
+// results can be post-processed (plotting, diffing against the paper).
+
+#ifndef SKIPNODE_BASE_RESULT_TABLE_H_
+#define SKIPNODE_BASE_RESULT_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace skipnode {
+
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> columns);
+
+  // Appends a row; must have exactly one cell per column.
+  void AddRow(std::vector<std::string> cells);
+
+  // Formats a double with fixed precision (helper for AddRow callers).
+  static std::string Cell(double value, int precision = 1);
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  // Column-aligned text output.
+  void Print(std::FILE* out = stdout) const;
+
+  // Comma-separated export (header + rows); returns false on I/O failure.
+  bool SaveCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_BASE_RESULT_TABLE_H_

@@ -1,0 +1,64 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The paper's over-smoothing measurement toolkit:
+//   * MAD (Chen et al. 2020): mean average cosine distance between connected
+//     nodes — Figure 2(a) and Figure 5(b);
+//   * d_M(X): distance of a representation to the lower-information subspace
+//     M (Oono & Suzuki 2020) — Figure 4 and Theorems 2/3;
+//   * lambda: the second-largest eigenvalue magnitude of A_hat;
+//   * closed-form bound coefficients from Theorems 2 and 3.
+
+#ifndef SKIPNODE_CORE_OVERSMOOTHING_H_
+#define SKIPNODE_CORE_OVERSMOOTHING_H_
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "sparse/spectral.h"
+#include "tensor/matrix.h"
+
+namespace skipnode {
+
+// Mean of the per-node average cosine distance (1 - cosine similarity) to
+// connected neighbours; nodes without neighbours are excluded. 0 means every
+// node equals its neighbours (fully over-smoothed).
+float MeanAverageDistance(const Graph& graph, const Matrix& x);
+
+// Dirichlet energy E(X) = 1/2 sum_{(i,j) in E} || x_i/sqrt(1+d_i) -
+// x_j/sqrt(1+d_j) ||^2, the smoothness functional used by the
+// Dirichlet-energy line of anti-over-smoothing work the paper discusses
+// ([49]); it decays to 0 exactly when representations over-smooth.
+float DirichletEnergy(const Graph& graph, const Matrix& x);
+
+// Caches the spectral structure of one graph's A_hat to answer d_M and
+// lambda queries cheaply (both are needed per layer in Figure 4 and per
+// epoch in Figure 2).
+class SubspaceAnalyzer {
+ public:
+  explicit SubspaceAnalyzer(const Graph& graph);
+
+  // d_M(X) = || X - proj_M X ||_F.
+  float DistanceToM(const Matrix& x) const;
+
+  // Second-largest eigenvalue magnitude of A_hat (computed on first use).
+  float Lambda() const;
+
+  const Matrix& basis() const { return basis_; }
+
+ private:
+  std::shared_ptr<const CsrMatrix> a_hat_;
+  Matrix basis_;  // N x (#components) eigenvalue-1 eigenvectors.
+  mutable float lambda_ = -1.0f;
+};
+
+// Theorem 2: d_M(E[X2]) <= (s*lambda + rho*(1 - s*lambda)) * d_M(X).
+float Theorem2Coefficient(float s, float lambda, float rho);
+
+// Theorem 3: when rho*(1/(s*lambda) + 1) - 1 > 0,
+// d_M(E[X2]) >= (rho*(1/(s*lambda) + 1) - 1) * d_M(X1).
+float Theorem3Coefficient(float s, float lambda, float rho);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_CORE_OVERSMOOTHING_H_

@@ -1,0 +1,42 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "core/skipnode.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace skipnode {
+
+std::vector<uint8_t> SampleSkipMaskUniform(int num_nodes, float rho,
+                                           Rng& rng) {
+  SKIPNODE_CHECK(rho >= 0.0f && rho <= 1.0f);
+  std::vector<uint8_t> mask(num_nodes, 0);
+  for (int i = 0; i < num_nodes; ++i) {
+    mask[i] = rng.Bernoulli(rho) ? 1 : 0;
+  }
+  return mask;
+}
+
+std::vector<uint8_t> SampleSkipMaskBiased(const std::vector<int>& degrees,
+                                          float rho, Rng& rng) {
+  SKIPNODE_CHECK(rho >= 0.0f && rho <= 1.0f);
+  const int n = static_cast<int>(degrees.size());
+  const int k = static_cast<int>(std::lround(rho * n));
+  std::vector<double> weights(n);
+  for (int i = 0; i < n; ++i) weights[i] = static_cast<double>(degrees[i]);
+  std::vector<uint8_t> mask(n, 0);
+  for (const int i : rng.WeightedSampleWithoutReplacement(weights, k)) {
+    mask[i] = 1;
+  }
+  return mask;
+}
+
+int CountSkipped(const std::vector<uint8_t>& mask) {
+  int count = 0;
+  for (const uint8_t m : mask) count += m;
+  return count;
+}
+
+}  // namespace skipnode

@@ -1,0 +1,38 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The paper's contribution: SkipNode mask sampling (Section 5.1). A GCN layer
+// with SkipNode computes
+//
+//   X^(l) = sigma( (I - P) A_hat X^(l-1) W^(l) + P X^(l-1) )     (Eq. 4)
+//
+// where P is a diagonal 0/1 matrix resampled at every training step. Nodes
+// with P_ii = 1 skip the convolution entirely: their features pass through
+// unchanged and, crucially, so do their gradients. The mask is represented as
+// a per-row byte vector consumed by Tape::RowSelect.
+
+#ifndef SKIPNODE_CORE_SKIPNODE_H_
+#define SKIPNODE_CORE_SKIPNODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace skipnode {
+
+// Uniform sampling: P_ii ~ Bernoulli(rho) independently (SkipNode-U).
+std::vector<uint8_t> SampleSkipMaskUniform(int num_nodes, float rho, Rng& rng);
+
+// Biased sampling: exactly round(rho * N) nodes drawn without replacement
+// with probability proportional to degree (SkipNode-B) — high-degree nodes
+// over-smooth fastest, so they are skipped preferentially.
+std::vector<uint8_t> SampleSkipMaskBiased(const std::vector<int>& degrees,
+                                          float rho, Rng& rng);
+
+// Number of skipped (mask = 1) nodes.
+int CountSkipped(const std::vector<uint8_t>& mask);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_CORE_SKIPNODE_H_

@@ -1,0 +1,104 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "core/strategies.h"
+
+#include "base/check.h"
+#include "core/skipnode.h"
+
+namespace skipnode {
+
+const char* StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kNone:
+      return "-";
+    case StrategyKind::kDropEdge:
+      return "DropEdge";
+    case StrategyKind::kDropNode:
+      return "DropNode";
+    case StrategyKind::kPairNorm:
+      return "PairNorm";
+    case StrategyKind::kSkipConnection:
+      return "SkipConn";
+    case StrategyKind::kSkipNodeUniform:
+      return "SkipNode-U";
+    case StrategyKind::kSkipNodeBiased:
+      return "SkipNode-B";
+  }
+  return "?";
+}
+
+StrategyContext::StrategyContext(const Graph& graph,
+                                 const StrategyConfig& config, bool training,
+                                 Rng& rng)
+    : graph_(graph), config_(config), training_(training), rng_(rng) {
+  if (training_ && config_.kind == StrategyKind::kDropEdge &&
+      config_.rate > 0.0f) {
+    // One sampled topology per pass; the renormalisation here is DropEdge's
+    // per-epoch cost.
+    shared_adjacency_ = std::make_shared<const CsrMatrix>(DropEdgeAdjacency(
+        graph_.num_nodes(), graph_.edges(), config_.rate, rng_));
+  } else {
+    shared_adjacency_ = graph_.normalized_adjacency();
+  }
+}
+
+std::shared_ptr<const CsrMatrix> StrategyContext::LayerAdjacency(int layer) {
+  (void)layer;
+  if (training_ && config_.kind == StrategyKind::kDropNode &&
+      config_.rate > 0.0f) {
+    // DropNode re-samples nodes and renormalises at every layer.
+    return std::make_shared<const CsrMatrix>(DropNodeAdjacency(
+        graph_.num_nodes(), graph_.edges(), config_.rate, rng_));
+  }
+  return shared_adjacency_;
+}
+
+namespace {
+
+float ClampRate(float rate) {
+  if (rate < 0.0f) return 0.0f;
+  if (rate > 1.0f) return 1.0f;
+  return rate;
+}
+
+}  // namespace
+
+Var StrategyContext::TransformMiddle(Tape& tape, Var pre, Var conv) {
+  const int middle_index = middle_calls_++;
+  // Scheduled rho for this middle layer (constant when rho_growth is 0).
+  const float rho = ClampRate(
+      config_.rate + config_.rho_growth * static_cast<float>(middle_index));
+  switch (config_.kind) {
+    case StrategyKind::kSkipNodeUniform: {
+      if (!training_ || rho <= 0.0f) return conv;
+      const std::vector<uint8_t> mask =
+          SampleSkipMaskUniform(graph_.num_nodes(), rho, rng_);
+      return tape.RowSelect(mask, pre, conv);
+    }
+    case StrategyKind::kSkipNodeBiased: {
+      if (!training_ || rho <= 0.0f) return conv;
+      const std::vector<uint8_t> mask =
+          SampleSkipMaskBiased(graph_.degrees(), rho, rng_);
+      return tape.RowSelect(mask, pre, conv);
+    }
+    case StrategyKind::kSkipConnection:
+      return tape.Add(conv, pre);
+    case StrategyKind::kPairNorm:
+      return tape.PairNorm(conv, config_.pairnorm_scale);
+    case StrategyKind::kNone:
+    case StrategyKind::kDropEdge:
+    case StrategyKind::kDropNode:
+      return conv;
+  }
+  return conv;
+}
+
+Var StrategyContext::TransformBoundary(Tape& tape, Var conv) {
+  if (config_.kind == StrategyKind::kPairNorm) {
+    return tape.PairNorm(conv, config_.pairnorm_scale);
+  }
+  return conv;
+}
+
+}  // namespace skipnode

@@ -1,0 +1,126 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The plug-and-play training strategies the paper studies, behind one
+// interface so every backbone supports all of them:
+//
+//   * SkipNode-U / SkipNode-B  — the contribution (core/skipnode.h),
+//   * DropEdge                 — per-epoch edge sampling + renormalisation,
+//   * DropNode                 — per-layer node down-sampling + renorm.,
+//   * PairNorm                 — centre-and-scale normalisation after convs,
+//   * SkipConnection           — residual add (ResGCN-style),
+//   * None                     — vanilla backbone.
+//
+// A StrategyContext is created per forward pass. Backbones query it twice
+// per convolution layer:
+//   1. LayerAdjacency(layer)  — which adjacency operator to propagate with;
+//   2. Transform(...)         — the post-convolution combine (identity for
+//      topology-level strategies).
+
+#ifndef SKIPNODE_CORE_STRATEGIES_H_
+#define SKIPNODE_CORE_STRATEGIES_H_
+
+#include <memory>
+#include <string>
+
+#include "autograd/tape.h"
+#include "base/rng.h"
+#include "graph/graph.h"
+
+namespace skipnode {
+
+enum class StrategyKind {
+  kNone,
+  kDropEdge,
+  kDropNode,
+  kPairNorm,
+  kSkipConnection,
+  kSkipNodeUniform,
+  kSkipNodeBiased,
+};
+
+// Short display name ("SkipNode-U", "DropEdge", ...).
+const char* StrategyName(StrategyKind kind);
+
+struct StrategyConfig {
+  StrategyKind kind = StrategyKind::kNone;
+  // Sampling rate: rho for SkipNode, drop probability for DropEdge/DropNode.
+  float rate = 0.5f;
+  // PairNorm's target row scale s.
+  float pairnorm_scale = 1.0f;
+  // Extension (ablation/bench): per-layer rho schedule for SkipNode. The
+  // effective rate at the k-th middle combine of a forward pass is
+  // clamp(rate + rho_growth * k, 0, 1). The paper's Figure 5 shows deeper
+  // stacks want larger rho; a positive growth lets early layers convolve
+  // more while deep layers skip more. 0 reproduces the paper's constant rho.
+  float rho_growth = 0.0f;
+
+  static StrategyConfig None() { return {}; }
+  static StrategyConfig SkipNodeU(float rho) {
+    return {StrategyKind::kSkipNodeUniform, rho, 1.0f, 0.0f};
+  }
+  static StrategyConfig SkipNodeB(float rho) {
+    return {StrategyKind::kSkipNodeBiased, rho, 1.0f, 0.0f};
+  }
+  static StrategyConfig DropEdge(float rate) {
+    return {StrategyKind::kDropEdge, rate, 1.0f, 0.0f};
+  }
+  static StrategyConfig DropNode(float rate) {
+    return {StrategyKind::kDropNode, rate, 1.0f, 0.0f};
+  }
+  static StrategyConfig PairNorm(float scale = 1.0f) {
+    return {StrategyKind::kPairNorm, 0.0f, scale, 0.0f};
+  }
+  static StrategyConfig SkipConnection() {
+    return {StrategyKind::kSkipConnection, 0.0f, 1.0f, 0.0f};
+  }
+};
+
+// Per-forward-pass strategy state. Construct once per training step (and per
+// evaluation pass); it samples whatever the strategy needs and hands
+// backbones the pieces. At evaluation time every strategy except PairNorm
+// and SkipConnection degenerates to the vanilla model, as in the paper.
+class StrategyContext {
+ public:
+  // `graph` and `rng` must outlive the context.
+  StrategyContext(const Graph& graph, const StrategyConfig& config,
+                  bool training, Rng& rng);
+
+  // Adjacency operator for convolution layer `layer` (0-based). DropEdge
+  // returns one sampled-and-renormalised matrix shared by all layers of this
+  // pass; DropNode resamples (and renormalises) per layer — the cost
+  // difference Table 8 measures.
+  std::shared_ptr<const CsrMatrix> LayerAdjacency(int layer);
+
+  // Post-convolution combine for a *middle* layer, where input and output
+  // widths match. `pre` is the layer input X^(l-1) (post-activation of the
+  // previous layer), `conv` the convolution result before the nonlinearity
+  // is irrelevant here — backbones call this on their chosen tensor:
+  //   SkipNode:        RowSelect(mask, pre, conv)      (Eq. 4)
+  //   SkipConnection:  conv + pre
+  //   PairNorm:        PairNorm(conv)
+  //   others:          conv
+  Var TransformMiddle(Tape& tape, Var pre, Var conv);
+
+  // Post-convolution hook for layers whose width changed (first/last):
+  // only PairNorm applies; everything else is identity.
+  Var TransformBoundary(Tape& tape, Var conv);
+
+  const StrategyConfig& config() const { return config_; }
+  bool training() const { return training_; }
+  // Number of TransformMiddle calls so far in this pass (the middle-layer
+  // index used by the rho schedule).
+  int middle_calls() const { return middle_calls_; }
+
+ private:
+  const Graph& graph_;
+  StrategyConfig config_;
+  bool training_;
+  Rng& rng_;
+  std::shared_ptr<const CsrMatrix> shared_adjacency_;
+  int middle_calls_ = 0;
+};
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_CORE_STRATEGIES_H_

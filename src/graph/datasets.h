@@ -1,0 +1,53 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Named synthetic datasets mirroring the paper's Table 2 (see DESIGN.md
+// sections 1 and 5 for the substitution rationale). Every dataset is fully
+// determined by (name, scale, seed).
+
+#ifndef SKIPNODE_GRAPH_DATASETS_H_
+#define SKIPNODE_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace skipnode {
+
+// Declarative recipe for one synthetic dataset.
+struct DatasetSpec {
+  std::string name;
+  int num_nodes = 0;
+  int num_edges = 0;
+  int num_classes = 0;
+  int feature_dim = 0;
+  double homophily = 0.8;
+  // How label-informative the features are (FeatureConfig::signal).
+  double feature_signal = 0.7;
+  int words_per_node = 12;
+  double power_law = 2.5;
+  // Whether nodes carry a synthetic publication year (arxiv-like temporal
+  // splits).
+  bool with_years = false;
+};
+
+// Specs for all nine stand-ins: cora_like, citeseer_like, pubmed_like,
+// chameleon_like, cornell_like, texas_like, wisconsin_like, arxiv_like,
+// ppa_like.
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+// Returns the spec for `name`; aborts on unknown names.
+const DatasetSpec& FindDatasetSpec(const std::string& name);
+
+// Instantiates `spec` scaled by `scale` in node count (edges, and for tiny
+// graphs feature dims, scale along; scale <= 1). Deterministic in `seed`.
+Graph BuildDataset(const DatasetSpec& spec, double scale, uint64_t seed);
+
+// Convenience: BuildDataset(FindDatasetSpec(name), scale, seed).
+Graph BuildDatasetByName(const std::string& name, double scale = 1.0,
+                         uint64_t seed = 1);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_GRAPH_DATASETS_H_

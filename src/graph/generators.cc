@@ -1,0 +1,162 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "base/check.h"
+
+namespace skipnode {
+
+EdgeList ErdosRenyi(int num_nodes, double p, Rng& rng) {
+  SKIPNODE_CHECK(p >= 0.0 && p <= 1.0);
+  EdgeList edges;
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int v = u + 1; v < num_nodes; ++v) {
+      if (rng.Bernoulli(p)) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+namespace {
+
+// Samples an index from the cumulative-weight table `cdf` (strictly
+// increasing, last entry = total mass).
+int SampleFromCdf(const std::vector<double>& cdf, Rng& rng) {
+  const double target = rng.Uniform() * cdf.back();
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
+  return static_cast<int>(std::min<size_t>(it - cdf.begin(), cdf.size() - 1));
+}
+
+}  // namespace
+
+PlantedPartitionGraph PlantedPartition(const PlantedPartitionConfig& config,
+                                       Rng& rng) {
+  SKIPNODE_CHECK(config.num_nodes > 0);
+  SKIPNODE_CHECK(config.num_classes > 0);
+  SKIPNODE_CHECK(config.homophily >= 0.0 && config.homophily <= 1.0);
+  const int n = config.num_nodes;
+  const int k = config.num_classes;
+
+  PlantedPartitionGraph graph;
+  // Balanced classes, randomly assigned.
+  graph.labels.resize(n);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  for (int i = 0; i < n; ++i) graph.labels[order[i]] = i % k;
+
+  // Degree propensities.
+  std::vector<double> theta(n, 1.0);
+  if (config.power_law > 0.0) {
+    for (int i = 0; i < n; ++i) {
+      double u = rng.Uniform();
+      while (u <= 1e-12) u = rng.Uniform();
+      theta[i] = std::min(std::pow(u, -1.0 / config.power_law),
+                          config.max_propensity);
+    }
+  }
+
+  // Cumulative propensity tables: global and per class.
+  std::vector<std::vector<int>> class_members(k);
+  for (int i = 0; i < n; ++i) class_members[graph.labels[i]].push_back(i);
+  std::vector<double> global_cdf(n);
+  double running = 0.0;
+  for (int i = 0; i < n; ++i) {
+    running += theta[i];
+    global_cdf[i] = running;
+  }
+  std::vector<std::vector<double>> class_cdf(k);
+  for (int c = 0; c < k; ++c) {
+    running = 0.0;
+    class_cdf[c].reserve(class_members[c].size());
+    for (const int i : class_members[c]) {
+      running += theta[i];
+      class_cdf[c].push_back(running);
+    }
+  }
+
+  std::set<std::pair<int, int>> seen;
+  graph.edges.reserve(config.num_edges);
+  // Draw edges: pick u globally by propensity; pick v within u's class with
+  // probability `homophily`, otherwise globally (rejecting same-class hits to
+  // keep the homophily target tight).
+  const int max_attempts = config.num_edges * 30 + 1000;
+  int attempts = 0;
+  while (static_cast<int>(graph.edges.size()) < config.num_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    const int u = SampleFromCdf(global_cdf, rng);
+    int v;
+    if (rng.Bernoulli(config.homophily)) {
+      const int c = graph.labels[u];
+      v = class_members[c][SampleFromCdf(class_cdf[c], rng)];
+    } else {
+      // Cross-class edge: resample (not skip) same-class candidates, so the
+      // realised homophily matches the target instead of drifting upward.
+      v = -1;
+      for (int retry = 0; retry < 64; ++retry) {
+        const int candidate = SampleFromCdf(global_cdf, rng);
+        if (k == 1 || graph.labels[candidate] != graph.labels[u]) {
+          v = candidate;
+          break;
+        }
+      }
+      if (v < 0) continue;
+    }
+    if (u == v) continue;
+    const auto key = std::minmax(u, v);
+    if (!seen.insert({key.first, key.second}).second) continue;
+    graph.edges.emplace_back(key.first, key.second);
+  }
+  return graph;
+}
+
+Matrix MakeClassFeatures(const std::vector<int>& labels, int num_classes,
+                         const FeatureConfig& config, Rng& rng) {
+  const int n = static_cast<int>(labels.size());
+  SKIPNODE_CHECK(config.dim > 0);
+  SKIPNODE_CHECK(config.words_per_node > 0);
+  SKIPNODE_CHECK(config.signal >= 0.0 && config.signal <= 1.0);
+
+  // Each class owns a random topic subset of the vocabulary.
+  const int topic_size = std::max(
+      2, static_cast<int>(config.topic_fraction * config.dim));
+  std::vector<std::vector<int>> topics(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    topics[c] = rng.SampleWithoutReplacement(config.dim, topic_size);
+  }
+
+  Matrix features(n, config.dim);
+  for (int i = 0; i < n; ++i) {
+    const std::vector<int>& topic = topics[labels[i]];
+    for (int w = 0; w < config.words_per_node; ++w) {
+      int word;
+      if (rng.Bernoulli(config.signal)) {
+        word = topic[rng.UniformInt(topic.size())];
+      } else {
+        word = static_cast<int>(rng.UniformInt(config.dim));
+      }
+      features(i, word) = 1.0f;
+    }
+  }
+  if (config.row_normalize) {
+    for (int i = 0; i < n; ++i) {
+      float* row = features.row(i);
+      double total = 0.0;
+      for (int j = 0; j < config.dim; ++j) total += row[j] * row[j];
+      if (total > 0.0) {
+        const float inv = static_cast<float>(1.0 / std::sqrt(total));
+        for (int j = 0; j < config.dim; ++j) row[j] *= inv;
+      }
+    }
+  }
+  return features;
+}
+
+}  // namespace skipnode

@@ -1,0 +1,70 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Random-graph and random-feature generators. The Erdos-Renyi generator
+// reproduces the paper's Figure 4 setup; the degree-corrected planted
+// partition generator plus class-conditional bag-of-words features produce
+// the synthetic stand-ins for the paper's benchmark datasets (see DESIGN.md
+// section 1 for the substitution rationale).
+
+#ifndef SKIPNODE_GRAPH_GENERATORS_H_
+#define SKIPNODE_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "sparse/graph_ops.h"
+#include "tensor/matrix.h"
+
+namespace skipnode {
+
+// G(n, p): every unordered pair is an edge independently with probability p.
+EdgeList ErdosRenyi(int num_nodes, double p, Rng& rng);
+
+// Degree-corrected planted-partition generator.
+struct PlantedPartitionConfig {
+  int num_nodes = 0;
+  int num_classes = 2;
+  // Expected number of undirected edges to draw (duplicates collapse, so the
+  // realised count is slightly lower on dense configs).
+  int num_edges = 0;
+  // Probability that a drawn edge connects two nodes of the same class
+  // (edge homophily target).
+  double homophily = 0.8;
+  // Degree propensity theta_i ~ U(0,1)^{-1/power_law} capped at
+  // max_propensity; power_law <= 0 disables degree correction.
+  double power_law = 2.5;
+  double max_propensity = 10.0;
+};
+
+struct PlantedPartitionGraph {
+  EdgeList edges;
+  std::vector<int> labels;
+};
+
+// Draws a graph with the requested size, class structure, homophily, and a
+// heavy-ish-tailed degree distribution (the regime in which the paper's
+// biased SkipNode sampler is motivated).
+PlantedPartitionGraph PlantedPartition(const PlantedPartitionConfig& config,
+                                       Rng& rng);
+
+// Class-conditional sparse binary "bag-of-words" features.
+struct FeatureConfig {
+  int dim = 128;
+  // Active words per node.
+  int words_per_node = 12;
+  // Probability an active word is drawn from the node's class topic set
+  // (rest are uniform noise). Higher = features more label-informative.
+  double signal = 0.7;
+  // Fraction of the vocabulary owned by each class topic set.
+  double topic_fraction = 0.12;
+  // L2-normalise rows (standard GCN preprocessing).
+  bool row_normalize = true;
+};
+
+Matrix MakeClassFeatures(const std::vector<int>& labels, int num_classes,
+                         const FeatureConfig& config, Rng& rng);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_GRAPH_GENERATORS_H_

@@ -1,0 +1,66 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "graph/graph.h"
+
+#include <utility>
+
+#include "base/check.h"
+
+namespace skipnode {
+
+Graph::Graph(std::string name, int num_nodes, EdgeList edges, Matrix features,
+             std::vector<int> labels, int num_classes)
+    : name_(std::move(name)),
+      num_nodes_(num_nodes),
+      edges_(std::move(edges)),
+      features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  SKIPNODE_CHECK(num_nodes_ >= 0);
+  SKIPNODE_CHECK(features_.rows() == num_nodes_);
+  for (const auto& [u, v] : edges_) {
+    SKIPNODE_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+    SKIPNODE_CHECK(u != v);
+  }
+  if (!labels_.empty()) {
+    SKIPNODE_CHECK(static_cast<int>(labels_.size()) == num_nodes_);
+    for (const int label : labels_) {
+      SKIPNODE_CHECK(label >= 0 && label < num_classes_);
+    }
+  }
+  degrees_ = Degrees(num_nodes_, edges_);
+}
+
+void Graph::set_years(std::vector<int> years) {
+  SKIPNODE_CHECK(static_cast<int>(years.size()) == num_nodes_);
+  years_ = std::move(years);
+}
+
+std::shared_ptr<const CsrMatrix> Graph::normalized_adjacency() const {
+  if (normalized_adjacency_ == nullptr) {
+    normalized_adjacency_ = std::make_shared<const CsrMatrix>(
+        NormalizedAdjacency(num_nodes_, edges_, /*add_self_loops=*/true));
+  }
+  return normalized_adjacency_;
+}
+
+const std::vector<int>& Graph::components() const {
+  if (!components_computed_) {
+    components_ = ConnectedComponents(num_nodes_, edges_);
+    components_computed_ = true;
+  }
+  return components_;
+}
+
+double Graph::EdgeHomophily() const {
+  SKIPNODE_CHECK(has_labels());
+  if (edges_.empty()) return 0.0;
+  int same = 0;
+  for (const auto& [u, v] : edges_) {
+    if (labels_[u] == labels_[v]) ++same;
+  }
+  return static_cast<double>(same) / static_cast<double>(edges_.size());
+}
+
+}  // namespace skipnode

@@ -1,0 +1,75 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// An attributed, undirected graph: the dataset object every experiment
+// consumes. Holds node features, optional labels, optional per-node year
+// (for temporal splits), and caches the GCN-normalised adjacency.
+
+#ifndef SKIPNODE_GRAPH_GRAPH_H_
+#define SKIPNODE_GRAPH_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparse/graph_ops.h"
+#include "tensor/matrix.h"
+
+namespace skipnode {
+
+// Immutable after construction (strategies that resample the topology build
+// fresh adjacency matrices from edges() instead of mutating the graph).
+class Graph {
+ public:
+  // Validates that edges reference valid nodes, features have num_nodes
+  // rows, and labels (if any) are within [0, num_classes).
+  Graph(std::string name, int num_nodes, EdgeList edges, Matrix features,
+        std::vector<int> labels, int num_classes);
+
+  const std::string& name() const { return name_; }
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  int num_classes() const { return num_classes_; }
+  int feature_dim() const { return features_.cols(); }
+
+  const EdgeList& edges() const { return edges_; }
+  const Matrix& features() const { return features_; }
+  const std::vector<int>& labels() const { return labels_; }
+  bool has_labels() const { return !labels_.empty(); }
+
+  // Per-node publication year, used by the arxiv-like temporal split. Empty
+  // unless set_years() was called.
+  const std::vector<int>& years() const { return years_; }
+  void set_years(std::vector<int> years);
+
+  // Simple-graph degrees (no self-loops).
+  const std::vector<int>& degrees() const { return degrees_; }
+
+  // Cached A_hat = (D+I)^{-1/2}(A+I)(D+I)^{-1/2} as a shared_ptr so sampled
+  // per-epoch variants and the cached one flow through the same SpMM API.
+  std::shared_ptr<const CsrMatrix> normalized_adjacency() const;
+
+  // Connected component id per node (cached).
+  const std::vector<int>& components() const;
+
+  // Fraction of edges whose endpoints share a label (edge homophily).
+  // Requires labels.
+  double EdgeHomophily() const;
+
+ private:
+  std::string name_;
+  int num_nodes_;
+  EdgeList edges_;
+  Matrix features_;
+  std::vector<int> labels_;
+  int num_classes_;
+  std::vector<int> years_;
+  std::vector<int> degrees_;
+  mutable std::shared_ptr<const CsrMatrix> normalized_adjacency_;
+  mutable std::vector<int> components_;
+  mutable bool components_computed_ = false;
+};
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_GRAPH_GRAPH_H_

@@ -1,0 +1,38 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "nn/checkpoint.h"
+
+#include <fstream>
+
+#include "graph/io.h"
+
+namespace skipnode {
+
+bool SaveModelParameters(Model& model, const std::string& directory) {
+  std::ofstream manifest(directory + "/manifest.txt");
+  if (!manifest) return false;
+  for (Parameter* param : model.Parameters()) {
+    if (!SaveMatrixCsv(directory + "/" + param->name + ".csv",
+                       param->value)) {
+      return false;
+    }
+    manifest << param->name << ' ' << param->value.rows() << ' '
+             << param->value.cols() << '\n';
+  }
+  return static_cast<bool>(manifest);
+}
+
+bool LoadModelParameters(Model& model, const std::string& directory) {
+  for (Parameter* param : model.Parameters()) {
+    Matrix loaded;
+    if (!LoadMatrixCsv(directory + "/" + param->name + ".csv", &loaded)) {
+      return false;
+    }
+    if (!loaded.SameShape(param->value)) return false;
+    param->value = std::move(loaded);
+  }
+  return true;
+}
+
+}  // namespace skipnode

@@ -1,0 +1,30 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Model checkpointing: saves every Parameter to CSV files in an existing
+// directory (one file per parameter plus a manifest) and restores them by
+// name. Parameter names double as file names, so checkpoints are
+// human-inspectable and survive refactors as long as names are stable.
+
+#ifndef SKIPNODE_NN_CHECKPOINT_H_
+#define SKIPNODE_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace skipnode {
+
+// Writes `<directory>/<param-name>.csv` for every parameter and a
+// `<directory>/manifest.txt` listing them. The directory must exist.
+// Returns false on any I/O failure.
+bool SaveModelParameters(Model& model, const std::string& directory);
+
+// Restores parameters from a directory written by SaveModelParameters.
+// Every parameter of `model` must be present with a matching shape;
+// returns false otherwise (the model is left partially loaded on failure).
+bool LoadModelParameters(Model& model, const std::string& directory);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_NN_CHECKPOINT_H_

@@ -1,0 +1,59 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "nn/gcn.h"
+
+#include "base/check.h"
+
+namespace skipnode {
+
+GcnModel::GcnModel(const ModelConfig& config, Rng& rng, bool residual,
+                   std::string name)
+    : name_(std::move(name)), config_(config), residual_(residual) {
+  SKIPNODE_CHECK(config.num_layers >= 2);
+  SKIPNODE_CHECK(config.in_dim > 0 && config.hidden_dim > 0 &&
+                 config.out_dim > 0);
+  for (int l = 0; l < config.num_layers; ++l) {
+    const int in = l == 0 ? config.in_dim : config.hidden_dim;
+    const int out = l == config.num_layers - 1 ? config.out_dim
+                                               : config.hidden_dim;
+    layers_.push_back(std::make_unique<Linear>(
+        name_ + ".conv" + std::to_string(l), in, out, rng));
+  }
+}
+
+Var GcnModel::Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
+                      bool training, Rng& rng) {
+  const int num_layers = config_.num_layers;
+  Var x = tape.Constant(graph.features());
+  for (int l = 0; l < num_layers; ++l) {
+    const Var pre = x;  // X^(l-1), the skip path of Eq. 4.
+    Var h = tape.Dropout(x, config_.dropout, training, rng);
+    // A_hat (X W): multiplying by W first keeps the SpMM at the narrow width.
+    h = layers_[l]->Apply(tape, h);
+    Var conv = tape.SpMM(ctx.LayerAdjacency(l), h);
+
+    const bool middle = l > 0 && l < num_layers - 1;
+    if (middle) {
+      if (residual_) conv = tape.Add(conv, pre);
+      conv = ctx.TransformMiddle(tape, pre, conv);
+    } else if (l == 0) {
+      conv = ctx.TransformBoundary(tape, conv);
+    }
+    if (l == num_layers - 1) {
+      x = conv;
+    } else {
+      x = tape.Relu(conv);
+      if (l == num_layers - 2) penultimate_ = x;
+    }
+  }
+  return x;
+}
+
+std::vector<Parameter*> GcnModel::Parameters() {
+  std::vector<Parameter*> params;
+  for (const auto& layer : layers_) layer->CollectParameters(params);
+  return params;
+}
+
+}  // namespace skipnode

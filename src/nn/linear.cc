@@ -1,0 +1,25 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "nn/linear.h"
+
+namespace skipnode {
+
+Linear::Linear(const std::string& name, int in_dim, int out_dim, Rng& rng,
+               bool with_bias)
+    : weight_(name + ".weight", Matrix::GlorotUniform(in_dim, out_dim, rng)),
+      with_bias_(with_bias),
+      bias_(name + ".bias", Matrix(1, out_dim)) {}
+
+Var Linear::Apply(Tape& tape, Var x) {
+  Var out = tape.MatMul(x, tape.Leaf(weight_));
+  if (with_bias_) out = tape.AddRowBroadcast(out, tape.Leaf(bias_));
+  return out;
+}
+
+void Linear::CollectParameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (with_bias_) out.push_back(&bias_);
+}
+
+}  // namespace skipnode

@@ -1,0 +1,80 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Common interface for the GNN backbones. Each Forward() call records one
+// computation on the caller's Tape and returns N x num_classes logits; any
+// plug-and-play strategy is injected through the StrategyContext so every
+// backbone supports every strategy.
+
+#ifndef SKIPNODE_NN_MODEL_H_
+#define SKIPNODE_NN_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/tape.h"
+#include "base/rng.h"
+#include "core/strategies.h"
+#include "graph/graph.h"
+
+namespace skipnode {
+
+// Shared hyper-parameters; model-specific fields are ignored by models that
+// do not use them.
+struct ModelConfig {
+  int in_dim = 0;
+  int hidden_dim = 64;
+  int out_dim = 0;
+  // Number of graph-convolution (or propagation) layers; >= 2.
+  int num_layers = 2;
+  float dropout = 0.5f;
+  // APPNP / GCNII / GPRGNN teleport probability.
+  float alpha = 0.1f;
+  // GCNII identity-mapping strength lambda (beta_l = log(lambda / l + 1)).
+  float gcnii_lambda = 0.5f;
+  // GAT: attention heads on middle layers (must divide hidden_dim).
+  int gat_heads = 4;
+  // GRAND: number of augmentations, feature-drop rate, consistency weight.
+  int grand_augmentations = 2;
+  float grand_dropnode = 0.5f;
+  float grand_consistency = 1.0f;
+};
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  // Builds the forward pass. `ctx` carries the active plug-and-play
+  // strategy (StrategyConfig::None() for the vanilla backbone); `training`
+  // toggles Dropout and per-step strategy sampling.
+  virtual Var Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
+                      bool training, Rng& rng) = 0;
+
+  // Auxiliary loss added to the classification loss (weighted by the model),
+  // e.g. GRAND's consistency regulariser. Returns an invalid Var when the
+  // model has none. Must be called after Forward() on the same tape.
+  virtual Var AuxiliaryLoss(Tape& tape) {
+    (void)tape;
+    return Var();
+  }
+
+  // Trainable parameters (owned by the model).
+  virtual std::vector<Parameter*> Parameters() = 0;
+
+  virtual const std::string& name() const = 0;
+
+  // The representation feeding the final classification layer, stashed by
+  // the latest Forward(). The paper's smoothness metrics (Figure 2a,
+  // Figure 5b) are computed on this tensor. Models that have no
+  // distinguished penultimate representation leave it as the logits.
+  // LIFETIME: the returned Var references the tape passed to that
+  // Forward() call and dangles once the tape is destroyed.
+  Var Penultimate() const { return penultimate_; }
+
+ protected:
+  Var penultimate_;
+};
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_NN_MODEL_H_

@@ -1,0 +1,27 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// String-keyed construction of every backbone, used by benches and examples.
+
+#ifndef SKIPNODE_NN_MODEL_FACTORY_H_
+#define SKIPNODE_NN_MODEL_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace skipnode {
+
+// Supported names: "GCN", "GAT", "ResGCN", "JKNet", "IncepGCN", "GCNII",
+// "APPNP", "GPRGNN", "GRAND", "SGC". Aborts on unknown names.
+std::unique_ptr<Model> MakeModel(const std::string& name,
+                                 const ModelConfig& config, Rng& rng);
+
+// All names accepted by MakeModel.
+const std::vector<std::string>& AllModelNames();
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_NN_MODEL_FACTORY_H_

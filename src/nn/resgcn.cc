@@ -1,0 +1,7 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "nn/resgcn.h"
+
+// ResGcnModel is fully defined in the header; this translation unit anchors
+// the target in the build.

@@ -1,0 +1,22 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// ResGCN (Kipf & Welling 2017, residual variant): GCN with He-style skip
+// connections on every middle layer. One of Table 6's backbones.
+
+#ifndef SKIPNODE_NN_RESGCN_H_
+#define SKIPNODE_NN_RESGCN_H_
+
+#include "nn/gcn.h"
+
+namespace skipnode {
+
+class ResGcnModel : public GcnModel {
+ public:
+  ResGcnModel(const ModelConfig& config, Rng& rng)
+      : GcnModel(config, rng, /*residual=*/true, "ResGCN") {}
+};
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_NN_RESGCN_H_

@@ -1,0 +1,129 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "sparse/csr_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace skipnode {
+
+CsrMatrix CsrMatrix::FromCoo(int rows, int cols,
+                             std::vector<std::pair<int, int>> coords,
+                             std::vector<float> values) {
+  SKIPNODE_CHECK(coords.size() == values.size());
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+
+  // Sort triplets by (row, col) via an index permutation.
+  std::vector<int> order(coords.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&coords](int a, int b) {
+    return coords[a] < coords[b];
+  });
+
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(coords.size());
+  m.values_.reserve(coords.size());
+  int prev_row = -1, prev_col = -1;
+  for (const int idx : order) {
+    const auto [r, c] = coords[idx];
+    SKIPNODE_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
+    if (r == prev_row && c == prev_col) {
+      m.values_.back() += values[idx];  // Merge duplicates.
+      continue;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(values[idx]);
+    m.row_ptr_[r + 1] += 1;
+    prev_row = r;
+    prev_col = c;
+  }
+  for (int r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+CsrMatrix CsrMatrix::Identity(int n) {
+  std::vector<std::pair<int, int>> coords(n);
+  std::vector<float> values(n, 1.0f);
+  for (int i = 0; i < n; ++i) coords[i] = {i, i};
+  return FromCoo(n, n, std::move(coords), std::move(values));
+}
+
+void CsrMatrix::MultiplyAccumulate(const Matrix& dense, Matrix& out) const {
+  SKIPNODE_CHECK(dense.rows() == cols_);
+  SKIPNODE_CHECK(out.rows() == rows_ && out.cols() == dense.cols());
+  const int d = dense.cols();
+  for (int r = 0; r < rows_; ++r) {
+    float* __restrict or_ = out.row(r);
+    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const float w = values_[e];
+      const float* __restrict src = dense.row(col_idx_[e]);
+      for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+    }
+  }
+}
+
+Matrix CsrMatrix::Multiply(const Matrix& dense) const {
+  Matrix out(rows_, dense.cols());
+  MultiplyAccumulate(dense, out);
+  return out;
+}
+
+Matrix CsrMatrix::MultiplyTransposed(const Matrix& dense) const {
+  SKIPNODE_CHECK(dense.rows() == rows_);
+  Matrix out(cols_, dense.cols());
+  const int d = dense.cols();
+  for (int r = 0; r < rows_; ++r) {
+    const float* __restrict src = dense.row(r);
+    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const float w = values_[e];
+      float* __restrict dst = out.row(col_idx_[e]);
+      for (int j = 0; j < d; ++j) dst[j] += w * src[j];
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::RowSums() const {
+  Matrix out(rows_, 1);
+  for (int r = 0; r < rows_; ++r) {
+    double total = 0.0;
+    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) total += values_[e];
+    out(r, 0) = static_cast<float>(total);
+  }
+  return out;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      out(r, col_idx_[e]) += values_[e];
+    }
+  }
+  return out;
+}
+
+bool CsrMatrix::IsSymmetric(float tolerance) const {
+  if (rows_ != cols_) return false;
+  // O(nnz log deg): for each entry (r, c, v), binary-search (c, r).
+  for (int r = 0; r < rows_; ++r) {
+    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const int c = col_idx_[e];
+      const auto begin = col_idx_.begin() + row_ptr_[c];
+      const auto end = col_idx_.begin() + row_ptr_[c + 1];
+      const auto it = std::lower_bound(begin, end, r);
+      if (it == end || *it != r) return false;
+      const float mirrored = values_[it - col_idx_.begin()];
+      if (std::fabs(mirrored - values_[e]) > tolerance) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace skipnode

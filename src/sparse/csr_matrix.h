@@ -1,0 +1,72 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Compressed-sparse-row matrix used for graph adjacency operators. The GCN
+// forward pass is dominated by SpMM with these matrices.
+
+#ifndef SKIPNODE_SPARSE_CSR_MATRIX_H_
+#define SKIPNODE_SPARSE_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace skipnode {
+
+// A weighted sparse matrix in CSR layout. Immutable after construction.
+class CsrMatrix {
+ public:
+  // Empty 0x0 matrix.
+  CsrMatrix() : rows_(0), cols_(0), row_ptr_(1, 0) {}
+
+  // Builds from coordinate triplets (row, col, value). Duplicate coordinates
+  // are summed. Entries with value 0 are kept (callers rarely produce them).
+  static CsrMatrix FromCoo(int rows, int cols,
+                           std::vector<std::pair<int, int>> coords,
+                           std::vector<float> values);
+
+  // Identity matrix of size n.
+  static CsrMatrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  // Number of stored entries in row r.
+  int RowNnz(int r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+  // Returns this * dense. dense is cols() x d.
+  Matrix Multiply(const Matrix& dense) const;
+
+  // out += this * dense.
+  void MultiplyAccumulate(const Matrix& dense, Matrix& out) const;
+
+  // Returns this^T * dense (no explicit transpose materialised).
+  Matrix MultiplyTransposed(const Matrix& dense) const;
+
+  // Sum of stored values in each row (rows x 1).
+  Matrix RowSums() const;
+
+  // Dense copy (tests / tiny matrices only).
+  Matrix ToDense() const;
+
+  // True if the sparsity pattern and values are symmetric (square only).
+  bool IsSymmetric(float tolerance = 1e-6f) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<int> row_ptr_;
+  std::vector<int> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_SPARSE_CSR_MATRIX_H_

@@ -1,0 +1,163 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "sparse/graph_ops.h"
+
+#include <cmath>
+#include <queue>
+
+#include "base/check.h"
+
+namespace skipnode {
+namespace {
+
+// Expands an undirected edge list into symmetric COO triplets (both
+// directions), optionally appending self-loops for `loop_nodes`.
+void SymmetricCoo(const EdgeList& edges, const std::vector<bool>* keep_node,
+                  std::vector<std::pair<int, int>>& coords) {
+  for (const auto& [u, v] : edges) {
+    if (keep_node != nullptr && (!(*keep_node)[u] || !(*keep_node)[v])) {
+      continue;
+    }
+    coords.emplace_back(u, v);
+    coords.emplace_back(v, u);
+  }
+}
+
+// Builds (D+I)^{-1/2}(A+I)(D+I)^{-1/2} (or D^{-1/2} A D^{-1/2}) over the
+// subgraph induced by `keep_node` (nullptr keeps everything). Nodes outside
+// the subgraph get all-zero rows and columns.
+CsrMatrix NormalizeImpl(int num_nodes, const EdgeList& edges,
+                        bool add_self_loops,
+                        const std::vector<bool>* keep_node) {
+  std::vector<std::pair<int, int>> coords;
+  coords.reserve(edges.size() * 2 + (add_self_loops ? num_nodes : 0));
+  SymmetricCoo(edges, keep_node, coords);
+
+  // Degrees of the (possibly sub-sampled) simple graph.
+  std::vector<int> degree(num_nodes, 0);
+  for (const auto& [r, c] : coords) {
+    (void)c;
+    degree[r] += 1;
+  }
+
+  if (add_self_loops) {
+    for (int i = 0; i < num_nodes; ++i) {
+      if (keep_node == nullptr || (*keep_node)[i]) coords.emplace_back(i, i);
+    }
+  }
+
+  std::vector<float> inv_sqrt(num_nodes, 0.0f);
+  for (int i = 0; i < num_nodes; ++i) {
+    const bool kept = keep_node == nullptr || (*keep_node)[i];
+    const int d = degree[i] + (add_self_loops ? 1 : 0);
+    if (kept && d > 0) inv_sqrt[i] = 1.0f / std::sqrt(static_cast<float>(d));
+  }
+
+  std::vector<float> values(coords.size());
+  for (size_t k = 0; k < coords.size(); ++k) {
+    values[k] = inv_sqrt[coords[k].first] * inv_sqrt[coords[k].second];
+  }
+  return CsrMatrix::FromCoo(num_nodes, num_nodes, std::move(coords),
+                            std::move(values));
+}
+
+}  // namespace
+
+std::vector<int> Degrees(int num_nodes, const EdgeList& edges) {
+  std::vector<int> degree(num_nodes, 0);
+  for (const auto& [u, v] : edges) {
+    SKIPNODE_CHECK(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes);
+    degree[u] += 1;
+    degree[v] += 1;
+  }
+  return degree;
+}
+
+CsrMatrix BuildAdjacency(int num_nodes, const EdgeList& edges) {
+  std::vector<std::pair<int, int>> coords;
+  coords.reserve(edges.size() * 2);
+  SymmetricCoo(edges, nullptr, coords);
+  std::vector<float> values(coords.size(), 1.0f);
+  CsrMatrix a = CsrMatrix::FromCoo(num_nodes, num_nodes, std::move(coords),
+                                   std::move(values));
+  return a;
+}
+
+CsrMatrix NormalizedAdjacency(int num_nodes, const EdgeList& edges,
+                              bool add_self_loops) {
+  return NormalizeImpl(num_nodes, edges, add_self_loops, nullptr);
+}
+
+CsrMatrix RandomWalkAdjacency(int num_nodes, const EdgeList& edges,
+                              bool add_self_loops) {
+  std::vector<std::pair<int, int>> coords;
+  coords.reserve(edges.size() * 2 + (add_self_loops ? num_nodes : 0));
+  SymmetricCoo(edges, nullptr, coords);
+  std::vector<int> degree(num_nodes, 0);
+  for (const auto& [r, c] : coords) {
+    (void)c;
+    degree[r] += 1;
+  }
+  if (add_self_loops) {
+    for (int i = 0; i < num_nodes; ++i) coords.emplace_back(i, i);
+  }
+  std::vector<float> values(coords.size());
+  for (size_t k = 0; k < coords.size(); ++k) {
+    const int d = degree[coords[k].first] + (add_self_loops ? 1 : 0);
+    values[k] = d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+  }
+  return CsrMatrix::FromCoo(num_nodes, num_nodes, std::move(coords),
+                            std::move(values));
+}
+
+CsrMatrix DropEdgeAdjacency(int num_nodes, const EdgeList& edges,
+                            double drop_rate, Rng& rng) {
+  SKIPNODE_CHECK(drop_rate >= 0.0 && drop_rate < 1.0);
+  EdgeList kept;
+  kept.reserve(edges.size());
+  for (const auto& edge : edges) {
+    if (!rng.Bernoulli(drop_rate)) kept.push_back(edge);
+  }
+  return NormalizeImpl(num_nodes, kept, /*add_self_loops=*/true, nullptr);
+}
+
+CsrMatrix DropNodeAdjacency(int num_nodes, const EdgeList& edges,
+                            double drop_rate, Rng& rng) {
+  SKIPNODE_CHECK(drop_rate >= 0.0 && drop_rate < 1.0);
+  std::vector<bool> keep(num_nodes, true);
+  for (int i = 0; i < num_nodes; ++i) {
+    if (rng.Bernoulli(drop_rate)) keep[i] = false;
+  }
+  return NormalizeImpl(num_nodes, edges, /*add_self_loops=*/true, &keep);
+}
+
+std::vector<int> ConnectedComponents(int num_nodes, const EdgeList& edges) {
+  std::vector<std::vector<int>> neighbors(num_nodes);
+  for (const auto& [u, v] : edges) {
+    neighbors[u].push_back(v);
+    neighbors[v].push_back(u);
+  }
+  std::vector<int> component(num_nodes, -1);
+  int next_id = 0;
+  std::queue<int> frontier;
+  for (int start = 0; start < num_nodes; ++start) {
+    if (component[start] >= 0) continue;
+    component[start] = next_id;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (const int v : neighbors[u]) {
+        if (component[v] < 0) {
+          component[v] = next_id;
+          frontier.push(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+}  // namespace skipnode

@@ -1,0 +1,61 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Graph-structure operators: adjacency normalisation (the GCN re-normalisation
+// trick), per-epoch edge sampling (DropEdge) and node down-sampling (DropNode),
+// degree computation, and connected components. Graphs are represented here by
+// an undirected edge list {u, v} with u != v; each listed edge stands for both
+// directions.
+
+#ifndef SKIPNODE_SPARSE_GRAPH_OPS_H_
+#define SKIPNODE_SPARSE_GRAPH_OPS_H_
+
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "sparse/csr_matrix.h"
+
+namespace skipnode {
+
+using EdgeList = std::vector<std::pair<int, int>>;
+
+// Degree of each node counting each undirected edge once per endpoint
+// (self-loops excluded; the normalisation adds them separately).
+std::vector<int> Degrees(int num_nodes, const EdgeList& edges);
+
+// Builds the symmetric binary adjacency A (no self-loops) from an undirected
+// edge list. Duplicate edges collapse to a single unit entry.
+CsrMatrix BuildAdjacency(int num_nodes, const EdgeList& edges);
+
+// GCN re-normalised adjacency: A_hat = (D+I)^{-1/2} (A+I) (D+I)^{-1/2}.
+// If `add_self_loops` is false, computes D^{-1/2} A D^{-1/2} instead
+// (isolated nodes contribute zero rows).
+CsrMatrix NormalizedAdjacency(int num_nodes, const EdgeList& edges,
+                              bool add_self_loops = true);
+
+// Random-walk normalisation (D+I)^{-1} (A+I): row-stochastic, used by
+// GRAND-style mean propagation. Not symmetric in general.
+CsrMatrix RandomWalkAdjacency(int num_nodes, const EdgeList& edges,
+                              bool add_self_loops = true);
+
+// DropEdge: keeps each undirected edge independently with probability
+// (1 - drop_rate) and returns the re-normalised adjacency of the sampled
+// graph — the per-epoch renormalisation is exactly the cost Table 8 measures.
+CsrMatrix DropEdgeAdjacency(int num_nodes, const EdgeList& edges,
+                            double drop_rate, Rng& rng);
+
+// DropNode (Do et al. 2021 variant): removes `drop_rate * N` nodes uniformly;
+// removed nodes lose all incident edges *and* their self-loop, then the
+// remaining subgraph is re-normalised. Removed node rows of A_hat are all
+// zero, so their features vanish after propagation — matching the
+// instability of DropNode in deep stacks observed in the paper (Table 7).
+CsrMatrix DropNodeAdjacency(int num_nodes, const EdgeList& edges,
+                            double drop_rate, Rng& rng);
+
+// Connected components via BFS; returns per-node component id in [0, k).
+std::vector<int> ConnectedComponents(int num_nodes, const EdgeList& edges);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_SPARSE_GRAPH_OPS_H_

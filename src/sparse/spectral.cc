@@ -1,0 +1,84 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "sparse/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "tensor/ops.h"
+
+namespace skipnode {
+
+Matrix TopEigenvectors(const std::vector<int>& components,
+                       const std::vector<int>& degrees) {
+  SKIPNODE_CHECK(components.size() == degrees.size());
+  const int n = static_cast<int>(components.size());
+  int num_components = 0;
+  for (const int c : components) num_components = std::max(num_components, c + 1);
+
+  Matrix basis(n, num_components);
+  std::vector<double> norms(num_components, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double v = std::sqrt(static_cast<double>(degrees[i]) + 1.0);
+    basis(i, components[i]) = static_cast<float>(v);
+    norms[components[i]] += v * v;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int c = components[i];
+    basis(i, c) /= static_cast<float>(std::sqrt(norms[c]));
+  }
+  return basis;
+}
+
+Matrix ProjectOntoM(const Matrix& top_eigenvectors, const Matrix& x) {
+  SKIPNODE_CHECK(top_eigenvectors.rows() == x.rows());
+  // proj = E (E^T X), with E the N x M basis. M is small (number of
+  // connected components), so this is cheap.
+  Matrix coefficients = MatMulTransposeA(top_eigenvectors, x);  // M x d
+  return MatMul(top_eigenvectors, coefficients);                // N x d
+}
+
+float DistanceToM(const Matrix& top_eigenvectors, const Matrix& x) {
+  const Matrix residual = Sub(x, ProjectOntoM(top_eigenvectors, x));
+  return residual.Norm();
+}
+
+float SecondLargestEigenvalueMagnitude(const CsrMatrix& a_hat,
+                                       const Matrix& top_eigenvectors,
+                                       int iterations, Rng* rng) {
+  SKIPNODE_CHECK(a_hat.rows() == a_hat.cols());
+  SKIPNODE_CHECK(a_hat.rows() == top_eigenvectors.rows());
+  Rng local(777);
+  Rng& r = rng != nullptr ? *rng : local;
+
+  Matrix v = Matrix::RandomNormal(a_hat.rows(), 1, r);
+  // Deflate, normalise, iterate v <- deflate(A_hat v). Because A_hat is
+  // symmetric and U is an invariant subspace, deflation keeps the iterate in
+  // U's orthogonal complement, where the dominant eigenvalue is the one the
+  // paper calls lambda (in magnitude).
+  auto deflate = [&top_eigenvectors](Matrix& vec) {
+    const Matrix coeff = MatMulTransposeA(top_eigenvectors, vec);  // M x 1
+    const Matrix proj = MatMul(top_eigenvectors, coeff);           // N x 1
+    vec = Sub(vec, proj);
+  };
+
+  deflate(v);
+  float norm = v.Norm();
+  if (norm <= 1e-20f) return 0.0f;
+  v = Scale(v, 1.0f / norm);
+
+  float rayleigh = 0.0f;
+  for (int it = 0; it < iterations; ++it) {
+    Matrix av = a_hat.Multiply(v);
+    deflate(av);
+    rayleigh = RowDots(v, av).Sum();  // v^T A v with unit v.
+    norm = av.Norm();
+    if (norm <= 1e-20f) return 0.0f;
+    v = Scale(av, 1.0f / norm);
+  }
+  return std::fabs(rayleigh);
+}
+
+}  // namespace skipnode

@@ -1,0 +1,45 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Spectral quantities of the normalised adjacency A_hat used by the paper's
+// over-smoothing theory:
+//   * the eigenvalue-1 eigenvectors e_m (one per connected component, entries
+//     proportional to sqrt(deg_i + 1)), which span the subspace U;
+//   * lambda, the second-largest eigenvalue magnitude, estimated by power
+//     iteration on the operator deflated by span{e_m}.
+
+#ifndef SKIPNODE_SPARSE_SPECTRAL_H_
+#define SKIPNODE_SPARSE_SPECTRAL_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "sparse/csr_matrix.h"
+#include "sparse/graph_ops.h"
+#include "tensor/matrix.h"
+
+namespace skipnode {
+
+// Orthonormal basis of U, the eigenspace of A_hat for eigenvalue 1: one
+// column per connected component, entry i = sqrt(deg_i + 1) restricted to the
+// component, L2-normalised. `degrees` are simple-graph degrees (no self-loop).
+// Returns an N x M matrix whose columns are the e_m.
+Matrix TopEigenvectors(const std::vector<int>& components,
+                       const std::vector<int>& degrees);
+
+// Projects X onto the subspace M = U (x) R^d: proj = sum_m e_m e_m^T X.
+Matrix ProjectOntoM(const Matrix& top_eigenvectors, const Matrix& x);
+
+// d_M(X) = ||X - proj_M(X)||_F, the distance driving Eq. (3) of the paper.
+float DistanceToM(const Matrix& top_eigenvectors, const Matrix& x);
+
+// Second-largest eigenvalue magnitude of a_hat via power iteration deflated
+// by the eigenvalue-1 eigenvectors. a_hat must be symmetric.
+float SecondLargestEigenvalueMagnitude(const CsrMatrix& a_hat,
+                                       const Matrix& top_eigenvectors,
+                                       int iterations = 200,
+                                       Rng* rng = nullptr);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_SPARSE_SPECTRAL_H_

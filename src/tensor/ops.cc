@@ -1,0 +1,318 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skipnode {
+
+void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix& out) {
+  SKIPNODE_CHECK(a.cols() == b.rows());
+  SKIPNODE_CHECK(out.rows() == a.rows() && out.cols() == b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  // i-p-j loop order keeps the inner loop contiguous in both B and out so
+  // the compiler can vectorise it; this is the library's hottest kernel.
+  for (int i = 0; i < m; ++i) {
+    const float* __restrict ai = a.row(i);
+    float* __restrict oi = out.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;
+      const float* __restrict bp = b.row(p);
+      for (int j = 0; j < n; ++j) oi[j] += aip * bp[j];
+    }
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  MatMulAccumulate(a, b, out);
+  return out;
+}
+
+void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b,
+                                Matrix& out) {
+  SKIPNODE_CHECK(a.rows() == b.rows());
+  SKIPNODE_CHECK(out.rows() == a.cols() && out.cols() == b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* __restrict ai = a.row(i);
+    const float* __restrict bi = b.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;
+      float* __restrict op = out.row(p);
+      for (int j = 0; j < n; ++j) op[j] += aip * bi[j];
+    }
+  }
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  Matrix out(a.cols(), b.cols());
+  MatMulTransposeAAccumulate(a, b, out);
+  return out;
+}
+
+void MatMulTransposeBAccumulate(const Matrix& a, const Matrix& b,
+                                Matrix& out) {
+  SKIPNODE_CHECK(a.cols() == b.cols());
+  SKIPNODE_CHECK(out.rows() == a.rows() && out.cols() == b.rows());
+  const int m = a.rows(), n = a.cols(), k = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* __restrict ai = a.row(i);
+    float* __restrict oi = out.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float* __restrict bp = b.row(p);
+      double dot = 0.0;
+      for (int j = 0; j < n; ++j) dot += static_cast<double>(ai[j]) * bp[j];
+      oi[p] += static_cast<float>(dot);
+    }
+  }
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.rows());
+  MatMulTransposeBAccumulate(a, b, out);
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  SKIPNODE_CHECK(a.SameShape(b));
+  Matrix out = a;
+  const float* __restrict bd = b.data();
+  float* __restrict od = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) od[i] += bd[i];
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  SKIPNODE_CHECK(a.SameShape(b));
+  Matrix out = a;
+  const float* __restrict bd = b.data();
+  float* __restrict od = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) od[i] -= bd[i];
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  SKIPNODE_CHECK(a.SameShape(b));
+  Matrix out = a;
+  const float* __restrict bd = b.data();
+  float* __restrict od = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) od[i] *= bd[i];
+  return out;
+}
+
+Matrix Scale(const Matrix& a, float s) {
+  Matrix out = a;
+  float* __restrict od = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) od[i] *= s;
+  return out;
+}
+
+void AddScaled(const Matrix& a, float s, Matrix& out) {
+  SKIPNODE_CHECK(a.SameShape(out));
+  const float* __restrict ad = a.data();
+  float* __restrict od = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) od[i] += s * ad[i];
+}
+
+Matrix Relu(const Matrix& x) {
+  Matrix out = x;
+  float* __restrict od = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) od[i] = std::max(od[i], 0.0f);
+  return out;
+}
+
+Matrix ReluBackward(const Matrix& x, const Matrix& grad) {
+  SKIPNODE_CHECK(x.SameShape(grad));
+  Matrix out = grad;
+  const float* __restrict xd = x.data();
+  float* __restrict od = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (xd[i] <= 0.0f) od[i] = 0.0f;
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+  }
+  return out;
+}
+
+Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
+  SKIPNODE_CHECK(!parts.empty());
+  const int rows = parts[0]->rows();
+  int cols = 0;
+  for (const Matrix* part : parts) {
+    SKIPNODE_CHECK(part->rows() == rows);
+    cols += part->cols();
+  }
+  Matrix out(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    float* oi = out.row(i);
+    for (const Matrix* part : parts) {
+      const float* pi = part->row(i);
+      std::copy(pi, pi + part->cols(), oi);
+      oi += part->cols();
+    }
+  }
+  return out;
+}
+
+Matrix GatherRows(const Matrix& x, const std::vector<int>& rows) {
+  Matrix out(static_cast<int>(rows.size()), x.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    SKIPNODE_CHECK(rows[i] >= 0 && rows[i] < x.rows());
+    std::copy(x.row(rows[i]), x.row(rows[i]) + x.cols(),
+              out.row(static_cast<int>(i)));
+  }
+  return out;
+}
+
+void ScatterAddRows(const Matrix& src, const std::vector<int>& rows,
+                    Matrix& out) {
+  SKIPNODE_CHECK(src.rows() == static_cast<int>(rows.size()));
+  SKIPNODE_CHECK(src.cols() == out.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    SKIPNODE_CHECK(rows[i] >= 0 && rows[i] < out.rows());
+    const float* si = src.row(static_cast<int>(i));
+    float* oi = out.row(rows[i]);
+    for (int j = 0; j < out.cols(); ++j) oi[j] += si[j];
+  }
+}
+
+Matrix ColumnMeans(const Matrix& x) {
+  SKIPNODE_CHECK(x.rows() > 0);
+  Matrix out(1, x.cols());
+  for (int i = 0; i < x.rows(); ++i) {
+    const float* xi = x.row(i);
+    for (int j = 0; j < x.cols(); ++j) out(0, j) += xi[j];
+  }
+  const float inv = 1.0f / static_cast<float>(x.rows());
+  for (int j = 0; j < x.cols(); ++j) out(0, j) *= inv;
+  return out;
+}
+
+Matrix SubtractRowVector(const Matrix& x, const Matrix& v) {
+  SKIPNODE_CHECK(v.rows() == 1 && v.cols() == x.cols());
+  Matrix out = x;
+  for (int i = 0; i < out.rows(); ++i) {
+    float* oi = out.row(i);
+    for (int j = 0; j < out.cols(); ++j) oi[j] -= v(0, j);
+  }
+  return out;
+}
+
+Matrix RowSoftmax(const Matrix& x) {
+  Matrix out = x;
+  for (int i = 0; i < out.rows(); ++i) {
+    float* oi = out.row(i);
+    float max_v = oi[0];
+    for (int j = 1; j < out.cols(); ++j) max_v = std::max(max_v, oi[j]);
+    double total = 0.0;
+    for (int j = 0; j < out.cols(); ++j) {
+      oi[j] = std::exp(oi[j] - max_v);
+      total += oi[j];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int j = 0; j < out.cols(); ++j) oi[j] *= inv;
+  }
+  return out;
+}
+
+Matrix RowLogSoftmax(const Matrix& x) {
+  Matrix out = x;
+  for (int i = 0; i < out.rows(); ++i) {
+    float* oi = out.row(i);
+    float max_v = oi[0];
+    for (int j = 1; j < out.cols(); ++j) max_v = std::max(max_v, oi[j]);
+    double total = 0.0;
+    for (int j = 0; j < out.cols(); ++j) total += std::exp(oi[j] - max_v);
+    const float log_z = max_v + static_cast<float>(std::log(total));
+    for (int j = 0; j < out.cols(); ++j) oi[j] -= log_z;
+  }
+  return out;
+}
+
+Matrix RowNorms(const Matrix& x) {
+  Matrix out(x.rows(), 1);
+  for (int i = 0; i < x.rows(); ++i) {
+    const float* xi = x.row(i);
+    double total = 0.0;
+    for (int j = 0; j < x.cols(); ++j) {
+      total += static_cast<double>(xi[j]) * xi[j];
+    }
+    out(i, 0) = static_cast<float>(std::sqrt(total));
+  }
+  return out;
+}
+
+Matrix RowDots(const Matrix& a, const Matrix& b) {
+  SKIPNODE_CHECK(a.SameShape(b));
+  Matrix out(a.rows(), 1);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row(i);
+    const float* bi = b.row(i);
+    double total = 0.0;
+    for (int j = 0; j < a.cols(); ++j) {
+      total += static_cast<double>(ai[j]) * bi[j];
+    }
+    out(i, 0) = static_cast<float>(total);
+  }
+  return out;
+}
+
+float CosineSimilarity(const float* a, const float* b, int n) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int i = 0; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+float MaxSingularValue(const Matrix& w, int iterations, Rng* rng) {
+  SKIPNODE_CHECK(w.rows() > 0 && w.cols() > 0);
+  Rng local(12345);
+  Rng& r = rng != nullptr ? *rng : local;
+  // Power iteration on w^T w (cols x cols operator) starting from a random
+  // vector; sigma_max = sqrt(lambda_max(w^T w)).
+  Matrix v = Matrix::RandomNormal(w.cols(), 1, r);
+  for (int it = 0; it < iterations; ++it) {
+    Matrix wv = MatMul(w, v);                 // rows x 1
+    Matrix wtwv = MatMulTransposeA(w, wv);    // cols x 1
+    const float norm = wtwv.Norm();
+    if (norm <= 1e-30f) return 0.0f;
+    v = Scale(wtwv, 1.0f / norm);
+  }
+  // v has unit norm after the loop, so sigma_max ~= ||w v||.
+  return MatMul(w, v).Norm();
+}
+
+void SetMaxSingularValue(Matrix& w, float target) {
+  SKIPNODE_CHECK(target >= 0.0f);
+  const float current = MaxSingularValue(w);
+  if (current <= 1e-30f) return;
+  const float factor = target / current;
+  float* d = w.data();
+  for (int64_t i = 0; i < w.size(); ++i) d[i] *= factor;
+}
+
+float MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  SKIPNODE_CHECK(a.SameShape(b));
+  float best = 0.0f;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return best;
+}
+
+}  // namespace skipnode

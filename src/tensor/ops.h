@@ -1,0 +1,102 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Dense kernels over Matrix. These are the primitives the autograd ops and
+// the analysis toolkit are built on. All functions check shapes.
+
+#ifndef SKIPNODE_TENSOR_OPS_H_
+#define SKIPNODE_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace skipnode {
+
+// --- GEMM family -----------------------------------------------------------
+
+// Returns A * B. A is m x k, B is k x n.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// out += A * B (out must already be m x n).
+void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix& out);
+
+// Returns A^T * B. A is m x k, B is m x n; result is k x n.
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+// out += A^T * B.
+void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b, Matrix& out);
+
+// Returns A * B^T. A is m x n, B is k x n; result is m x k.
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+// out += A * B^T.
+void MatMulTransposeBAccumulate(const Matrix& a, const Matrix& b, Matrix& out);
+
+// --- Element-wise ----------------------------------------------------------
+
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+Matrix Scale(const Matrix& a, float s);
+// out += s * a.
+void AddScaled(const Matrix& a, float s, Matrix& out);
+
+// ReLU(x) element-wise.
+Matrix Relu(const Matrix& x);
+// Gradient pass-through: returns grad .* (x > 0).
+Matrix ReluBackward(const Matrix& x, const Matrix& grad);
+
+// --- Shape manipulation ----------------------------------------------------
+
+Matrix Transpose(const Matrix& a);
+
+// Horizontally concatenates matrices with equal row counts.
+Matrix ConcatCols(const std::vector<const Matrix*>& parts);
+
+// Returns x restricted to the given rows (len(rows) x cols).
+Matrix GatherRows(const Matrix& x, const std::vector<int>& rows);
+
+// out.row(rows[i]) += src.row(i) for every i. Used by gather's backward.
+void ScatterAddRows(const Matrix& src, const std::vector<int>& rows,
+                    Matrix& out);
+
+// --- Row-wise / reduction helpers -------------------------------------------
+
+// Mean of each column (1 x cols).
+Matrix ColumnMeans(const Matrix& x);
+
+// x minus a 1 x cols row vector broadcast over rows.
+Matrix SubtractRowVector(const Matrix& x, const Matrix& v);
+
+// Numerically-stable row-wise softmax.
+Matrix RowSoftmax(const Matrix& x);
+
+// Numerically-stable row-wise log-softmax.
+Matrix RowLogSoftmax(const Matrix& x);
+
+// L2 norm of each row (rows x 1).
+Matrix RowNorms(const Matrix& x);
+
+// Dot products of corresponding rows of a and b (rows x 1).
+Matrix RowDots(const Matrix& a, const Matrix& b);
+
+// Cosine similarity of two equal-length float spans; 0 if either is zero.
+float CosineSimilarity(const float* a, const float* b, int n);
+
+// --- Spectral helper ---------------------------------------------------------
+
+// Largest singular value of w via power iteration on w^T w.
+float MaxSingularValue(const Matrix& w, int iterations = 50, Rng* rng = nullptr);
+
+// Rescales w in place so its max singular value equals `target`.
+void SetMaxSingularValue(Matrix& w, float target);
+
+// --- Comparison (tests) ------------------------------------------------------
+
+// Max absolute element-wise difference; requires equal shapes.
+float MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_TENSOR_OPS_H_

@@ -1,0 +1,79 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "train/dynamics.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "core/oversmoothing.h"
+#include "train/metrics.h"
+#include "train/optimizer.h"
+
+namespace skipnode {
+
+DynamicsRecord TrainWithDynamics(Model& model, const Graph& graph,
+                                 const Split& split,
+                                 const StrategyConfig& strategy,
+                                 const TrainOptions& options) {
+  SKIPNODE_CHECK(graph.has_labels());
+  Rng rng(options.seed);
+  Adam optimizer(options.learning_rate, options.weight_decay);
+  const std::vector<Parameter*> parameters = model.Parameters();
+
+  DynamicsRecord record;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // --- Training step with gradient probes ---------------------------------
+    {
+      Tape tape;
+      StrategyContext ctx(graph, strategy, /*training=*/true, rng);
+      Var logits = model.Forward(tape, graph, ctx, /*training=*/true, rng);
+      Var loss =
+          tape.SoftmaxCrossEntropy(logits, graph.labels(), split.train);
+      const Var aux = model.AuxiliaryLoss(tape);
+      if (aux.valid()) loss = tape.Add(loss, aux);
+      record.train_loss.push_back(loss.value()(0, 0));
+      Optimizer::ZeroGrad(parameters);
+      tape.Backward(loss);
+
+      // (b) Gradient at the classification layer, training rows only.
+      const Matrix& g = logits.grad();
+      double sq = 0.0, signed_sum = 0.0;
+      for (const int node : split.train) {
+        const float* row = g.row(node);
+        for (int c = 0; c < g.cols(); ++c) {
+          sq += static_cast<double>(row[c]) * row[c];
+          signed_sum += row[c];
+        }
+      }
+      record.output_gradient_norm.push_back(
+          static_cast<float>(std::sqrt(sq)));
+      record.output_gradient_signed_sum.push_back(
+          static_cast<float>(signed_sum));
+      record.first_layer_gradient_norm.push_back(
+          parameters.front()->grad.Norm());
+
+      optimizer.Step(parameters);
+    }
+
+    // (c) Weight norms after the update.
+    float weight_norm = 0.0f;
+    for (const Parameter* p : parameters) weight_norm += p->value.Norm();
+    record.weight_norm.push_back(weight_norm);
+
+    // --- Evaluation pass: (a) MAD of the penultimate representation + val.
+    {
+      Tape tape;
+      StrategyContext ctx(graph, strategy, /*training=*/false, rng);
+      Var logits = model.Forward(tape, graph, ctx, /*training=*/false, rng);
+      const Var penultimate = model.Penultimate();
+      SKIPNODE_CHECK(penultimate.valid());
+      record.mad.push_back(MeanAverageDistance(graph, penultimate.value()));
+      record.val_accuracy.push_back(static_cast<float>(
+          Accuracy(logits.value(), graph.labels(), split.val)));
+    }
+  }
+  return record;
+}
+
+}  // namespace skipnode

@@ -1,0 +1,49 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Link-prediction training (Table 5 / ogbl-ppa protocol): a GNN encoder
+// produces node embeddings, a dot-product decoder scores node pairs,
+// training uses BCE on positive edges vs uniformly sampled negatives, and
+// evaluation ranks held-out positives against a shared negative pool
+// (Hits@K).
+
+#ifndef SKIPNODE_TRAIN_LINK_TRAINER_H_
+#define SKIPNODE_TRAIN_LINK_TRAINER_H_
+
+#include "core/strategies.h"
+#include "graph/graph.h"
+#include "graph/splits.h"
+#include "nn/model.h"
+
+namespace skipnode {
+
+struct LinkTrainOptions {
+  int epochs = 100;
+  float learning_rate = 0.01f;
+  float weight_decay = 0.0f;
+  // Model selection metric: validation Hits@`selection_k`.
+  int selection_k = 50;
+  int eval_every = 5;
+  uint64_t seed = 1;
+};
+
+struct LinkResult {
+  // Test metrics at the best-validation epoch.
+  double test_hits10 = 0.0;
+  double test_hits50 = 0.0;
+  double test_hits100 = 0.0;
+  double best_val_hits = 0.0;
+  int best_epoch = -1;
+};
+
+// `message_graph` must contain only the training edges (build it from
+// LinkSplit::train_edges); the encoder is any Model whose output width is
+// the embedding dimension.
+LinkResult TrainLinkPredictor(Model& encoder, const Graph& message_graph,
+                              const LinkSplit& split,
+                              const StrategyConfig& strategy,
+                              const LinkTrainOptions& options);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_TRAIN_LINK_TRAINER_H_

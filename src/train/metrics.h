@@ -1,0 +1,33 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Evaluation metrics: node-classification accuracy and the OGB-style
+// ranked-negatives Hits@K for link prediction.
+
+#ifndef SKIPNODE_TRAIN_METRICS_H_
+#define SKIPNODE_TRAIN_METRICS_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace skipnode {
+
+// Fraction of `nodes` whose argmax logit equals labels[node].
+double Accuracy(const Matrix& logits, const std::vector<int>& labels,
+                const std::vector<int>& nodes);
+
+// Macro-averaged F1 over `num_classes` classes restricted to `nodes`
+// (classes absent from `nodes` are skipped). Useful on the imbalanced
+// heterophilic stand-ins where accuracy hides per-class collapse.
+double MacroF1(const Matrix& logits, const std::vector<int>& labels,
+               const std::vector<int>& nodes, int num_classes);
+
+// OGB Hits@K: the fraction of positive scores strictly greater than the
+// K-th largest negative score. If fewer than K negatives exist, returns 1.
+double HitsAtK(const std::vector<float>& positive_scores,
+               const std::vector<float>& negative_scores, int k);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_TRAIN_METRICS_H_

@@ -1,0 +1,53 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "train/optimizer.h"
+
+#include <cmath>
+
+namespace skipnode {
+
+void Optimizer::ZeroGrad(const std::vector<Parameter*>& parameters) {
+  for (Parameter* p : parameters) p->ZeroGrad();
+}
+
+void Sgd::Step(const std::vector<Parameter*>& parameters) {
+  for (Parameter* p : parameters) {
+    float* value = p->value.data();
+    const float* grad = p->grad.data();
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      value[i] -= learning_rate_ * (grad[i] + weight_decay_ * value[i]);
+    }
+  }
+}
+
+void Adam::Step(const std::vector<Parameter*>& parameters) {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (Parameter* p : parameters) {
+    Moments& moments = moments_[p];
+    if (moments.m.empty()) {
+      moments.m = Matrix(p->value.rows(), p->value.cols());
+      moments.v = Matrix(p->value.rows(), p->value.cols());
+    }
+    float* value = p->value.data();
+    const float* grad = p->grad.data();
+    float* m = moments.m.data();
+    float* v = moments.v.data();
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      // Coupled (classic L2): decay enters the moment estimates; decoupled
+      // (AdamW): decay is applied to the weights directly below.
+      const float g =
+          grad[i] + (decoupled_ ? 0.0f : weight_decay_ * value[i]);
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      value[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+      if (decoupled_) value[i] -= learning_rate_ * weight_decay_ * value[i];
+    }
+  }
+}
+
+}  // namespace skipnode

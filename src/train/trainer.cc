@@ -1,0 +1,77 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "train/trainer.h"
+
+#include "base/check.h"
+#include "train/metrics.h"
+#include "train/optimizer.h"
+
+namespace skipnode {
+
+TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
+                                const Split& split,
+                                const StrategyConfig& strategy,
+                                const TrainOptions& options) {
+  SKIPNODE_CHECK(graph.has_labels());
+  SKIPNODE_CHECK(!split.train.empty());
+  Rng rng(options.seed);
+  Adam optimizer(options.learning_rate, options.weight_decay);
+  const std::vector<Parameter*> parameters = model.Parameters();
+
+  TrainResult result;
+  int epochs_since_best = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // --- Training step -----------------------------------------------------
+    {
+      Tape tape;
+      StrategyContext ctx(graph, strategy, /*training=*/true, rng);
+      Var logits = model.Forward(tape, graph, ctx, /*training=*/true, rng);
+      Var loss =
+          tape.SoftmaxCrossEntropy(logits, graph.labels(), split.train);
+      const Var aux = model.AuxiliaryLoss(tape);
+      if (aux.valid()) loss = tape.Add(loss, aux);
+      result.final_train_loss = loss.value()(0, 0);
+      Optimizer::ZeroGrad(parameters);
+      tape.Backward(loss);
+      optimizer.Step(parameters);
+    }
+    result.epochs_run = epoch + 1;
+
+    // --- Periodic evaluation ----------------------------------------------
+    if (epoch % options.eval_every != 0 && epoch != options.epochs - 1) {
+      continue;
+    }
+    {
+      Tape tape;
+      StrategyContext ctx(graph, strategy, /*training=*/false, rng);
+      Var logits = model.Forward(tape, graph, ctx, /*training=*/false, rng);
+      const double val_acc =
+          Accuracy(logits.value(), graph.labels(), split.val);
+      if (val_acc > result.best_val_accuracy || result.best_epoch < 0) {
+        result.best_val_accuracy = val_acc;
+        result.test_accuracy =
+            Accuracy(logits.value(), graph.labels(), split.test);
+        result.best_epoch = epoch;
+        epochs_since_best = 0;
+      } else {
+        epochs_since_best += options.eval_every;
+        if (options.patience > 0 && epochs_since_best >= options.patience) {
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Matrix EvaluateLogits(Model& model, const Graph& graph,
+                      const StrategyConfig& strategy, uint64_t seed) {
+  Rng rng(seed);
+  Tape tape;
+  StrategyContext ctx(graph, strategy, /*training=*/false, rng);
+  Var logits = model.Forward(tape, graph, ctx, /*training=*/false, rng);
+  return logits.value();
+}
+
+}  // namespace skipnode

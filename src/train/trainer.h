@@ -1,0 +1,52 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Full-batch node-classification training loop shared by every experiment:
+// Adam + L2, per-epoch validation, model selection on best validation
+// accuracy (the paper's protocol).
+
+#ifndef SKIPNODE_TRAIN_TRAINER_H_
+#define SKIPNODE_TRAIN_TRAINER_H_
+
+#include "core/strategies.h"
+#include "graph/graph.h"
+#include "graph/splits.h"
+#include "nn/model.h"
+
+namespace skipnode {
+
+struct TrainOptions {
+  int epochs = 200;
+  float learning_rate = 0.01f;
+  float weight_decay = 5e-4f;
+  // Stop if validation accuracy has not improved for this many epochs
+  // (<= 0 disables early stopping).
+  int patience = 0;
+  // Evaluate every `eval_every` epochs (validation + test tracking).
+  int eval_every = 1;
+  uint64_t seed = 1;
+};
+
+struct TrainResult {
+  double best_val_accuracy = 0.0;
+  // Test accuracy at the best-validation epoch.
+  double test_accuracy = 0.0;
+  int best_epoch = -1;
+  double final_train_loss = 0.0;
+  int epochs_run = 0;
+};
+
+// Trains `model` on `graph` under `strategy` and returns validation-selected
+// test accuracy. Deterministic given options.seed.
+TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
+                                const Split& split,
+                                const StrategyConfig& strategy,
+                                const TrainOptions& options);
+
+// One evaluation pass (no dropout, strategies in eval mode); returns logits.
+Matrix EvaluateLogits(Model& model, const Graph& graph,
+                      const StrategyConfig& strategy, uint64_t seed = 99);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_TRAIN_TRAINER_H_

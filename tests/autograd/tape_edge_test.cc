@@ -1,0 +1,216 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Edge cases and stress tests for the autograd engine beyond the basic and
+// grad-check suites: extreme masks, aliased inputs, duplicate gathers, deep
+// chains, and interactions that only show up in composed graphs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/tape.h"
+#include "tensor/ops.h"
+
+namespace skipnode {
+namespace {
+
+TEST(TapeEdgeTest, RowSelectAllSkippedIsSkipPath) {
+  Tape tape;
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {9, 9, 9, 9});
+  Var out = tape.RowSelect({1, 1}, tape.Constant(a), tape.Constant(b));
+  EXPECT_LT(MaxAbsDiff(out.value(), a), 1e-7f);
+}
+
+TEST(TapeEdgeTest, RowSelectNoneSkippedIsConvPath) {
+  Tape tape;
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {9, 9, 9, 9});
+  Var out = tape.RowSelect({0, 0}, tape.Constant(a), tape.Constant(b));
+  EXPECT_LT(MaxAbsDiff(out.value(), b), 1e-7f);
+}
+
+TEST(TapeEdgeTest, RowSelectGradientsRouteExclusively) {
+  Parameter skipped("s", Matrix::Ones(3, 2));
+  Parameter convolved("c", Matrix::Ones(3, 2));
+  Tape tape;
+  Var out = tape.RowSelect({1, 0, 1}, tape.Leaf(skipped),
+                           tape.Leaf(convolved));
+  Var loss = tape.MseLoss(out, tape.Constant(Matrix(3, 2)));
+  skipped.ZeroGrad();
+  convolved.ZeroGrad();
+  tape.Backward(loss);
+  // Rows 0 and 2 flow to `skipped`, row 1 to `convolved`; never both.
+  for (int r = 0; r < 3; ++r) {
+    const bool skip_row = r != 1;
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_EQ(skipped.grad.at(r, c) != 0.0f, skip_row);
+      EXPECT_EQ(convolved.grad.at(r, c) != 0.0f, !skip_row);
+    }
+  }
+}
+
+TEST(TapeEdgeTest, AxpbyWithAliasedInputs) {
+  // out = 0.5 a + 0.5 a = a; grad should accumulate both halves.
+  Parameter a("a", Matrix(1, 1, {3.0f}));
+  Tape tape;
+  Var leaf = tape.Leaf(a);
+  Var out = tape.Axpby(leaf, leaf, 0.5f, 0.5f);
+  Var loss = tape.MseLoss(out, tape.Constant(Matrix(1, 1)));
+  a.ZeroGrad();
+  tape.Backward(loss);
+  EXPECT_NEAR(a.grad.at(0, 0), 2.0f * 3.0f, 1e-5f);
+}
+
+TEST(TapeEdgeTest, GatherRowsWithDuplicatesAccumulates) {
+  Parameter x("x", Matrix(2, 1, {1.0f, 2.0f}));
+  Tape tape;
+  // Row 0 gathered three times: its gradient is 3x a single gather.
+  Var g = tape.GatherRows(tape.Leaf(x), {0, 0, 0});
+  Var loss = tape.MseLoss(g, tape.Constant(Matrix(3, 1)));
+  x.ZeroGrad();
+  tape.Backward(loss);
+  // d/dx0 mean((x0)^2 * 3 terms) = 3 * 2*x0/3 = 2*x0 = 2.
+  EXPECT_NEAR(x.grad.at(0, 0), 2.0f, 1e-5f);
+  EXPECT_EQ(x.grad.at(1, 0), 0.0f);
+}
+
+TEST(TapeEdgeTest, ConcatSingleInputIsCopy) {
+  Tape tape;
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  Var out = tape.ConcatCols({tape.Constant(m)});
+  EXPECT_LT(MaxAbsDiff(out.value(), m), 1e-7f);
+}
+
+TEST(TapeEdgeTest, DeepChainGradientIsExact) {
+  // y = 0.9^K * w summed; analytic gradient through a 100-op chain.
+  Parameter w("w", Matrix(1, 1, {1.0f}));
+  Tape tape;
+  Var x = tape.Leaf(w);
+  const int kDepth = 100;
+  for (int i = 0; i < kDepth; ++i) x = tape.Scale(x, 0.9f);
+  Var loss = tape.MseLoss(x, tape.Constant(Matrix(1, 1)));
+  w.ZeroGrad();
+  tape.Backward(loss);
+  const double factor = std::pow(0.9, kDepth);
+  // d/dw (factor*w)^2 = 2 * factor^2 * w.
+  EXPECT_NEAR(w.grad.at(0, 0), 2.0 * factor * factor, 1e-9);
+}
+
+TEST(TapeEdgeTest, DeepReluChainKeepsGradientForPositivePath) {
+  Parameter w("w", Matrix(1, 1, {2.0f}));
+  Tape tape;
+  Var x = tape.Leaf(w);
+  for (int i = 0; i < 50; ++i) x = tape.Relu(x);
+  Var loss = tape.MseLoss(x, tape.Constant(Matrix(1, 1)));
+  w.ZeroGrad();
+  tape.Backward(loss);
+  EXPECT_NEAR(w.grad.at(0, 0), 2.0f * 2.0f, 1e-5f);  // d/dw w^2.
+}
+
+TEST(TapeEdgeTest, PairNormOfConstantRowsIsFinite) {
+  // All-identical rows center to exactly zero; the epsilon clamp must keep
+  // outputs and gradients finite.
+  Parameter x("x", Matrix::Ones(4, 3));
+  Tape tape;
+  Var out = tape.PairNorm(tape.Leaf(x), 1.0f);
+  for (int64_t i = 0; i < out.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.value().data()[i]));
+  }
+  Var loss = tape.MseLoss(out, tape.Constant(Matrix(4, 3)));
+  x.ZeroGrad();
+  tape.Backward(loss);
+  for (int64_t i = 0; i < x.grad.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(x.grad.data()[i]));
+  }
+}
+
+TEST(TapeEdgeTest, DropoutRateZeroReturnsSameNode) {
+  Rng rng(1);
+  Tape tape;
+  Var x = tape.Constant(Matrix::Ones(2, 2));
+  const int nodes_before = tape.num_nodes();
+  Var out = tape.Dropout(x, 0.0f, /*training=*/true, rng);
+  EXPECT_EQ(tape.num_nodes(), nodes_before);  // No new node.
+  EXPECT_LT(MaxAbsDiff(out.value(), x.value()), 1e-7f);
+}
+
+TEST(TapeEdgeTest, ScalarChainOfLossesComposes) {
+  // loss = mse(a, 0) + 0.5 * mse(a, 2): both branches contribute gradient.
+  Parameter a("a", Matrix(1, 1, {1.0f}));
+  Tape tape;
+  Var leaf = tape.Leaf(a);
+  Var l1 = tape.MseLoss(leaf, tape.Constant(Matrix(1, 1)));
+  Matrix two(1, 1, {2.0f});
+  Var l2 = tape.MseLoss(leaf, tape.Constant(two));
+  Var loss = tape.Axpby(l1, l2, 1.0f, 0.5f);
+  a.ZeroGrad();
+  tape.Backward(loss);
+  // d/da [a^2 + 0.5 (a-2)^2] = 2a + (a-2) = 1.
+  EXPECT_NEAR(a.grad.at(0, 0), 1.0f, 1e-5f);
+}
+
+TEST(TapeEdgeTest, SpMMThroughEmptyRowsGivesZeroGradThere) {
+  // Adjacency with an all-zero column: gradients to that input row are 0.
+  auto sparse = std::make_shared<CsrMatrix>(
+      CsrMatrix::FromCoo(2, 2, {{0, 0}, {1, 0}}, {1.0f, 1.0f}));
+  Parameter x("x", Matrix::Ones(2, 2));
+  Tape tape;
+  Var out = tape.SpMM(sparse, tape.Leaf(x));
+  Var loss = tape.MseLoss(out, tape.Constant(Matrix(2, 2)));
+  x.ZeroGrad();
+  tape.Backward(loss);
+  EXPECT_NE(x.grad.at(0, 0), 0.0f);
+  EXPECT_EQ(x.grad.at(1, 0), 0.0f);  // Column 1 of A is empty.
+}
+
+TEST(TapeEdgeTest, GatAggregateAttentionIsRowStochastic) {
+  // With h = all-ones, out_i = sum_j alpha_ij * 1 = 1 exactly, because the
+  // attention weights of each row form a softmax.
+  auto pattern = std::make_shared<CsrMatrix>(CsrMatrix::FromCoo(
+      3, 3, {{0, 0}, {0, 1}, {1, 1}, {2, 0}, {2, 2}},
+      std::vector<float>(5, 1.0f)));
+  Rng rng(1);
+  Tape tape;
+  Var h = tape.Constant(Matrix::Ones(3, 4));
+  Var src = tape.Constant(Matrix::Random(3, 1, rng));
+  Var dst = tape.Constant(Matrix::Random(3, 1, rng));
+  Var out = tape.GatAggregate(pattern, h, src, dst);
+  EXPECT_LT(MaxAbsDiff(out.value(), Matrix::Ones(3, 4)), 1e-5f);
+}
+
+TEST(TapeEdgeTest, GatAggregateSingleNeighborIsCopy) {
+  // A row with exactly one pattern entry gets that neighbour's h verbatim
+  // (softmax over one element is 1).
+  auto pattern = std::make_shared<CsrMatrix>(
+      CsrMatrix::FromCoo(2, 2, {{0, 1}, {1, 1}}, {1.0f, 1.0f}));
+  Rng rng(2);
+  Matrix h_val = Matrix::Random(2, 3, rng);
+  Tape tape;
+  Var out = tape.GatAggregate(pattern, tape.Constant(h_val),
+                              tape.Constant(Matrix::Random(2, 1, rng)),
+                              tape.Constant(Matrix::Random(2, 1, rng)));
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(out.value()(0, c), h_val(1, c), 1e-5f);
+    EXPECT_NEAR(out.value()(1, c), h_val(1, c), 1e-5f);
+  }
+}
+
+TEST(TapeEdgeTest, GatAggregateEmptyRowIsZero) {
+  // Nodes with no pattern entries (DropNode-style isolation) output zeros.
+  auto pattern = std::make_shared<CsrMatrix>(
+      CsrMatrix::FromCoo(2, 2, {{0, 0}}, {1.0f}));
+  Rng rng(3);
+  Tape tape;
+  Var out = tape.GatAggregate(pattern, tape.Constant(Matrix::Ones(2, 3)),
+                              tape.Constant(Matrix(2, 1)),
+                              tape.Constant(Matrix(2, 1)));
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(out.value()(1, c), 0.0f);
+    EXPECT_NEAR(out.value()(0, c), 1.0f, 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -1,0 +1,176 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "autograd/tape.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace skipnode {
+namespace {
+
+TEST(TapeTest, ConstantHoldsValue) {
+  Tape tape;
+  Var c = tape.Constant(Matrix(1, 2, {3, 4}));
+  EXPECT_FLOAT_EQ(c.value().at(0, 1), 4.0f);
+  EXPECT_EQ(c.rows(), 1);
+  EXPECT_EQ(c.cols(), 2);
+}
+
+TEST(TapeTest, LeafReflectsParameterValue) {
+  Rng rng(1);
+  Parameter w("w", Matrix::Random(2, 2, rng));
+  Tape tape;
+  Var leaf = tape.Leaf(w);
+  EXPECT_LT(MaxAbsDiff(leaf.value(), w.value), 1e-7f);
+}
+
+TEST(TapeTest, BackwardThroughScaleIsExact) {
+  // loss = mse(2 * w, 0) = mean(4 w^2); dloss/dw = 8 w / size.
+  Parameter w("w", Matrix(1, 2, {1.0f, -3.0f}));
+  Tape tape;
+  Var out = tape.Scale(tape.Leaf(w), 2.0f);
+  Var loss = tape.MseLoss(out, tape.Constant(Matrix(1, 2)));
+  EXPECT_FLOAT_EQ(loss.value()(0, 0), (4.0f + 36.0f) / 2.0f);
+  w.ZeroGrad();
+  tape.Backward(loss);
+  EXPECT_NEAR(w.grad.at(0, 0), 8.0f * 1.0f / 2.0f, 1e-5f);
+  EXPECT_NEAR(w.grad.at(0, 1), 8.0f * -3.0f / 2.0f, 1e-5f);
+}
+
+TEST(TapeTest, GradientAccumulatesWhenVarReused) {
+  // loss = mse(w + w, 0): gradient doubles relative to a single use.
+  Parameter w("w", Matrix(1, 1, {2.0f}));
+  Tape tape;
+  Var leaf = tape.Leaf(w);
+  Var doubled = tape.Add(leaf, leaf);
+  Var loss = tape.MseLoss(doubled, tape.Constant(Matrix(1, 1)));
+  w.ZeroGrad();
+  tape.Backward(loss);
+  // d/dw (2w)^2 = 8w = 16.
+  EXPECT_NEAR(w.grad.at(0, 0), 16.0f, 1e-5f);
+}
+
+TEST(TapeTest, GradAccumulatesAcrossTapes) {
+  Parameter w("w", Matrix(1, 1, {1.0f}));
+  w.ZeroGrad();
+  for (int i = 0; i < 3; ++i) {
+    Tape tape;
+    Var loss = tape.MseLoss(tape.Leaf(w), tape.Constant(Matrix(1, 1)));
+    tape.Backward(loss);
+  }
+  // Each pass adds 2w = 2.
+  EXPECT_NEAR(w.grad.at(0, 0), 6.0f, 1e-5f);
+}
+
+TEST(TapeTest, UnusedBranchGetsZeroGrad) {
+  Parameter used("used", Matrix(1, 1, {1.0f}));
+  Parameter unused("unused", Matrix(1, 1, {1.0f}));
+  Tape tape;
+  Var a = tape.Leaf(used);
+  tape.Leaf(unused);  // On tape, not connected to the loss.
+  Var loss = tape.MseLoss(a, tape.Constant(Matrix(1, 1)));
+  used.ZeroGrad();
+  unused.ZeroGrad();
+  tape.Backward(loss);
+  EXPECT_NE(used.grad.at(0, 0), 0.0f);
+  EXPECT_EQ(unused.grad.at(0, 0), 0.0f);
+}
+
+TEST(TapeTest, MatMulChainMatchesManualDerivative) {
+  // loss = mse(x W, y). dL/dW = 2/size * x^T (xW - y).
+  Rng rng(2);
+  Matrix x_val = Matrix::Random(4, 3, rng);
+  Matrix y_val = Matrix::Random(4, 2, rng);
+  Parameter w("w", Matrix::Random(3, 2, rng));
+
+  Tape tape;
+  Var out = tape.MatMul(tape.Constant(x_val), tape.Leaf(w));
+  Var loss = tape.MseLoss(out, tape.Constant(y_val));
+  w.ZeroGrad();
+  tape.Backward(loss);
+
+  Matrix residual = Sub(MatMul(x_val, w.value), y_val);
+  Matrix expected = Scale(MatMulTransposeA(x_val, residual),
+                          2.0f / static_cast<float>(residual.size()));
+  EXPECT_LT(MaxAbsDiff(w.grad, expected), 1e-4f);
+}
+
+TEST(TapeTest, DropoutEvalModeIsIdentity) {
+  Rng rng(3);
+  Tape tape;
+  Matrix x = Matrix::Random(5, 5, rng);
+  Var v = tape.Constant(x);
+  Var out = tape.Dropout(v, 0.5f, /*training=*/false, rng);
+  EXPECT_LT(MaxAbsDiff(out.value(), x), 1e-7f);
+}
+
+TEST(TapeTest, DropoutTrainingZeroesAndRescales) {
+  Rng rng(4);
+  Tape tape;
+  Matrix x = Matrix::Ones(100, 100);
+  Var out = tape.Dropout(tape.Constant(x), 0.4f, /*training=*/true, rng);
+  int zeros = 0;
+  double total = 0.0;
+  for (int64_t i = 0; i < out.value().size(); ++i) {
+    const float v = out.value().data()[i];
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.6f, 1e-5f);
+    }
+    total += v;
+  }
+  EXPECT_NEAR(zeros / 10000.0, 0.4, 0.03);
+  // Inverted dropout keeps the expectation.
+  EXPECT_NEAR(total / 10000.0, 1.0, 0.05);
+}
+
+TEST(TapeTest, RowSelectTakesMaskedRowsFromSkipPath) {
+  Tape tape;
+  Var skipped = tape.Constant(Matrix(3, 2, {1, 1, 2, 2, 3, 3}));
+  Var convolved = tape.Constant(Matrix(3, 2, {9, 9, 8, 8, 7, 7}));
+  Var out = tape.RowSelect({1, 0, 1}, skipped, convolved);
+  EXPECT_LT(MaxAbsDiff(out.value(), Matrix(3, 2, {1, 1, 8, 8, 3, 3})),
+            1e-7f);
+}
+
+TEST(TapeTest, SpmmMatchesDense) {
+  Rng rng(5);
+  auto sparse = std::make_shared<CsrMatrix>(
+      CsrMatrix::FromCoo(3, 3, {{0, 1}, {1, 0}, {2, 2}}, {2, 2, 1}));
+  Matrix x = Matrix::Random(3, 4, rng);
+  Tape tape;
+  Var out = tape.SpMM(sparse, tape.Constant(x));
+  EXPECT_LT(MaxAbsDiff(out.value(), MatMul(sparse->ToDense(), x)), 1e-5f);
+}
+
+TEST(TapeTest, SoftmaxCrossEntropyOfUniformLogitsIsLogC) {
+  Tape tape;
+  Var logits = tape.Constant(Matrix(4, 5));  // All-zero logits.
+  const std::vector<int> labels = {0, 1, 2, 3};
+  Var loss = tape.SoftmaxCrossEntropy(logits, labels, {0, 1, 2, 3});
+  EXPECT_NEAR(loss.value()(0, 0), std::log(5.0f), 1e-5f);
+}
+
+TEST(TapeTest, BceWithLogitsAtZeroIsLogTwo) {
+  Tape tape;
+  Var logits = tape.Constant(Matrix(3, 1));
+  Var loss = tape.BceWithLogits(logits, {1.0f, 0.0f, 1.0f});
+  EXPECT_NEAR(loss.value()(0, 0), std::log(2.0f), 1e-5f);
+}
+
+TEST(TapeTest, LinearCombinationValue) {
+  Tape tape;
+  Parameter coeff("c", Matrix(1, 2, {0.25f, 0.75f}));
+  Var a = tape.Constant(Matrix(1, 1, {4.0f}));
+  Var b = tape.Constant(Matrix(1, 1, {8.0f}));
+  Var out = tape.LinearCombination({a, b}, tape.Leaf(coeff));
+  EXPECT_NEAR(out.value()(0, 0), 7.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace skipnode

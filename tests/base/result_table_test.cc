@@ -1,0 +1,65 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "base/result_table.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace skipnode {
+namespace {
+
+TEST(ResultTableTest, TracksShape) {
+  ResultTable table({"name", "acc"});
+  EXPECT_EQ(table.num_columns(), 2);
+  EXPECT_EQ(table.num_rows(), 0);
+  table.AddRow({"GCN", "86.1"});
+  table.AddRow({"SkipNode", "89.7"});
+  EXPECT_EQ(table.num_rows(), 2);
+}
+
+TEST(ResultTableTest, CellFormatsPrecision) {
+  EXPECT_EQ(ResultTable::Cell(86.125, 1), "86.1");
+  EXPECT_EQ(ResultTable::Cell(86.125, 3), "86.125");
+  EXPECT_EQ(ResultTable::Cell(-0.5, 2), "-0.50");
+}
+
+TEST(ResultTableTest, PrintAlignsColumns) {
+  ResultTable table({"a", "long_column"});
+  table.AddRow({"wide_cell", "1"});
+  const std::string path = ::testing::TempDir() + "/table_print.txt";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  table.Print(out);
+  std::fclose(out);
+
+  std::ifstream in(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  // Both lines pad the first column to the widest cell ("wide_cell").
+  EXPECT_EQ(header.find("long_column"), row.find("1"));
+}
+
+TEST(ResultTableTest, SaveCsvRoundTrip) {
+  ResultTable table({"x", "y"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4.5"});
+  const std::string path = ::testing::TempDir() + "/table.csv";
+  ASSERT_TRUE(table.SaveCsv(path));
+
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), "x,y\n1,2\n3,4.5\n");
+}
+
+TEST(ResultTableTest, SaveCsvFailsOnBadPath) {
+  ResultTable table({"x"});
+  EXPECT_FALSE(table.SaveCsv("/nonexistent/dir/table.csv"));
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -1,0 +1,73 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the Dirichlet-energy smoothness functional.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/oversmoothing.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "tensor/ops.h"
+
+namespace skipnode {
+namespace {
+
+Graph MakeErGraph(int n, double p, uint64_t seed) {
+  Rng rng(seed);
+  EdgeList edges = ErdosRenyi(n, p, rng);
+  Matrix features = Matrix::RandomNormal(n, 6, rng);
+  return Graph("er", n, std::move(edges), std::move(features), {}, 0);
+}
+
+TEST(DirichletEnergyTest, ZeroForDegreeScaledConstantSignal) {
+  // x_i = c * sqrt(1 + d_i) is exactly the eigenvalue-1 direction, whose
+  // normalised differences vanish edge by edge.
+  Graph graph = MakeErGraph(40, 0.2, 1);
+  Matrix x(40, 3);
+  for (int i = 0; i < 40; ++i) {
+    const float v = std::sqrt(1.0f + graph.degrees()[i]);
+    for (int c = 0; c < 3; ++c) x.at(i, c) = v * (c + 1);
+  }
+  EXPECT_NEAR(DirichletEnergy(graph, x), 0.0f, 1e-4f);
+}
+
+TEST(DirichletEnergyTest, PositiveForRandomSignal) {
+  Graph graph = MakeErGraph(40, 0.2, 2);
+  EXPECT_GT(DirichletEnergy(graph, graph.features()), 0.1f);
+}
+
+TEST(DirichletEnergyTest, ZeroOnEdgelessGraph) {
+  Rng rng(3);
+  Graph graph("empty", 10, {}, Matrix::RandomNormal(10, 4, rng), {}, 0);
+  EXPECT_EQ(DirichletEnergy(graph, graph.features()), 0.0f);
+}
+
+TEST(DirichletEnergyTest, QuadraticInScale) {
+  Graph graph = MakeErGraph(30, 0.3, 4);
+  const float base = DirichletEnergy(graph, graph.features());
+  const float scaled =
+      DirichletEnergy(graph, Scale(graph.features(), 3.0f));
+  EXPECT_NEAR(scaled, 9.0f * base, 0.05f * 9.0f * base);
+}
+
+TEST(DirichletEnergyTest, DecaysUnderPropagation) {
+  // Propagation by A_hat smooths the signal, so the energy must shrink —
+  // the phenomenon SkipNode's skipping resists.
+  Graph graph = MakeErGraph(60, 0.15, 5);
+  Matrix x = graph.features();
+  float prev = DirichletEnergy(graph, x);
+  const auto a_hat = graph.normalized_adjacency();
+  for (int step = 0; step < 8; ++step) {
+    x = a_hat->Multiply(x);
+    const float cur = DirichletEnergy(graph, x);
+    EXPECT_LT(cur, prev * 1.0001f);
+    prev = cur;
+  }
+  EXPECT_LT(prev, 0.2f * DirichletEnergy(graph, graph.features()));
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -1,0 +1,211 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Executable versions of the paper's theory: the d_M contraction (Eq. 3),
+// Theorem 1 (over-smoothing-induced gradient vanishing), Theorem 2 (higher
+// upper bound in expectation) and Theorem 3 (longer distance from M).
+
+#include "core/oversmoothing.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/tape.h"
+#include "core/skipnode.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "tensor/ops.h"
+
+namespace skipnode {
+namespace {
+
+Graph MakeErGraph(int n, double p, uint64_t seed, int feature_dim = 8) {
+  Rng rng(seed);
+  EdgeList edges = ErdosRenyi(n, p, rng);
+  Matrix features = Matrix::RandomNormal(n, feature_dim, rng);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) labels[i] = i % 2;
+  return Graph("er", n, std::move(edges), std::move(features),
+               std::move(labels), 2);
+}
+
+TEST(MadTest, IdenticalRowsGiveZero) {
+  Graph graph = MakeErGraph(30, 0.2, 1);
+  Matrix x(30, 4);
+  for (int i = 0; i < 30; ++i) {
+    for (int j = 0; j < 4; ++j) x.at(i, j) = static_cast<float>(j + 1);
+  }
+  EXPECT_NEAR(MeanAverageDistance(graph, x), 0.0f, 1e-5f);
+}
+
+TEST(MadTest, RandomRowsGivePositiveDistance) {
+  Graph graph = MakeErGraph(30, 0.2, 2);
+  EXPECT_GT(MeanAverageDistance(graph, graph.features()), 0.3f);
+}
+
+TEST(MadTest, RepeatedPropagationDrivesMadTowardZero) {
+  Graph graph = MakeErGraph(60, 0.15, 3);
+  const auto a_hat = graph.normalized_adjacency();
+  Matrix x = graph.features();
+  const float initial = MeanAverageDistance(graph, x);
+  for (int i = 0; i < 40; ++i) x = a_hat->Multiply(x);
+  const float smoothed = MeanAverageDistance(graph, x);
+  EXPECT_LT(smoothed, 0.1f * initial);
+}
+
+TEST(SubspaceAnalyzerTest, DistanceContractsUnderPropagation) {
+  Graph graph = MakeErGraph(50, 0.12, 4);
+  SubspaceAnalyzer analyzer(graph);
+  const float lambda = analyzer.Lambda();
+  ASSERT_GT(lambda, 0.0f);
+  ASSERT_LT(lambda, 1.0f);
+
+  Matrix x = graph.features();
+  const auto a_hat = graph.normalized_adjacency();
+  float prev = analyzer.DistanceToM(x);
+  for (int l = 0; l < 10; ++l) {
+    x = a_hat->Multiply(x);
+    const float cur = analyzer.DistanceToM(x);
+    EXPECT_LE(cur, lambda * prev * 1.02f + 1e-5f);
+    prev = cur;
+  }
+}
+
+TEST(SubspaceAnalyzerTest, ExponentialConvergenceOverDepth) {
+  // d_M(A_hat^L X) <= lambda^L d_M(X): after many layers almost nothing of
+  // the informative component survives — the curse the paper attacks.
+  Graph graph = MakeErGraph(50, 0.3, 5);
+  SubspaceAnalyzer analyzer(graph);
+  Matrix x = graph.features();
+  const float d0 = analyzer.DistanceToM(x);
+  const auto a_hat = graph.normalized_adjacency();
+  for (int l = 0; l < 30; ++l) x = a_hat->Multiply(x);
+  EXPECT_LT(analyzer.DistanceToM(x), 0.05f * d0);
+}
+
+TEST(TheoremCoefficientsTest, ClosedForms) {
+  EXPECT_NEAR(Theorem2Coefficient(0.2f, 0.99f, 0.5f),
+              0.2f * 0.99f + 0.5f * (1.0f - 0.2f * 0.99f), 1e-6f);
+  EXPECT_NEAR(Theorem3Coefficient(0.2f, 0.99f, 0.5f),
+              0.5f * (1.0f / (0.2f * 0.99f) + 1.0f) - 1.0f, 1e-6f);
+  // Theorem 2: coefficient exceeds s*lambda whenever s*lambda < 1.
+  EXPECT_GT(Theorem2Coefficient(0.3f, 0.9f, 0.4f), 0.3f * 0.9f);
+  // Remark 2's Cora-style example: s*lambda ~ 0.199, rho > 0.34 suffices for
+  // Theorem 3's "farther away" regime.
+  EXPECT_GT(Theorem3Coefficient(0.2f, 0.996f, 0.35f), 1.0f);
+  EXPECT_LT(Theorem3Coefficient(0.2f, 0.996f, 0.30f), 1.0f);
+}
+
+// Empirical Theorem 2/3: with X1 = ReLU(A_hat X W) and the *analytic*
+// expectation E[X2] = (1-rho) X1 + rho X, the bounds must hold.
+class SkipNodeTheoremTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(SkipNodeTheoremTest, ExpectationBoundsHold) {
+  const float rho = GetParam();
+  Graph graph = MakeErGraph(80, 0.3, 6, /*feature_dim=*/8);
+  SubspaceAnalyzer analyzer(graph);
+  const float lambda = analyzer.Lambda();
+
+  Rng rng(7);
+  const float s = 0.3f;
+  Matrix w = Matrix::RandomNormal(8, 8, rng);
+  SetMaxSingularValue(w, s);
+
+  // Non-negative input (the paper's setting: X is a post-ReLU output).
+  Matrix x = Matrix::Random(80, 8, rng, 0.0f, 1.0f);
+  Matrix x1 = Relu(MatMul(graph.normalized_adjacency()->ToDense(),
+                          MatMul(x, w)));
+  Matrix expected_x2 = Add(Scale(x1, 1.0f - rho), Scale(x, rho));
+
+  const float d_x = analyzer.DistanceToM(x);
+  const float d_x1 = analyzer.DistanceToM(x1);
+  const float d_ex2 = analyzer.DistanceToM(expected_x2);
+
+  // Theorem 1 of Oono & Suzuki (the paper's Eq. 3 step).
+  EXPECT_LE(d_x1, s * lambda * d_x * 1.02f + 1e-4f);
+  // Theorem 2: upper bound with the improved coefficient.
+  EXPECT_LE(d_ex2, Theorem2Coefficient(s, lambda, rho) * d_x * 1.02f + 1e-4f);
+  // Theorem 3: lower bound when the coefficient is positive.
+  const float t3 = Theorem3Coefficient(s, lambda, rho);
+  if (t3 > 0.0f) {
+    EXPECT_GE(d_ex2, t3 * d_x1 * 0.98f - 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RhoSweep, SkipNodeTheoremTest,
+                         ::testing::Values(0.1f, 0.3f, 0.5f, 0.7f, 0.9f));
+
+TEST(SkipNodeTheoremTest, MonteCarloMatchesAnalyticExpectation) {
+  // E over the sampled mask of X2 = (I-P) X1 + P X equals
+  // (1-rho) X1 + rho X.
+  const int n = 40, d = 4;
+  Rng rng(8);
+  Matrix x = Matrix::Random(n, d, rng, 0.0f, 1.0f);
+  Matrix x1 = Matrix::Random(n, d, rng, 0.0f, 1.0f);
+  const float rho = 0.4f;
+
+  Matrix mean(n, d);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const auto mask = SampleSkipMaskUniform(n, rho, rng);
+    for (int r = 0; r < n; ++r) {
+      const Matrix& src = mask[r] ? x : x1;
+      for (int c = 0; c < d; ++c) mean.at(r, c) += src(r, c);
+    }
+  }
+  for (int64_t i = 0; i < mean.size(); ++i) {
+    mean.data()[i] /= static_cast<float>(trials);
+  }
+  Matrix analytic = Add(Scale(x1, 1.0f - rho), Scale(x, rho));
+  EXPECT_LT(MaxAbsDiff(mean, analytic), 0.03f);
+}
+
+TEST(Theorem1Test, BalancedClassesZeroLogitsGiveZeroSignedGradientSum) {
+  // When the model output collapses to 0 (the over-smoothing fixed point)
+  // and training classes are balanced, the summed output-layer gradient
+  // vanishes even though training has barely begun.
+  const int num_classes = 4;
+  const int per_class = 8;
+  const int n = num_classes * per_class;
+  std::vector<int> labels(n);
+  std::vector<int> train(n);
+  for (int i = 0; i < n; ++i) {
+    labels[i] = i % num_classes;
+    train[i] = i;
+  }
+  Tape tape;
+  Parameter logits("z", Matrix(n, num_classes));  // Collapsed output: all 0.
+  Var loss = tape.SoftmaxCrossEntropy(tape.Leaf(logits), labels, train);
+  logits.ZeroGrad();
+  tape.Backward(loss);
+
+  double signed_sum = 0.0;
+  double abs_sum = 0.0;
+  for (int64_t i = 0; i < logits.grad.size(); ++i) {
+    signed_sum += logits.grad.data()[i];
+    abs_sum += std::fabs(logits.grad.data()[i]);
+  }
+  EXPECT_NEAR(signed_sum, 0.0, 1e-5);
+  // Per-entry gradients are non-zero; it is the *sum* that cancels.
+  EXPECT_GT(abs_sum, 0.01);
+}
+
+TEST(Theorem1Test, ImbalancedClassesDoNotCancel) {
+  const int num_classes = 4;
+  std::vector<int> labels = {0, 0, 0, 0, 0, 0, 1, 2};
+  std::vector<int> train = {0, 1, 2, 3, 4, 5, 6, 7};
+  Tape tape;
+  Parameter logits("z", Matrix(8, num_classes));
+  Var loss = tape.SoftmaxCrossEntropy(tape.Leaf(logits), labels, train);
+  logits.ZeroGrad();
+  tape.Backward(loss);
+  // The signed sum still cancels per node (softmax rows sum to 1), but the
+  // per-class column sums do not — check column 0.
+  double column0 = 0.0;
+  for (int r = 0; r < 8; ++r) column0 += logits.grad.at(r, 0);
+  EXPECT_GT(std::fabs(column0), 0.01);
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -1,0 +1,105 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the per-layer rho schedule extension (StrategyConfig::rho_growth)
+// and the middle-call counter it relies on.
+
+#include <gtest/gtest.h>
+
+#include "core/strategies.h"
+#include "graph/datasets.h"
+#include "tensor/ops.h"
+
+namespace skipnode {
+namespace {
+
+class RhoScheduleTest : public ::testing::Test {
+ protected:
+  RhoScheduleTest() : graph_(BuildDatasetByName("cornell_like", 1.0, 2)) {}
+
+  // Applies TransformMiddle once and returns the fraction of rows taken from
+  // the skip path (pre is all ones, conv all zeros, so the source of every
+  // row is unambiguous).
+  double SkippedFraction(StrategyContext& ctx, Tape& tape) {
+    Var pre = tape.Constant(Matrix::Ones(graph_.num_nodes(), 3));
+    Var conv = tape.Constant(Matrix(graph_.num_nodes(), 3));
+    Var out = ctx.TransformMiddle(tape, pre, conv);
+    int skipped = 0;
+    for (int r = 0; r < out.rows(); ++r) {
+      if (out.value()(r, 0) == 1.0f) ++skipped;
+    }
+    return static_cast<double>(skipped) / graph_.num_nodes();
+  }
+
+  Graph graph_;
+  Rng rng_{7};
+};
+
+TEST_F(RhoScheduleTest, MiddleCallsCount) {
+  StrategyContext ctx(graph_, StrategyConfig::None(), true, rng_);
+  Tape tape;
+  EXPECT_EQ(ctx.middle_calls(), 0);
+  SkippedFraction(ctx, tape);
+  SkippedFraction(ctx, tape);
+  EXPECT_EQ(ctx.middle_calls(), 2);
+}
+
+TEST_F(RhoScheduleTest, ZeroGrowthIsConstantRate) {
+  StrategyConfig config = StrategyConfig::SkipNodeU(0.5f);
+  StrategyContext ctx(graph_, config, true, rng_);
+  Tape tape;
+  // Average over several layers; each should hover around 0.5.
+  double total = 0.0;
+  const int layers = 20;
+  for (int l = 0; l < layers; ++l) total += SkippedFraction(ctx, tape);
+  EXPECT_NEAR(total / layers, 0.5, 0.1);
+}
+
+TEST_F(RhoScheduleTest, GrowthIncreasesSkippingWithDepth) {
+  StrategyConfig config = StrategyConfig::SkipNodeU(0.0f);
+  config.rho_growth = 0.1f;
+  StrategyContext ctx(graph_, config, true, rng_);
+  Tape tape;
+  // Layer 0: rho = 0 -> nothing skipped.
+  EXPECT_EQ(SkippedFraction(ctx, tape), 0.0);
+  // Layer 5: rho = 0.5.
+  for (int l = 1; l < 5; ++l) SkippedFraction(ctx, tape);
+  const double at_five = SkippedFraction(ctx, tape);
+  EXPECT_NEAR(at_five, 0.5, 0.15);
+  // Far past the clamp: rho = 1 -> everything skipped.
+  for (int l = 6; l < 12; ++l) SkippedFraction(ctx, tape);
+  EXPECT_EQ(SkippedFraction(ctx, tape), 1.0);
+}
+
+TEST_F(RhoScheduleTest, GrowthAppliesToBiasedSamplingToo) {
+  StrategyConfig config = StrategyConfig::SkipNodeB(0.0f);
+  config.rho_growth = 0.25f;
+  StrategyContext ctx(graph_, config, true, rng_);
+  Tape tape;
+  EXPECT_EQ(SkippedFraction(ctx, tape), 0.0);              // rho = 0.
+  EXPECT_NEAR(SkippedFraction(ctx, tape), 0.25, 0.02);     // rho = 0.25.
+  EXPECT_NEAR(SkippedFraction(ctx, tape), 0.50, 0.02);     // rho = 0.5.
+}
+
+TEST_F(RhoScheduleTest, ScheduleInactiveAtEval) {
+  StrategyConfig config = StrategyConfig::SkipNodeU(0.3f);
+  config.rho_growth = 0.2f;
+  StrategyContext ctx(graph_, config, /*training=*/false, rng_);
+  Tape tape;
+  for (int l = 0; l < 5; ++l) {
+    EXPECT_EQ(SkippedFraction(ctx, tape), 0.0);
+  }
+}
+
+TEST_F(RhoScheduleTest, NegativeGrowthDecaysToZero) {
+  StrategyConfig config = StrategyConfig::SkipNodeU(0.4f);
+  config.rho_growth = -0.2f;
+  StrategyContext ctx(graph_, config, true, rng_);
+  Tape tape;
+  EXPECT_GT(SkippedFraction(ctx, tape), 0.1);  // rho = 0.4.
+  SkippedFraction(ctx, tape);                  // rho = 0.2.
+  EXPECT_EQ(SkippedFraction(ctx, tape), 0.0);  // Clamped at 0.
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -1,0 +1,78 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "core/skipnode.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace skipnode {
+namespace {
+
+TEST(SkipNodeSamplingTest, UniformRateIsRespected) {
+  Rng rng(1);
+  const int n = 2000;
+  const float rho = 0.35f;
+  int total = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    total += CountSkipped(SampleSkipMaskUniform(n, rho, rng));
+  }
+  EXPECT_NEAR(static_cast<double>(total) / (n * trials), rho, 0.02);
+}
+
+TEST(SkipNodeSamplingTest, UniformEdgeRates) {
+  Rng rng(2);
+  EXPECT_EQ(CountSkipped(SampleSkipMaskUniform(100, 0.0f, rng)), 0);
+  EXPECT_EQ(CountSkipped(SampleSkipMaskUniform(100, 1.0f, rng)), 100);
+}
+
+TEST(SkipNodeSamplingTest, BiasedSelectsExactCount) {
+  Rng rng(3);
+  std::vector<int> degrees(100);
+  for (int i = 0; i < 100; ++i) degrees[i] = 1 + i % 5;
+  for (const float rho : {0.1f, 0.33f, 0.5f, 0.9f}) {
+    const auto mask = SampleSkipMaskBiased(degrees, rho, rng);
+    EXPECT_EQ(CountSkipped(mask),
+              static_cast<int>(std::lround(rho * 100)));
+  }
+}
+
+TEST(SkipNodeSamplingTest, BiasedPrefersHighDegreeNodes) {
+  Rng rng(4);
+  // Node 0 has degree 50, everyone else degree 1.
+  std::vector<int> degrees(200, 1);
+  degrees[0] = 50;
+  int node0_selected = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const auto mask = SampleSkipMaskBiased(degrees, 0.05f, rng);  // k = 10.
+    node0_selected += mask[0];
+  }
+  // Uniform sampling would select node 0 with probability k/n = 0.05; the
+  // degree bias pushes it far higher.
+  EXPECT_GT(static_cast<double>(node0_selected) / trials, 0.5);
+}
+
+TEST(SkipNodeSamplingTest, BiasedMarginalRatesScaleWithDegree) {
+  Rng rng(5);
+  std::vector<int> degrees = {1, 2, 4, 8};
+  std::vector<int> counts(4, 0);
+  const int trials = 8000;
+  for (int t = 0; t < trials; ++t) {
+    const auto mask = SampleSkipMaskBiased(degrees, 0.25f, rng);  // k = 1.
+    for (int i = 0; i < 4; ++i) counts[i] += mask[i];
+  }
+  // For k = 1 the selection probability is exactly degree / total.
+  EXPECT_NEAR(counts[3] / static_cast<double>(trials), 8.0 / 15.0, 0.03);
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 1.0 / 15.0, 0.02);
+}
+
+TEST(SkipNodeSamplingTest, CountSkipped) {
+  EXPECT_EQ(CountSkipped({1, 0, 1, 1, 0}), 3);
+  EXPECT_EQ(CountSkipped({}), 0);
+}
+
+}  // namespace
+}  // namespace skipnode

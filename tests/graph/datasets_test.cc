@@ -1,0 +1,119 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "graph/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace skipnode {
+namespace {
+
+TEST(DatasetsTest, AllSpecsAreListed) {
+  EXPECT_EQ(AllDatasetSpecs().size(), 9u);
+}
+
+TEST(DatasetsTest, FindByName) {
+  const DatasetSpec& spec = FindDatasetSpec("cora_like");
+  EXPECT_EQ(spec.num_nodes, 2708);
+  EXPECT_EQ(spec.num_classes, 7);
+}
+
+class DatasetBuildTest : public ::testing::TestWithParam<DatasetSpec> {};
+
+TEST_P(DatasetBuildTest, MatchesSpecAtSmallScale) {
+  const DatasetSpec& spec = GetParam();
+  // Build at reduced scale to keep the suite fast. The scale must leave
+  // each class enough intra-class pair capacity to hit the homophily
+  // target (relevant for the 40-class arxiv stand-in).
+  const double scale = spec.num_nodes > 3000 ? 0.25 : 0.3;
+  Graph graph = BuildDataset(spec, scale, /*seed=*/3);
+
+  EXPECT_EQ(graph.name(), spec.name);
+  EXPECT_NEAR(graph.num_nodes(),
+              std::max(spec.num_classes * 8,
+                       static_cast<int>(std::lround(spec.num_nodes * scale))),
+              1);
+  EXPECT_EQ(graph.num_classes(), spec.num_classes);
+  EXPECT_EQ(graph.feature_dim(), spec.feature_dim);
+  EXPECT_TRUE(graph.has_labels());
+
+  // Homophily should be near the spec target.
+  EXPECT_NEAR(graph.EdgeHomophily(), spec.homophily, 0.10);
+
+  // Years present exactly when requested.
+  EXPECT_EQ(!graph.years().empty(), spec.with_years);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetBuildTest, ::testing::ValuesIn(AllDatasetSpecs()),
+    [](const ::testing::TestParamInfo<DatasetSpec>& info) {
+      return info.param.name;
+    });
+
+TEST(DatasetsTest, DeterministicForSameSeed) {
+  Graph a = BuildDatasetByName("cora_like", 0.2, 7);
+  Graph b = BuildDatasetByName("cora_like", 0.2, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(DatasetsTest, DifferentSeedsDiffer) {
+  Graph a = BuildDatasetByName("cora_like", 0.2, 7);
+  Graph b = BuildDatasetByName("cora_like", 0.2, 8);
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(DatasetsTest, ArxivYearsSupportTemporalProtocol) {
+  Graph arxiv = BuildDatasetByName("arxiv_like", 0.1, 5);
+  int train = 0, val = 0, test = 0;
+  for (const int year : arxiv.years()) {
+    if (year <= 2017) {
+      ++train;
+    } else if (year == 2018) {
+      ++val;
+    } else {
+      ++test;
+    }
+  }
+  EXPECT_GT(train, val);
+  EXPECT_GT(train, test);
+  EXPECT_GT(val, 0);
+  EXPECT_GT(test, 0);
+}
+
+TEST(DatasetsTest, HeterophilicDatasetsAreHeterophilic) {
+  for (const char* name : {"chameleon_like", "cornell_like", "texas_like",
+                           "wisconsin_like"}) {
+    Graph graph = BuildDatasetByName(name, 1.0, 2);
+    EXPECT_LT(graph.EdgeHomophily(), 0.4) << name;
+  }
+}
+
+TEST(DatasetsTest, HomophilicDatasetsAreHomophilic) {
+  for (const char* name : {"cora_like", "citeseer_like"}) {
+    Graph graph = BuildDatasetByName(name, 0.3, 2);
+    EXPECT_GT(graph.EdgeHomophily(), 0.6) << name;
+  }
+}
+
+TEST(GraphTest, NormalizedAdjacencyIsCachedAndShared) {
+  Graph graph = BuildDatasetByName("cornell_like", 1.0, 1);
+  const auto a1 = graph.normalized_adjacency();
+  const auto a2 = graph.normalized_adjacency();
+  EXPECT_EQ(a1.get(), a2.get());
+  EXPECT_EQ(a1->rows(), graph.num_nodes());
+}
+
+TEST(GraphTest, ComponentsCoverAllNodes) {
+  Graph graph = BuildDatasetByName("texas_like", 1.0, 1);
+  const std::vector<int>& comp = graph.components();
+  EXPECT_EQ(static_cast<int>(comp.size()), graph.num_nodes());
+  for (const int c : comp) EXPECT_GE(c, 0);
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -1,0 +1,81 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "nn/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "nn/model_factory.h"
+#include "tensor/ops.h"
+#include "train/trainer.h"
+
+namespace skipnode {
+namespace {
+
+Graph& TestGraph() {
+  static Graph* const kGraph =
+      new Graph(BuildDatasetByName("cornell_like", 1.0, 3));
+  return *kGraph;
+}
+
+ModelConfig SmallConfig() {
+  Graph& graph = TestGraph();
+  ModelConfig config;
+  config.in_dim = graph.feature_dim();
+  config.hidden_dim = 8;
+  config.out_dim = graph.num_classes();
+  config.num_layers = 3;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(CheckpointTest, RoundTripRestoresExactLogits) {
+  Rng rng_a(1), rng_b(2);  // Different seeds: models start different.
+  auto trained = MakeModel("GCN", SmallConfig(), rng_a);
+  auto fresh = MakeModel("GCN", SmallConfig(), rng_b);
+
+  Matrix trained_logits =
+      EvaluateLogits(*trained, TestGraph(), StrategyConfig::None());
+  Matrix fresh_logits =
+      EvaluateLogits(*fresh, TestGraph(), StrategyConfig::None());
+  ASSERT_GT(MaxAbsDiff(trained_logits, fresh_logits), 1e-4f);
+
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(SaveModelParameters(*trained, dir));
+  ASSERT_TRUE(LoadModelParameters(*fresh, dir));
+  Matrix restored_logits =
+      EvaluateLogits(*fresh, TestGraph(), StrategyConfig::None());
+  EXPECT_LT(MaxAbsDiff(restored_logits, trained_logits), 1e-4f);
+}
+
+TEST(CheckpointTest, WorksForEveryBackbone) {
+  const std::string dir = ::testing::TempDir();
+  for (const std::string& name : AllModelNames()) {
+    Rng rng(5);
+    auto model = MakeModel(name, SmallConfig(), rng);
+    ASSERT_TRUE(SaveModelParameters(*model, dir)) << name;
+    ASSERT_TRUE(LoadModelParameters(*model, dir)) << name;
+  }
+}
+
+TEST(CheckpointTest, FailsOnMissingDirectory) {
+  Rng rng(6);
+  auto model = MakeModel("GCN", SmallConfig(), rng);
+  EXPECT_FALSE(SaveModelParameters(*model, "/nonexistent/dir"));
+  EXPECT_FALSE(LoadModelParameters(*model, "/nonexistent/dir"));
+}
+
+TEST(CheckpointTest, FailsOnShapeMismatch) {
+  const std::string dir = ::testing::TempDir();
+  Rng rng_a(7), rng_b(8);
+  auto small = MakeModel("GCN", SmallConfig(), rng_a);
+  ModelConfig bigger = SmallConfig();
+  bigger.hidden_dim = 16;
+  auto big = MakeModel("GCN", bigger, rng_b);
+  ASSERT_TRUE(SaveModelParameters(*small, dir));
+  EXPECT_FALSE(LoadModelParameters(*big, dir));
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -1,0 +1,110 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "sparse/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace skipnode {
+namespace {
+
+CsrMatrix SmallMatrix() {
+  // [[0, 2, 0],
+  //  [1, 0, 3],
+  //  [0, 0, 4]]
+  return CsrMatrix::FromCoo(3, 3, {{0, 1}, {1, 0}, {1, 2}, {2, 2}},
+                            {2, 1, 3, 4});
+}
+
+TEST(CsrMatrixTest, FromCooBasics) {
+  CsrMatrix m = SmallMatrix();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_EQ(m.RowNnz(0), 1);
+  EXPECT_EQ(m.RowNnz(1), 2);
+  EXPECT_EQ(m.RowNnz(2), 1);
+}
+
+TEST(CsrMatrixTest, ToDenseMatchesLayout) {
+  Matrix dense = SmallMatrix().ToDense();
+  EXPECT_LT(MaxAbsDiff(dense, Matrix(3, 3, {0, 2, 0, 1, 0, 3, 0, 0, 4})),
+            1e-6f);
+}
+
+TEST(CsrMatrixTest, DuplicateCoordinatesAreSummed) {
+  CsrMatrix m = CsrMatrix::FromCoo(2, 2, {{0, 0}, {0, 0}, {1, 1}},
+                                   {1.0f, 2.5f, 4.0f});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.ToDense().at(0, 0), 3.5f);
+}
+
+TEST(CsrMatrixTest, UnsortedInputIsSorted) {
+  CsrMatrix m = CsrMatrix::FromCoo(2, 3, {{1, 2}, {0, 1}, {1, 0}},
+                                   {3, 1, 2});
+  const std::vector<int>& cols = m.col_idx();
+  EXPECT_EQ(cols[0], 1);  // Row 0.
+  EXPECT_EQ(cols[1], 0);  // Row 1 sorted by column.
+  EXPECT_EQ(cols[2], 2);
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  Rng rng(1);
+  CsrMatrix sparse = SmallMatrix();
+  Matrix x = Matrix::Random(3, 5, rng);
+  EXPECT_LT(MaxAbsDiff(sparse.Multiply(x), MatMul(sparse.ToDense(), x)),
+            1e-5f);
+}
+
+TEST(CsrMatrixTest, MultiplyTransposedMatchesDense) {
+  Rng rng(2);
+  CsrMatrix sparse = SmallMatrix();
+  Matrix x = Matrix::Random(3, 4, rng);
+  EXPECT_LT(MaxAbsDiff(sparse.MultiplyTransposed(x),
+                       MatMul(Transpose(sparse.ToDense()), x)),
+            1e-5f);
+}
+
+TEST(CsrMatrixTest, MultiplyAccumulateAdds) {
+  Rng rng(3);
+  CsrMatrix sparse = SmallMatrix();
+  Matrix x = Matrix::Random(3, 2, rng);
+  Matrix out = Matrix::Ones(3, 2);
+  sparse.MultiplyAccumulate(x, out);
+  EXPECT_LT(MaxAbsDiff(out, Add(sparse.Multiply(x), Matrix::Ones(3, 2))),
+            1e-5f);
+}
+
+TEST(CsrMatrixTest, IdentityActsAsIdentity) {
+  Rng rng(4);
+  Matrix x = Matrix::Random(5, 3, rng);
+  EXPECT_LT(MaxAbsDiff(CsrMatrix::Identity(5).Multiply(x), x), 1e-6f);
+}
+
+TEST(CsrMatrixTest, RowSums) {
+  Matrix sums = SmallMatrix().RowSums();
+  EXPECT_FLOAT_EQ(sums.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(sums.at(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(sums.at(2, 0), 4.0f);
+}
+
+TEST(CsrMatrixTest, SymmetryDetection) {
+  EXPECT_FALSE(SmallMatrix().IsSymmetric());
+  CsrMatrix sym = CsrMatrix::FromCoo(2, 2, {{0, 1}, {1, 0}, {0, 0}},
+                                     {2, 2, 1});
+  EXPECT_TRUE(sym.IsSymmetric());
+  CsrMatrix asym_values = CsrMatrix::FromCoo(2, 2, {{0, 1}, {1, 0}},
+                                             {2, 3});
+  EXPECT_FALSE(asym_values.IsSymmetric());
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrMatrix empty;
+  EXPECT_EQ(empty.rows(), 0);
+  EXPECT_EQ(empty.nnz(), 0);
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -1,0 +1,111 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace skipnode {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialised) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.size(), 12);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(m.at(r, c), 0.0f);
+  }
+}
+
+TEST(MatrixTest, FromDataRowMajor) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.at(0, 0), 1.0f);
+  EXPECT_EQ(m.at(0, 2), 3.0f);
+  EXPECT_EQ(m.at(1, 0), 4.0f);
+  EXPECT_EQ(m.at(1, 2), 6.0f);
+}
+
+TEST(MatrixTest, RowPointerMatchesAt) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.row(1)[2], m.at(1, 2));
+}
+
+TEST(MatrixTest, FillAndSetZero) {
+  Matrix m(2, 2);
+  m.Fill(3.5f);
+  EXPECT_EQ(m.Sum(), 14.0f);
+  m.SetZero();
+  EXPECT_EQ(m.Sum(), 0.0f);
+}
+
+TEST(MatrixTest, IdentityFactory) {
+  Matrix id = Matrix::Identity(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(id.at(r, c), r == c ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(MatrixTest, OnesFactory) {
+  Matrix ones = Matrix::Ones(4, 5);
+  EXPECT_EQ(ones.Sum(), 20.0f);
+  EXPECT_EQ(ones.Mean(), 1.0f);
+}
+
+TEST(MatrixTest, RandomWithinBounds) {
+  Rng rng(1);
+  Matrix m = Matrix::Random(20, 20, rng, -0.5f, 0.5f);
+  EXPECT_LE(m.AbsMax(), 0.5f);
+  EXPECT_NE(m.Sum(), 0.0f);
+}
+
+TEST(MatrixTest, RandomNormalStddev) {
+  Rng rng(2);
+  Matrix m = Matrix::RandomNormal(100, 100, rng, 2.0f);
+  const float variance = m.SquaredNorm() / static_cast<float>(m.size());
+  EXPECT_NEAR(variance, 4.0f, 0.3f);
+}
+
+TEST(MatrixTest, GlorotUniformBound) {
+  Rng rng(3);
+  Matrix m = Matrix::GlorotUniform(30, 20, rng);
+  const float bound = std::sqrt(6.0f / 50.0f);
+  EXPECT_LE(m.AbsMax(), bound + 1e-6f);
+}
+
+TEST(MatrixTest, Norms) {
+  Matrix m(1, 2, {3, 4});
+  EXPECT_FLOAT_EQ(m.Norm(), 5.0f);
+  EXPECT_FLOAT_EQ(m.SquaredNorm(), 25.0f);
+  EXPECT_FLOAT_EQ(m.AbsMax(), 4.0f);
+}
+
+TEST(MatrixTest, SameShape) {
+  Matrix a(2, 3), b(2, 3), c(3, 2);
+  EXPECT_TRUE(a.SameShape(b));
+  EXPECT_FALSE(a.SameShape(c));
+}
+
+TEST(MatrixTest, ShapeString) {
+  Matrix m(7, 9);
+  EXPECT_EQ(m.ShapeString(), "Matrix(7x9)");
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  Matrix a(1, 1, {1.0f});
+  Matrix b = a;
+  b.at(0, 0) = 2.0f;
+  EXPECT_EQ(a.at(0, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace skipnode

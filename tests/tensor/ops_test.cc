@@ -1,0 +1,206 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace skipnode {
+namespace {
+
+// Reference O(n^3) matmul for property checks.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      double total = 0.0;
+      for (int p = 0; p < a.cols(); ++p) {
+        total += static_cast<double>(a(i, p)) * b(p, j);
+      }
+      out(i, j) = static_cast<float>(total);
+    }
+  }
+  return out;
+}
+
+TEST(OpsTest, MatMulMatchesNaive) {
+  Rng rng(1);
+  Matrix a = Matrix::Random(7, 5, rng);
+  Matrix b = Matrix::Random(5, 9, rng);
+  EXPECT_LT(MaxAbsDiff(MatMul(a, b), NaiveMatMul(a, b)), 1e-4f);
+}
+
+TEST(OpsTest, MatMulIdentity) {
+  Rng rng(2);
+  Matrix a = Matrix::Random(6, 6, rng);
+  EXPECT_LT(MaxAbsDiff(MatMul(a, Matrix::Identity(6)), a), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(MatMul(Matrix::Identity(6), a), a), 1e-6f);
+}
+
+TEST(OpsTest, MatMulTransposeAMatchesExplicitTranspose) {
+  Rng rng(3);
+  Matrix a = Matrix::Random(8, 4, rng);
+  Matrix b = Matrix::Random(8, 5, rng);
+  EXPECT_LT(MaxAbsDiff(MatMulTransposeA(a, b), MatMul(Transpose(a), b)),
+            1e-4f);
+}
+
+TEST(OpsTest, MatMulTransposeBMatchesExplicitTranspose) {
+  Rng rng(4);
+  Matrix a = Matrix::Random(6, 7, rng);
+  Matrix b = Matrix::Random(5, 7, rng);
+  EXPECT_LT(MaxAbsDiff(MatMulTransposeB(a, b), MatMul(a, Transpose(b))),
+            1e-4f);
+}
+
+TEST(OpsTest, AccumulateVariantsAdd) {
+  Rng rng(5);
+  Matrix a = Matrix::Random(4, 4, rng);
+  Matrix b = Matrix::Random(4, 4, rng);
+  Matrix out = Matrix::Ones(4, 4);
+  MatMulAccumulate(a, b, out);
+  EXPECT_LT(MaxAbsDiff(out, Add(MatMul(a, b), Matrix::Ones(4, 4))), 1e-5f);
+}
+
+TEST(OpsTest, ElementwiseOps) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b(1, 3, {4, 5, 6});
+  EXPECT_LT(MaxAbsDiff(Add(a, b), Matrix(1, 3, {5, 7, 9})), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(Sub(b, a), Matrix(1, 3, {3, 3, 3})), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(Hadamard(a, b), Matrix(1, 3, {4, 10, 18})), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(Scale(a, 2.0f), Matrix(1, 3, {2, 4, 6})), 1e-6f);
+}
+
+TEST(OpsTest, AddScaledAccumulates) {
+  Matrix a(1, 2, {1, 2});
+  Matrix out(1, 2, {10, 20});
+  AddScaled(a, 3.0f, out);
+  EXPECT_LT(MaxAbsDiff(out, Matrix(1, 2, {13, 26})), 1e-6f);
+}
+
+TEST(OpsTest, ReluClampsNegatives) {
+  Matrix x(1, 4, {-1, 0, 2, -3});
+  EXPECT_LT(MaxAbsDiff(Relu(x), Matrix(1, 4, {0, 0, 2, 0})), 1e-6f);
+}
+
+TEST(OpsTest, ReluBackwardMasksByInput) {
+  Matrix x(1, 4, {-1, 0.5f, 2, -3});
+  Matrix g(1, 4, {10, 10, 10, 10});
+  EXPECT_LT(MaxAbsDiff(ReluBackward(x, g), Matrix(1, 4, {0, 10, 10, 0})),
+            1e-6f);
+}
+
+TEST(OpsTest, TransposeRoundTrip) {
+  Rng rng(6);
+  Matrix a = Matrix::Random(5, 8, rng);
+  EXPECT_LT(MaxAbsDiff(Transpose(Transpose(a)), a), 1e-6f);
+}
+
+TEST(OpsTest, ConcatColsLaysOutParts) {
+  Matrix a(2, 1, {1, 3});
+  Matrix b(2, 2, {10, 20, 30, 40});
+  Matrix joined = ConcatCols({&a, &b});
+  EXPECT_LT(MaxAbsDiff(joined, Matrix(2, 3, {1, 10, 20, 3, 30, 40})), 1e-6f);
+}
+
+TEST(OpsTest, GatherScatterRoundTrip) {
+  Matrix x(4, 2, {0, 1, 10, 11, 20, 21, 30, 31});
+  const std::vector<int> rows = {2, 0, 2};
+  Matrix gathered = GatherRows(x, rows);
+  EXPECT_LT(MaxAbsDiff(gathered, Matrix(3, 2, {20, 21, 0, 1, 20, 21})),
+            1e-6f);
+  Matrix accum(4, 2);
+  ScatterAddRows(gathered, rows, accum);
+  // Row 2 received two copies, row 0 one.
+  EXPECT_FLOAT_EQ(accum.at(2, 0), 40.0f);
+  EXPECT_FLOAT_EQ(accum.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(accum.at(1, 0), 0.0f);
+}
+
+TEST(OpsTest, ColumnMeansAndSubtract) {
+  Matrix x(2, 2, {1, 2, 3, 4});
+  Matrix means = ColumnMeans(x);
+  EXPECT_LT(MaxAbsDiff(means, Matrix(1, 2, {2, 3})), 1e-6f);
+  Matrix centered = SubtractRowVector(x, means);
+  EXPECT_LT(MaxAbsDiff(ColumnMeans(centered), Matrix(1, 2)), 1e-6f);
+}
+
+TEST(OpsTest, RowSoftmaxSumsToOne) {
+  Rng rng(7);
+  Matrix x = Matrix::Random(5, 6, rng, -3.0f, 3.0f);
+  Matrix p = RowSoftmax(x);
+  for (int r = 0; r < p.rows(); ++r) {
+    double total = 0.0;
+    for (int c = 0; c < p.cols(); ++c) {
+      EXPECT_GT(p(r, c), 0.0f);
+      total += p(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(OpsTest, LogSoftmaxMatchesSoftmax) {
+  Rng rng(8);
+  Matrix x = Matrix::Random(4, 5, rng, -2.0f, 2.0f);
+  Matrix p = RowSoftmax(x);
+  Matrix lp = RowLogSoftmax(x);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(std::exp(lp(r, c)), p(r, c), 1e-5f);
+    }
+  }
+}
+
+TEST(OpsTest, SoftmaxIsShiftInvariant) {
+  Matrix x(1, 3, {1, 2, 3});
+  Matrix shifted(1, 3, {1001, 1002, 1003});
+  EXPECT_LT(MaxAbsDiff(RowSoftmax(x), RowSoftmax(shifted)), 1e-5f);
+}
+
+TEST(OpsTest, RowNormsAndDots) {
+  Matrix a(2, 2, {3, 4, 1, 0});
+  Matrix norms = RowNorms(a);
+  EXPECT_FLOAT_EQ(norms.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(norms.at(1, 0), 1.0f);
+  Matrix b(2, 2, {1, 1, 2, 5});
+  Matrix dots = RowDots(a, b);
+  EXPECT_FLOAT_EQ(dots.at(0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(dots.at(1, 0), 2.0f);
+}
+
+TEST(OpsTest, CosineSimilarityBasics) {
+  const float a[] = {1, 0};
+  const float b[] = {0, 1};
+  const float c[] = {2, 0};
+  EXPECT_NEAR(CosineSimilarity(a, b, 2), 0.0f, 1e-6f);
+  EXPECT_NEAR(CosineSimilarity(a, c, 2), 1.0f, 1e-6f);
+  const float zero[] = {0, 0};
+  EXPECT_EQ(CosineSimilarity(a, zero, 2), 0.0f);
+}
+
+TEST(OpsTest, MaxSingularValueOfDiagonal) {
+  Matrix w(3, 3);
+  w.at(0, 0) = 0.5f;
+  w.at(1, 1) = 2.0f;
+  w.at(2, 2) = 1.0f;
+  EXPECT_NEAR(MaxSingularValue(w), 2.0f, 1e-3f);
+}
+
+TEST(OpsTest, MaxSingularValueScalesLinearly) {
+  Rng rng(9);
+  Matrix w = Matrix::Random(10, 6, rng);
+  const float sigma = MaxSingularValue(w);
+  EXPECT_NEAR(MaxSingularValue(Scale(w, 3.0f)), 3.0f * sigma, 2e-2f * sigma);
+}
+
+TEST(OpsTest, SetMaxSingularValueHitsTarget) {
+  Rng rng(10);
+  Matrix w = Matrix::Random(12, 12, rng);
+  SetMaxSingularValue(w, 0.25f);
+  EXPECT_NEAR(MaxSingularValue(w), 0.25f, 5e-3f);
+}
+
+}  // namespace
+}  // namespace skipnode

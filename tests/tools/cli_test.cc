@@ -1,0 +1,109 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tools/cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/io.h"
+
+namespace skipnode {
+namespace {
+
+struct CliResult {
+  int exit_code;
+  std::string output;
+};
+
+CliResult RunTool(const std::vector<std::string>& args) {
+  std::vector<const char*> argv = {"skipnode_train"};
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+
+  const std::string path = ::testing::TempDir() + "/cli_output.txt";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  EXPECT_NE(out, nullptr);
+  const int code =
+      RunCli(static_cast<int>(argv.size()), argv.data(), out);
+  std::fclose(out);
+
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  return {code, contents.str()};
+}
+
+TEST(CliTest, HelpPrintsUsageAndFails) {
+  const CliResult result = RunTool({"--help"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("--strategy"), std::string::npos);
+}
+
+TEST(CliTest, RejectsUnknownFlag) {
+  const CliResult result = RunTool({"--bogus", "1"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("unknown flag"), std::string::npos);
+}
+
+TEST(CliTest, RejectsMissingDataSource) {
+  const CliResult result = RunTool({"--model", "GCN"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("--dataset"), std::string::npos);
+}
+
+TEST(CliTest, RejectsUnknownDatasetModelAndStrategy) {
+  EXPECT_EQ(RunTool({"--dataset", "nope"}).exit_code, 1);
+  EXPECT_EQ(RunTool({"--dataset", "cornell_like", "--model", "nope"}).exit_code,
+            1);
+  EXPECT_EQ(RunTool({"--dataset", "cornell_like", "--strategy", "nope"})
+                .exit_code,
+            1);
+}
+
+TEST(CliTest, TrainsOnBuiltInDataset) {
+  const CliResult result =
+      RunTool({"--dataset", "cornell_like", "--model", "GCN", "--layers", "2",
+           "--hidden", "16", "--epochs", "15", "--strategy", "skipnode-u",
+           "--rate", "0.5", "--split", "random", "--seed", "3"});
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("test accuracy"), std::string::npos);
+  EXPECT_NE(result.output.find("SkipNode-U"), std::string::npos);
+  EXPECT_NE(result.output.find("penultimate MAD"), std::string::npos);
+}
+
+TEST(CliTest, TrainsOnUserFilesAndSavesCheckpoint) {
+  // Export a graph to files, then train from them via the CLI.
+  const std::string dir = ::testing::TempDir();
+  Graph graph = BuildDatasetByName("texas_like", 1.0, 9);
+  ASSERT_TRUE(SaveEdgeList(dir + "/cli_edges.txt", graph.edges()));
+  ASSERT_TRUE(SaveMatrixCsv(dir + "/cli_feats.csv", graph.features()));
+  ASSERT_TRUE(SaveLabels(dir + "/cli_labels.txt", graph.labels()));
+
+  const CliResult result =
+      RunTool({"--edges", dir + "/cli_edges.txt", "--features",
+           dir + "/cli_feats.csv", "--labels", dir + "/cli_labels.txt",
+           "--model", "APPNP", "--layers", "4", "--hidden", "16",
+           "--epochs", "10", "--split", "random", "--save-dir", dir});
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("checkpoint saved"), std::string::npos);
+  // A parameter file from the APPNP model exists.
+  std::ifstream manifest(dir + "/manifest.txt");
+  EXPECT_TRUE(manifest.good());
+}
+
+TEST(CliTest, RejectsBadScaleAndLayers) {
+  EXPECT_EQ(RunTool({"--dataset", "cornell_like", "--scale", "0"}).exit_code, 1);
+  EXPECT_EQ(RunTool({"--dataset", "cornell_like", "--layers", "1", "--epochs",
+                 "1"})
+                .exit_code,
+            1);
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -1,0 +1,88 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "train/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace skipnode {
+namespace {
+
+TEST(AccuracyTest, PerfectAndZero) {
+  Matrix logits(3, 2, {1, 0, 0, 1, 1, 0});
+  const std::vector<int> labels = {0, 1, 0};
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {0, 1, 2}), 1.0);
+  const std::vector<int> wrong = {1, 0, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(logits, wrong, {0, 1, 2}), 0.0);
+}
+
+TEST(AccuracyTest, SubsetOnly) {
+  Matrix logits(4, 2, {1, 0, 1, 0, 0, 1, 0, 1});
+  const std::vector<int> labels = {0, 1, 1, 0};
+  // Nodes 0 (correct) and 1 (wrong).
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {0, 1}), 0.5);
+}
+
+TEST(AccuracyTest, TieBreaksTowardFirstClass) {
+  Matrix logits(1, 3);  // All equal.
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {0}, {0}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {2}, {0}), 0.0);
+}
+
+TEST(MacroF1Test, PerfectPredictionsGiveOne) {
+  Matrix logits(4, 2, {1, 0, 0, 1, 1, 0, 0, 1});
+  const std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(MacroF1(logits, labels, {0, 1, 2, 3}, 2), 1.0);
+}
+
+TEST(MacroF1Test, CollapsedPredictorScoresLowerThanAccuracySuggests) {
+  // Predicting the majority class everywhere: accuracy 0.75 but macro-F1
+  // averages in the zero-F1 minority class.
+  Matrix logits(4, 2, {1, 0, 1, 0, 1, 0, 1, 0});  // Always class 0.
+  const std::vector<int> labels = {0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {0, 1, 2, 3}), 0.75);
+  // Class 0: TP=3, P=4, A=3 -> F1 = 6/7. Class 1: F1 = 0.
+  EXPECT_NEAR(MacroF1(logits, labels, {0, 1, 2, 3}, 2), 0.5 * 6.0 / 7.0,
+              1e-9);
+}
+
+TEST(MacroF1Test, SkipsAbsentClasses) {
+  Matrix logits(2, 3, {1, 0, 0, 1, 0, 0});
+  const std::vector<int> labels = {0, 0};
+  // Only class 0 present -> macro-F1 is its F1 alone.
+  EXPECT_DOUBLE_EQ(MacroF1(logits, labels, {0, 1}, 3), 1.0);
+}
+
+TEST(HitsAtKTest, CountsPositivesAboveKthNegative) {
+  // Negatives sorted desc: 9, 7, 5, 3, 1. K = 2 -> threshold 7.
+  const std::vector<float> negatives = {3, 9, 1, 5, 7};
+  const std::vector<float> positives = {10, 8, 7, 6};
+  // Strictly above 7: 10 and 8.
+  EXPECT_DOUBLE_EQ(HitsAtK(positives, negatives, 2), 0.5);
+}
+
+TEST(HitsAtKTest, KLargerThanNegativesIsOne) {
+  EXPECT_DOUBLE_EQ(HitsAtK({0.1f}, {0.5f, 0.9f}, 10), 1.0);
+}
+
+TEST(HitsAtKTest, AllPositivesBelow) {
+  const std::vector<float> negatives = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(HitsAtK({1, 2, 3}, negatives, 1), 0.0);
+}
+
+TEST(HitsAtKTest, MonotoneInK) {
+  std::vector<float> negatives, positives;
+  for (int i = 0; i < 100; ++i) negatives.push_back(static_cast<float>(i));
+  for (int i = 0; i < 50; ++i) {
+    positives.push_back(static_cast<float>(2 * i));
+  }
+  double prev = 0.0;
+  for (const int k : {1, 10, 50, 100}) {
+    const double hits = HitsAtK(positives, negatives, k);
+    EXPECT_GE(hits, prev);
+    prev = hits;
+  }
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -1,0 +1,123 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "train/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "tensor/ops.h"
+#include "nn/model_factory.h"
+
+namespace skipnode {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  Split split;
+
+  explicit Fixture(uint64_t seed)
+      : graph(BuildDatasetByName("cora_like", 0.15, seed)),
+        split([this, seed]() {
+          Rng rng(seed);
+          return PublicSplit(graph, 10, 120, 150, rng);
+        }()) {}
+};
+
+ModelConfig ConfigFor(const Graph& graph, int layers) {
+  ModelConfig config;
+  config.in_dim = graph.feature_dim();
+  config.hidden_dim = 24;
+  config.out_dim = graph.num_classes();
+  config.num_layers = layers;
+  config.dropout = 0.4f;
+  return config;
+}
+
+TEST(TrainerTest, ShallowGcnBeatsChanceByAWideMargin) {
+  Fixture setup(1);
+  Rng rng(2);
+  auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
+  TrainOptions options;
+  options.epochs = 80;
+  const TrainResult result = TrainNodeClassifier(
+      *model, setup.graph, setup.split, StrategyConfig::None(), options);
+  const double chance = 1.0 / setup.graph.num_classes();
+  EXPECT_GT(result.test_accuracy, chance * 2.5);
+  EXPECT_GT(result.best_val_accuracy, chance * 2.5);
+  EXPECT_GE(result.best_epoch, 0);
+}
+
+TEST(TrainerTest, ResultIsDeterministicForSeed) {
+  Fixture setup(3);
+  TrainOptions options;
+  options.epochs = 25;
+  options.seed = 17;
+  double accs[2];
+  for (int i = 0; i < 2; ++i) {
+    Rng rng(5);
+    auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
+    accs[i] = TrainNodeClassifier(*model, setup.graph, setup.split,
+                                  StrategyConfig::SkipNodeU(0.5f), options)
+                  .test_accuracy;
+  }
+  EXPECT_DOUBLE_EQ(accs[0], accs[1]);
+}
+
+TEST(TrainerTest, EarlyStoppingCutsEpochs) {
+  Fixture setup(4);
+  Rng rng(6);
+  auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
+  TrainOptions options;
+  options.epochs = 300;
+  options.patience = 10;
+  const TrainResult result = TrainNodeClassifier(
+      *model, setup.graph, setup.split, StrategyConfig::None(), options);
+  EXPECT_LT(result.epochs_run, 300);
+}
+
+TEST(TrainerTest, EvalEveryReducesEvaluationWithoutBreakingSelection) {
+  Fixture setup(5);
+  Rng rng(7);
+  auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
+  TrainOptions options;
+  options.epochs = 40;
+  options.eval_every = 5;
+  const TrainResult result = TrainNodeClassifier(
+      *model, setup.graph, setup.split, StrategyConfig::None(), options);
+  EXPECT_GT(result.test_accuracy, 0.0);
+  EXPECT_EQ(result.best_epoch % 5 == 0 || result.best_epoch == 39, true);
+}
+
+TEST(TrainerTest, EvaluateLogitsShapeAndDeterminism) {
+  Fixture setup(6);
+  Rng rng(8);
+  auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
+  Matrix a = EvaluateLogits(*model, setup.graph, StrategyConfig::None());
+  Matrix b = EvaluateLogits(*model, setup.graph, StrategyConfig::None());
+  EXPECT_EQ(a.rows(), setup.graph.num_nodes());
+  EXPECT_EQ(a.cols(), setup.graph.num_classes());
+  EXPECT_LT(MaxAbsDiff(a, b), 1e-7f);
+}
+
+TEST(TrainerTest, TrainingLossFallsOverTraining) {
+  Fixture setup(7);
+  Rng rng(9);
+  auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
+  TrainOptions short_run;
+  short_run.epochs = 1;
+  const double loss_start =
+      TrainNodeClassifier(*model, setup.graph, setup.split,
+                          StrategyConfig::None(), short_run)
+          .final_train_loss;
+  TrainOptions longer;
+  longer.epochs = 60;
+  const double loss_end =
+      TrainNodeClassifier(*model, setup.graph, setup.split,
+                          StrategyConfig::None(), longer)
+          .final_train_loss;
+  EXPECT_LT(loss_end, loss_start);
+}
+
+}  // namespace
+}  // namespace skipnode

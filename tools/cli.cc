@@ -1,0 +1,287 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tools/cli.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/oversmoothing.h"
+#include "graph/datasets.h"
+#include "graph/io.h"
+#include "graph/splits.h"
+#include "nn/checkpoint.h"
+#include "nn/model_factory.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+namespace skipnode {
+namespace {
+
+constexpr char kUsage[] = R"(skipnode_train: train a GNN with a plug-and-play strategy.
+
+Data source (pick one):
+  --dataset NAME        built-in synthetic dataset (cora_like, citeseer_like,
+                        pubmed_like, chameleon_like, cornell_like, texas_like,
+                        wisconsin_like, arxiv_like, ppa_like)
+  --edges FILE --features FILE --labels FILE
+                        user files: edge list ("u v" per line), CSV feature
+                        matrix, one integer label per line
+Options:
+  --scale F             dataset scale in (0, 1] for built-ins   (default 1.0)
+  --seed N              RNG seed for data/init/training         (default 1)
+  --model NAME          GCN GAT ResGCN JKNet IncepGCN GCNII APPNP GPRGNN
+                        GRAND SGC                               (default GCN)
+  --layers N            convolution/propagation layers         (default 2)
+  --hidden N            hidden width                            (default 64)
+  --dropout F           dropout rate                            (default 0.5)
+  --strategy NAME       none dropedge dropnode pairnorm skipconn skipnode-u
+                        skipnode-b                              (default none)
+  --rate F              strategy sampling rate rho              (default 0.5)
+  --epochs N            training epochs                         (default 200)
+  --lr F                learning rate                           (default 0.01)
+  --weight-decay F      L2 coefficient                          (default 5e-4)
+  --split NAME          public | random                         (default public)
+  --save-dir DIR        checkpoint the trained model into DIR (must exist)
+  --help                print this message
+)";
+
+struct CliOptions {
+  std::string dataset;
+  std::string edges_path, features_path, labels_path;
+  double scale = 1.0;
+  uint64_t seed = 1;
+  std::string model = "GCN";
+  int layers = 2;
+  int hidden = 64;
+  float dropout = 0.5f;
+  std::string strategy = "none";
+  float rate = 0.5f;
+  int epochs = 200;
+  float learning_rate = 0.01f;
+  float weight_decay = 5e-4f;
+  std::string split = "public";
+  std::string save_dir;
+};
+
+// Parses flags into `options`; returns false (with a message) on errors.
+bool ParseFlags(int argc, const char* const* argv, CliOptions* options,
+                std::FILE* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help") {
+      std::fputs(kUsage, out);
+      return false;
+    }
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    const char* value = next();
+    if (value == nullptr) {
+      std::fprintf(out, "error: flag %s needs a value\n", flag.c_str());
+      return false;
+    }
+    if (flag == "--dataset") {
+      options->dataset = value;
+    } else if (flag == "--edges") {
+      options->edges_path = value;
+    } else if (flag == "--features") {
+      options->features_path = value;
+    } else if (flag == "--labels") {
+      options->labels_path = value;
+    } else if (flag == "--scale") {
+      options->scale = std::atof(value);
+    } else if (flag == "--seed") {
+      options->seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--model") {
+      options->model = value;
+    } else if (flag == "--layers") {
+      options->layers = std::atoi(value);
+    } else if (flag == "--hidden") {
+      options->hidden = std::atoi(value);
+    } else if (flag == "--dropout") {
+      options->dropout = static_cast<float>(std::atof(value));
+    } else if (flag == "--strategy") {
+      options->strategy = value;
+    } else if (flag == "--rate") {
+      options->rate = static_cast<float>(std::atof(value));
+    } else if (flag == "--epochs") {
+      options->epochs = std::atoi(value);
+    } else if (flag == "--lr") {
+      options->learning_rate = static_cast<float>(std::atof(value));
+    } else if (flag == "--weight-decay") {
+      options->weight_decay = static_cast<float>(std::atof(value));
+    } else if (flag == "--split") {
+      options->split = value;
+    } else if (flag == "--save-dir") {
+      options->save_dir = value;
+    } else {
+      std::fprintf(out, "error: unknown flag %s (try --help)\n",
+                   flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MakeStrategy(const std::string& name, float rate,
+                  StrategyConfig* strategy, std::FILE* out) {
+  if (name == "none") {
+    *strategy = StrategyConfig::None();
+  } else if (name == "dropedge") {
+    *strategy = StrategyConfig::DropEdge(rate);
+  } else if (name == "dropnode") {
+    *strategy = StrategyConfig::DropNode(rate);
+  } else if (name == "pairnorm") {
+    *strategy = StrategyConfig::PairNorm();
+  } else if (name == "skipconn") {
+    *strategy = StrategyConfig::SkipConnection();
+  } else if (name == "skipnode-u") {
+    *strategy = StrategyConfig::SkipNodeU(rate);
+  } else if (name == "skipnode-b") {
+    *strategy = StrategyConfig::SkipNodeB(rate);
+  } else {
+    std::fprintf(out, "error: unknown strategy '%s'\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool KnownModel(const std::string& name) {
+  for (const std::string& known : AllModelNames()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+bool KnownDataset(const std::string& name) {
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    if (spec.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int RunCli(int argc, const char* const* argv, std::FILE* out) {
+  CliOptions options;
+  if (!ParseFlags(argc, argv, &options, out)) return 1;
+
+  // --- Data ---------------------------------------------------------------
+  std::unique_ptr<Graph> graph;
+  if (!options.dataset.empty()) {
+    if (!KnownDataset(options.dataset)) {
+      std::fprintf(out, "error: unknown dataset '%s'\n",
+                   options.dataset.c_str());
+      return 1;
+    }
+    if (options.scale <= 0.0 || options.scale > 1.0) {
+      std::fprintf(out, "error: --scale must be in (0, 1]\n");
+      return 1;
+    }
+    graph = std::make_unique<Graph>(
+        BuildDatasetByName(options.dataset, options.scale, options.seed));
+  } else if (!options.edges_path.empty()) {
+    if (options.features_path.empty() || options.labels_path.empty()) {
+      std::fprintf(out,
+                   "error: --edges needs --features and --labels too\n");
+      return 1;
+    }
+    if (!LoadGraph("user_graph", options.edges_path, options.features_path,
+                   options.labels_path, &graph)) {
+      std::fprintf(out, "error: failed to load graph files\n");
+      return 1;
+    }
+  } else {
+    std::fprintf(out, "error: pass --dataset or --edges/... (see --help)\n");
+    return 1;
+  }
+  std::fprintf(out, "graph: %s | %d nodes | %d edges | %d classes | "
+                    "homophily %.2f\n",
+               graph->name().c_str(), graph->num_nodes(), graph->num_edges(),
+               graph->num_classes(), graph->EdgeHomophily());
+
+  // --- Split --------------------------------------------------------------
+  Rng split_rng(options.seed);
+  Split split;
+  if (options.split == "public") {
+    split = PublicSplit(*graph, 20, 500, 1000, split_rng);
+  } else if (options.split == "random") {
+    split = RandomSplit(*graph, 0.6, 0.2, split_rng);
+  } else {
+    std::fprintf(out, "error: unknown split '%s'\n", options.split.c_str());
+    return 1;
+  }
+
+  // --- Model & strategy ---------------------------------------------------
+  if (!KnownModel(options.model)) {
+    std::fprintf(out, "error: unknown model '%s'\n", options.model.c_str());
+    return 1;
+  }
+  if (options.layers < 2) {
+    std::fprintf(out, "error: --layers must be >= 2\n");
+    return 1;
+  }
+  StrategyConfig strategy;
+  if (!MakeStrategy(options.strategy, options.rate, &strategy, out)) {
+    return 1;
+  }
+
+  ModelConfig config;
+  config.in_dim = graph->feature_dim();
+  config.hidden_dim = options.hidden;
+  config.out_dim = graph->num_classes();
+  config.num_layers = options.layers;
+  config.dropout = options.dropout;
+
+  Rng model_rng(options.seed + 7);
+  auto model = MakeModel(options.model, config, model_rng);
+
+  // --- Train --------------------------------------------------------------
+  TrainOptions train_options;
+  train_options.epochs = options.epochs;
+  train_options.learning_rate = options.learning_rate;
+  train_options.weight_decay = options.weight_decay;
+  train_options.seed = options.seed;
+  std::fprintf(out, "training %s (L=%d, hidden=%d) + %s for %d epochs\n",
+               options.model.c_str(), options.layers, options.hidden,
+               StrategyName(strategy.kind), options.epochs);
+  const TrainResult result =
+      TrainNodeClassifier(*model, *graph, split, strategy, train_options);
+
+  // --- Report -------------------------------------------------------------
+  // The tape must outlive Penultimate()'s Var, so run the evaluation
+  // forward pass here instead of via EvaluateLogits.
+  Rng eval_rng(options.seed + 99);
+  Tape eval_tape;
+  StrategyContext eval_ctx(*graph, strategy, /*training=*/false, eval_rng);
+  const Matrix& logits =
+      model->Forward(eval_tape, *graph, eval_ctx, /*training=*/false,
+                     eval_rng)
+          .value();
+  std::fprintf(out, "best val accuracy : %.2f%% (epoch %d)\n",
+               100.0 * result.best_val_accuracy, result.best_epoch);
+  std::fprintf(out, "test accuracy     : %.2f%%\n",
+               100.0 * result.test_accuracy);
+  std::fprintf(out, "test macro-F1     : %.3f\n",
+               MacroF1(logits, graph->labels(), split.test,
+                       graph->num_classes()));
+  std::fprintf(out, "penultimate MAD   : %.4f\n",
+               MeanAverageDistance(*graph, model->Penultimate().value()));
+
+  if (!options.save_dir.empty()) {
+    if (!SaveModelParameters(*model, options.save_dir)) {
+      std::fprintf(out, "error: checkpoint to '%s' failed\n",
+                   options.save_dir.c_str());
+      return 1;
+    }
+    std::fprintf(out, "checkpoint saved to %s\n", options.save_dir.c_str());
+  }
+  return 0;
+}
+
+}  // namespace skipnode

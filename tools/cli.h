@@ -1,0 +1,29 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The `skipnode_train` command-line tool, as a library so tests can drive
+// it directly. Trains any backbone x strategy combination on a built-in
+// synthetic dataset or user-supplied files, reports metrics, and optionally
+// checkpoints the model.
+//
+//   skipnode_train --dataset cora_like --model GCN --layers 8 \
+//       --strategy skipnode-u --rate 0.5 --epochs 200
+//   skipnode_train --edges g.txt --features f.csv --labels y.txt ...
+//
+// Run with --help for the full flag list.
+
+#ifndef SKIPNODE_TOOLS_CLI_H_
+#define SKIPNODE_TOOLS_CLI_H_
+
+#include <cstdio>
+
+namespace skipnode {
+
+// Parses argv, runs the requested training job, and writes human-readable
+// results to `out`. Returns a process exit code (0 on success, 1 on bad
+// flags or I/O failure).
+int RunCli(int argc, const char* const* argv, std::FILE* out = stdout);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_TOOLS_CLI_H_

@@ -1,0 +1,6 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) { return skipnode::RunCli(argc, argv); }
