@@ -55,16 +55,25 @@ inline double RunCell(const std::string& backbone, const Graph& graph,
   config.num_layers = num_layers;
   config.dropout = dropout;
 
-  TrainOptions options;
-  options.epochs = epochs;
-  options.eval_every = 2;
-  options.weight_decay = weight_decay;
-  options.seed = seed;
+  // Benches can watch any cell live by exporting SKIPNODE_BENCH_TRACE=1;
+  // the callback observes only (it never touches the Rng), so tracing does
+  // not change any reported number.
+  TrainRun run;
+  run.options.epochs = epochs;
+  run.options.eval_every = 2;
+  run.options.weight_decay = weight_decay;
+  run.options.seed = seed;
+  if (std::getenv("SKIPNODE_BENCH_TRACE") != nullptr) {
+    run.on_epoch = [](int epoch, double loss, double val, double test) {
+      std::printf("    epoch %4d | loss %.4f | val %.2f%% | test %.2f%%\n",
+                  epoch, loss, 100.0 * val, 100.0 * test);
+    };
+  }
 
   Rng rng(seed * 7919 + 13);
   auto model = MakeModel(backbone, config, rng);
   return 100.0 *
-         TrainNodeClassifier(*model, graph, split, strategy, options)
+         TrainNodeClassifier(*model, graph, split, strategy, run)
              .test_accuracy;
 }
 
@@ -87,15 +96,15 @@ inline double RunCellTuned(const std::string& backbone, const Graph& graph,
     config.out_dim = graph.num_classes();
     config.num_layers = num_layers;
 
-    TrainOptions options;
-    options.epochs = epochs;
-    options.eval_every = 2;
-    options.seed = seed;
+    TrainRun run;
+    run.options.epochs = epochs;
+    run.options.eval_every = 2;
+    run.options.seed = seed;
 
     Rng rng(seed * 7919 + 13);
     auto model = MakeModel(backbone, config, rng);
     const TrainResult result =
-        TrainNodeClassifier(*model, graph, split, strategy, options);
+        TrainNodeClassifier(*model, graph, split, strategy, run);
     if (result.best_val_accuracy > best_val) {
       best_val = result.best_val_accuracy;
       best_test = result.test_accuracy;

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "base/parallel.h"
 #include "core/skipnode.h"
 #include "graph/datasets.h"
 #include "sparse/graph_ops.h"
@@ -15,6 +16,15 @@
 
 namespace skipnode {
 namespace {
+
+// Pins the pool width for one benchmark run and restores the default after.
+// UseRealTime() matters on every threaded benchmark: CPU time sums the
+// workers and would hide any parallel speedup.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int count) { SetParallelThreadCount(count); }
+  ~ThreadCountGuard() { SetParallelThreadCount(0); }
+};
 
 void BM_MatMul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -94,6 +104,55 @@ void BM_NormalizedAdjacency(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NormalizedAdjacency);
+
+// --- Thread-pool sweeps ------------------------------------------------------
+// The same kernels at a forced pool width of 1 / 2 / 4; the ratio of the
+// real-time numbers is the parallel speedup on the current machine (flat on
+// a single-core host — see EXPERIMENTS.md).
+
+void BM_GemmThreads(benchmark::State& state) {
+  const ThreadCountGuard guard(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  Matrix a = Matrix::Random(1024, 256, rng);
+  Matrix b = Matrix::Random(256, 256, rng);
+  Matrix out(1024, 256);
+  for (auto _ : state) {
+    Gemm(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{1024} * 256 * 256);
+}
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_GemmTransposeAThreads(benchmark::State& state) {
+  // The backward-pass shape: dW = X^T * dY.
+  const ThreadCountGuard guard(static_cast<int>(state.range(0)));
+  Rng rng(2);
+  Matrix x = Matrix::Random(4096, 128, rng);
+  Matrix dy = Matrix::Random(4096, 128, rng);
+  Matrix dw(128, 128);
+  for (auto _ : state) {
+    Gemm(x, dy, dw, {.transpose_a = true});
+    benchmark::DoNotOptimize(dw.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{4096} * 128 * 128);
+}
+BENCHMARK(BM_GemmTransposeAThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_SpMMThreads(benchmark::State& state) {
+  const ThreadCountGuard guard(static_cast<int>(state.range(0)));
+  // arxiv_like is the largest built-in: enough rows for per-row chunking.
+  Graph graph = BuildDatasetByName("arxiv_like", 1.0, 1);
+  const auto a_hat = graph.normalized_adjacency();
+  Rng rng(3);
+  Matrix x = Matrix::Random(graph.num_nodes(), 64, rng);
+  for (auto _ : state) {
+    Matrix y = a_hat->Multiply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a_hat->nnz() * 64);
+}
+BENCHMARK(BM_SpMMThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 }  // namespace skipnode

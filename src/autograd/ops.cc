@@ -22,9 +22,11 @@ Var Tape::MatMul(Var a, Var b) {
   const int oi = out.index_, ai = a.index_, bi = b.index_;
   node(oi).backward = [tape, oi, ai, bi]() {
     const Matrix& g = tape->node(oi).grad;
-    // dA += g * B^T ; dB += A^T * g.
-    MatMulTransposeBAccumulate(g, tape->node(bi).value, tape->EnsureGrad(ai));
-    MatMulTransposeAAccumulate(tape->node(ai).value, g, tape->EnsureGrad(bi));
+    // dA += g * B^T ; dB += A^T * g (both row-parallel through Gemm).
+    Gemm(g, tape->node(bi).value, tape->EnsureGrad(ai),
+         {.transpose_b = true, .accumulate = true});
+    Gemm(tape->node(ai).value, g, tape->EnsureGrad(bi),
+         {.transpose_a = true, .accumulate = true});
   };
   return out;
 }

@@ -1,0 +1,51 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared-state thread pool behind every parallel kernel in the library.
+//
+// Threading model (the determinism contract):
+//   * ParallelFor splits [begin, end) into at most ParallelThreadCount()
+//     contiguous chunks, each handed to exactly one thread. Kernels
+//     partition over *output rows*, so every output row is written by a
+//     single thread and the float accumulation order within a row is the
+//     sequential loop order regardless of the thread count. Results are
+//     therefore bitwise identical for 1, 2, or N threads.
+//   * Reductions that cross the partition axis (e.g. ColumnMeans) stay
+//     serial — a parallel tree reduction would reorder float sums.
+//   * The pool's workers are started lazily and reused across calls; the
+//     main thread participates, so ParallelThreadCount() == 1 never touches
+//     a worker and adds no overhead.
+//
+// The thread count resolves, in priority order: SetParallelThreadCount()
+// (tests/benches), the SKIPNODE_NUM_THREADS environment variable, then
+// std::thread::hardware_concurrency().
+
+#ifndef SKIPNODE_BASE_PARALLEL_H_
+#define SKIPNODE_BASE_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace skipnode {
+
+// Number of threads ParallelFor may fan out across (>= 1).
+int ParallelThreadCount();
+
+// Overrides the thread count (count >= 1), or restores the default
+// env/hardware resolution when count == 0. Not thread-safe against
+// concurrent ParallelFor calls; intended for tests and benchmarks.
+void SetParallelThreadCount(int count);
+
+// Invokes fn(chunk_begin, chunk_end) over a static partition of
+// [begin, end) into contiguous chunks, one chunk per thread at most.
+// `min_per_thread` caps the fan-out for small ranges: no chunk is smaller
+// than it (except the last). Chunk boundaries depend only on the range and
+// the thread count, never on timing. Nested calls (from inside a chunk)
+// run inline on the calling thread, so kernels may compose freely.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_per_thread = 1);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_BASE_PARALLEL_H_

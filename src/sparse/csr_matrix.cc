@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "base/check.h"
+#include "base/parallel.h"
 
 namespace skipnode {
 
@@ -58,14 +59,25 @@ void CsrMatrix::MultiplyAccumulate(const Matrix& dense, Matrix& out) const {
   SKIPNODE_CHECK(dense.rows() == cols_);
   SKIPNODE_CHECK(out.rows() == rows_ && out.cols() == dense.cols());
   const int d = dense.cols();
-  for (int r = 0; r < rows_; ++r) {
-    float* __restrict or_ = out.row(r);
-    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-      const float w = values_[e];
-      const float* __restrict src = dense.row(col_idx_[e]);
-      for (int j = 0; j < d; ++j) or_[j] += w * src[j];
-    }
-  }
+  // Row-parallel: each thread owns a contiguous block of output rows, and a
+  // row's neighbours accumulate in CSR order whatever the thread count, so
+  // the SpMM is bitwise reproducible across SKIPNODE_NUM_THREADS settings.
+  // Rows are balanced by count, not nnz; adjacency rows are near-uniform
+  // (datasets are degree-corrected SBMs), so static partitioning is fine.
+  const int64_t avg_nnz = rows_ > 0 ? nnz() / rows_ + 1 : 1;
+  ParallelFor(
+      0, rows_,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int r = static_cast<int>(row_begin); r < row_end; ++r) {
+          float* __restrict or_ = out.row(r);
+          for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+            const float w = values_[e];
+            const float* __restrict src = dense.row(col_idx_[e]);
+            for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+          }
+        }
+      },
+      std::max<int64_t>(1, (1 << 14) / (avg_nnz * d + 1)));
 }
 
 Matrix CsrMatrix::Multiply(const Matrix& dense) const {
@@ -74,6 +86,9 @@ Matrix CsrMatrix::Multiply(const Matrix& dense) const {
   return out;
 }
 
+// Serial: the transpose scatters row r of `dense` into output row
+// col_idx_[e], so output rows are not owned by a single input row and a
+// row partition would both race and reorder the accumulation.
 Matrix CsrMatrix::MultiplyTransposed(const Matrix& dense) const {
   SKIPNODE_CHECK(dense.rows() == rows_);
   Matrix out(cols_, dense.cols());

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "base/check.h"
+#include "base/parallel.h"
 
 namespace skipnode {
 namespace {
@@ -47,17 +48,31 @@ CsrMatrix NormalizeImpl(int num_nodes, const EdgeList& edges,
     }
   }
 
+  // Per-node and per-entry maps with no cross-element accumulation: safe to
+  // chunk across threads without perturbing any value.
   std::vector<float> inv_sqrt(num_nodes, 0.0f);
-  for (int i = 0; i < num_nodes; ++i) {
-    const bool kept = keep_node == nullptr || (*keep_node)[i];
-    const int d = degree[i] + (add_self_loops ? 1 : 0);
-    if (kept && d > 0) inv_sqrt[i] = 1.0f / std::sqrt(static_cast<float>(d));
-  }
+  ParallelFor(
+      0, num_nodes,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const bool kept = keep_node == nullptr || (*keep_node)[i];
+          const int d = degree[i] + (add_self_loops ? 1 : 0);
+          if (kept && d > 0) {
+            inv_sqrt[i] = 1.0f / std::sqrt(static_cast<float>(d));
+          }
+        }
+      },
+      /*min_per_thread=*/1 << 13);
 
   std::vector<float> values(coords.size());
-  for (size_t k = 0; k < coords.size(); ++k) {
-    values[k] = inv_sqrt[coords[k].first] * inv_sqrt[coords[k].second];
-  }
+  ParallelFor(
+      0, static_cast<int64_t>(coords.size()),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t k = lo; k < hi; ++k) {
+          values[k] = inv_sqrt[coords[k].first] * inv_sqrt[coords[k].second];
+        }
+      },
+      /*min_per_thread=*/1 << 13);
   return CsrMatrix::FromCoo(num_nodes, num_nodes, std::move(coords),
                             std::move(values));
 }
@@ -103,10 +118,15 @@ CsrMatrix RandomWalkAdjacency(int num_nodes, const EdgeList& edges,
     for (int i = 0; i < num_nodes; ++i) coords.emplace_back(i, i);
   }
   std::vector<float> values(coords.size());
-  for (size_t k = 0; k < coords.size(); ++k) {
-    const int d = degree[coords[k].first] + (add_self_loops ? 1 : 0);
-    values[k] = d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
-  }
+  ParallelFor(
+      0, static_cast<int64_t>(coords.size()),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t k = lo; k < hi; ++k) {
+          const int d = degree[coords[k].first] + (add_self_loops ? 1 : 0);
+          values[k] = d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+        }
+      },
+      /*min_per_thread=*/1 << 13);
   return CsrMatrix::FromCoo(num_nodes, num_nodes, std::move(coords),
                             std::move(values));
 }

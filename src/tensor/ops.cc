@@ -6,84 +6,146 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/parallel.h"
+
 namespace skipnode {
+namespace {
 
-void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix& out) {
-  SKIPNODE_CHECK(a.cols() == b.rows());
-  SKIPNODE_CHECK(out.rows() == a.rows() && out.cols() == b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  // i-p-j loop order keeps the inner loop contiguous in both B and out so
-  // the compiler can vectorise it; this is the library's hottest kernel.
-  for (int i = 0; i < m; ++i) {
-    const float* __restrict ai = a.row(i);
-    float* __restrict oi = out.row(i);
-    for (int p = 0; p < k; ++p) {
-      const float aip = ai[p];
-      if (aip == 0.0f) continue;
-      const float* __restrict bp = b.row(p);
-      for (int j = 0; j < n; ++j) oi[j] += aip * bp[j];
-    }
+// Minimum amount of arithmetic a chunk should carry before fanning out to
+// the pool; below this the wake-up latency dominates the kernel.
+constexpr int64_t kMinFlopsPerChunk = 1 << 15;
+
+// Rows each thread must own at minimum for a row-partitioned kernel whose
+// per-row cost is `flops_per_row`.
+int64_t MinRowsPerThread(int64_t flops_per_row) {
+  return std::max<int64_t>(1, kMinFlopsPerChunk / std::max<int64_t>(
+                                                      1, flops_per_row));
+}
+
+}  // namespace
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix& out,
+          const GemmOptions& options) {
+  // Shapes of the transposed views: out is m x n, shared dimension k.
+  const int m = options.transpose_a ? a.cols() : a.rows();
+  const int k = options.transpose_a ? a.rows() : a.cols();
+  const int n = options.transpose_b ? b.rows() : b.cols();
+  SKIPNODE_CHECK(k == (options.transpose_b ? b.cols() : b.rows()));
+  SKIPNODE_CHECK(out.rows() == m && out.cols() == n);
+  const int64_t min_rows =
+      MinRowsPerThread(2 * static_cast<int64_t>(k) * n);
+  const bool accumulate = options.accumulate;
+
+  if (!options.transpose_a && !options.transpose_b) {
+    // i-p-j loop order keeps the inner loop contiguous in both B and out so
+    // the compiler can vectorise it; this is the library's hottest kernel.
+    ParallelFor(
+        0, m,
+        [&](int64_t row_begin, int64_t row_end) {
+          for (int i = static_cast<int>(row_begin); i < row_end; ++i) {
+            const float* __restrict ai = a.row(i);
+            float* __restrict oi = out.row(i);
+            if (!accumulate) std::fill(oi, oi + n, 0.0f);
+            for (int p = 0; p < k; ++p) {
+              const float aip = ai[p];
+              if (aip == 0.0f) continue;
+              const float* __restrict bp = b.row(p);
+              for (int j = 0; j < n; ++j) oi[j] += aip * bp[j];
+            }
+          }
+        },
+        min_rows);
+  } else if (options.transpose_a && !options.transpose_b) {
+    // out rows are columns of A. Each thread walks all rows of A but writes
+    // only its own block of output rows, in the same i-ascending order the
+    // serial kernel used, so the sums are bit-for-bit unchanged.
+    ParallelFor(
+        0, m,
+        [&](int64_t row_begin, int64_t row_end) {
+          const int p0 = static_cast<int>(row_begin);
+          const int p1 = static_cast<int>(row_end);
+          if (!accumulate) {
+            for (int p = p0; p < p1; ++p) {
+              float* op = out.row(p);
+              std::fill(op, op + n, 0.0f);
+            }
+          }
+          for (int i = 0; i < a.rows(); ++i) {
+            const float* __restrict ai = a.row(i);
+            const float* __restrict bi = b.row(i);
+            for (int p = p0; p < p1; ++p) {
+              const float aip = ai[p];
+              if (aip == 0.0f) continue;
+              float* __restrict op = out.row(p);
+              for (int j = 0; j < n; ++j) op[j] += aip * bi[j];
+            }
+          }
+        },
+        min_rows);
+  } else if (!options.transpose_a && options.transpose_b) {
+    // Row-by-row dot products; double accumulators match the serial kernel.
+    ParallelFor(
+        0, m,
+        [&](int64_t row_begin, int64_t row_end) {
+          for (int i = static_cast<int>(row_begin); i < row_end; ++i) {
+            const float* __restrict ai = a.row(i);
+            float* __restrict oi = out.row(i);
+            if (!accumulate) std::fill(oi, oi + n, 0.0f);
+            for (int p = 0; p < n; ++p) {
+              const float* __restrict bp = b.row(p);
+              double dot = 0.0;
+              for (int j = 0; j < k; ++j) {
+                dot += static_cast<double>(ai[j]) * bp[j];
+              }
+              oi[p] += static_cast<float>(dot);
+            }
+          }
+        },
+        min_rows);
+  } else {
+    // A^T * B^T: column-strided reads of A; rare (no current caller), kept
+    // for completeness of the Gemm surface.
+    ParallelFor(
+        0, m,
+        [&](int64_t row_begin, int64_t row_end) {
+          for (int p = static_cast<int>(row_begin); p < row_end; ++p) {
+            float* __restrict op = out.row(p);
+            if (!accumulate) std::fill(op, op + n, 0.0f);
+            for (int q = 0; q < n; ++q) {
+              const float* __restrict bq = b.row(q);
+              double dot = 0.0;
+              for (int i = 0; i < k; ++i) {
+                dot += static_cast<double>(a(i, p)) * bq[i];
+              }
+              op[q] += static_cast<float>(dot);
+            }
+          }
+        },
+        min_rows);
   }
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
-  Matrix out(a.rows(), b.cols());
-  MatMulAccumulate(a, b, out);
-  return out;
+namespace {
+
+// Element-parallel map over the flat buffers: every element is computed
+// independently, so chunking cannot perturb results.
+template <typename Fn>
+void ParallelElements(int64_t size, const Fn& fn) {
+  ParallelFor(
+      0, size, [&](int64_t lo, int64_t hi) { fn(lo, hi); },
+      /*min_per_thread=*/kMinFlopsPerChunk);
 }
 
-void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b,
-                                Matrix& out) {
-  SKIPNODE_CHECK(a.rows() == b.rows());
-  SKIPNODE_CHECK(out.rows() == a.cols() && out.cols() == b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* __restrict ai = a.row(i);
-    const float* __restrict bi = b.row(i);
-    for (int p = 0; p < k; ++p) {
-      const float aip = ai[p];
-      if (aip == 0.0f) continue;
-      float* __restrict op = out.row(p);
-      for (int j = 0; j < n; ++j) op[j] += aip * bi[j];
-    }
-  }
-}
-
-Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
-  Matrix out(a.cols(), b.cols());
-  MatMulTransposeAAccumulate(a, b, out);
-  return out;
-}
-
-void MatMulTransposeBAccumulate(const Matrix& a, const Matrix& b,
-                                Matrix& out) {
-  SKIPNODE_CHECK(a.cols() == b.cols());
-  SKIPNODE_CHECK(out.rows() == a.rows() && out.cols() == b.rows());
-  const int m = a.rows(), n = a.cols(), k = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* __restrict ai = a.row(i);
-    float* __restrict oi = out.row(i);
-    for (int p = 0; p < k; ++p) {
-      const float* __restrict bp = b.row(p);
-      double dot = 0.0;
-      for (int j = 0; j < n; ++j) dot += static_cast<double>(ai[j]) * bp[j];
-      oi[p] += static_cast<float>(dot);
-    }
-  }
-}
-
-Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
-  Matrix out(a.rows(), b.rows());
-  MatMulTransposeBAccumulate(a, b, out);
-  return out;
-}
+}  // namespace
 
 Matrix Add(const Matrix& a, const Matrix& b) {
   SKIPNODE_CHECK(a.SameShape(b));
   Matrix out = a;
   const float* __restrict bd = b.data();
   float* __restrict od = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) od[i] += bd[i];
+  ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) od[i] += bd[i];
+  });
   return out;
 }
 
@@ -92,7 +154,9 @@ Matrix Sub(const Matrix& a, const Matrix& b) {
   Matrix out = a;
   const float* __restrict bd = b.data();
   float* __restrict od = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) od[i] -= bd[i];
+  ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) od[i] -= bd[i];
+  });
   return out;
 }
 
@@ -101,14 +165,18 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
   Matrix out = a;
   const float* __restrict bd = b.data();
   float* __restrict od = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) od[i] *= bd[i];
+  ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) od[i] *= bd[i];
+  });
   return out;
 }
 
 Matrix Scale(const Matrix& a, float s) {
   Matrix out = a;
   float* __restrict od = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) od[i] *= s;
+  ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) od[i] *= s;
+  });
   return out;
 }
 
@@ -116,13 +184,17 @@ void AddScaled(const Matrix& a, float s, Matrix& out) {
   SKIPNODE_CHECK(a.SameShape(out));
   const float* __restrict ad = a.data();
   float* __restrict od = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) od[i] += s * ad[i];
+  ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) od[i] += s * ad[i];
+  });
 }
 
 Matrix Relu(const Matrix& x) {
   Matrix out = x;
   float* __restrict od = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) od[i] = std::max(od[i], 0.0f);
+  ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) od[i] = std::max(od[i], 0.0f);
+  });
   return out;
 }
 
@@ -131,9 +203,11 @@ Matrix ReluBackward(const Matrix& x, const Matrix& grad) {
   Matrix out = grad;
   const float* __restrict xd = x.data();
   float* __restrict od = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) {
-    if (xd[i] <= 0.0f) od[i] = 0.0f;
-  }
+  ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (xd[i] <= 0.0f) od[i] = 0.0f;
+    }
+  });
   return out;
 }
 
@@ -167,14 +241,21 @@ Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
 
 Matrix GatherRows(const Matrix& x, const std::vector<int>& rows) {
   Matrix out(static_cast<int>(rows.size()), x.cols());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    SKIPNODE_CHECK(rows[i] >= 0 && rows[i] < x.rows());
-    std::copy(x.row(rows[i]), x.row(rows[i]) + x.cols(),
-              out.row(static_cast<int>(i)));
-  }
+  ParallelFor(
+      0, static_cast<int64_t>(rows.size()),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          SKIPNODE_CHECK(rows[i] >= 0 && rows[i] < x.rows());
+          std::copy(x.row(rows[i]), x.row(rows[i]) + x.cols(),
+                    out.row(static_cast<int>(i)));
+        }
+      },
+      MinRowsPerThread(x.cols()));
   return out;
 }
 
+// Serial: `rows` may repeat, so output rows are not owned by one source row
+// and a row partition over `src` would race (and reorder the += per target).
 void ScatterAddRows(const Matrix& src, const std::vector<int>& rows,
                     Matrix& out) {
   SKIPNODE_CHECK(src.rows() == static_cast<int>(rows.size()));
@@ -187,6 +268,8 @@ void ScatterAddRows(const Matrix& src, const std::vector<int>& rows,
   }
 }
 
+// Serial: a cross-row reduction — splitting rows across threads would
+// reorder the float sums and break the bitwise determinism contract.
 Matrix ColumnMeans(const Matrix& x) {
   SKIPNODE_CHECK(x.rows() > 0);
   Matrix out(1, x.cols());
@@ -202,69 +285,96 @@ Matrix ColumnMeans(const Matrix& x) {
 Matrix SubtractRowVector(const Matrix& x, const Matrix& v) {
   SKIPNODE_CHECK(v.rows() == 1 && v.cols() == x.cols());
   Matrix out = x;
-  for (int i = 0; i < out.rows(); ++i) {
-    float* oi = out.row(i);
-    for (int j = 0; j < out.cols(); ++j) oi[j] -= v(0, j);
-  }
+  ParallelFor(
+      0, out.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          float* oi = out.row(i);
+          for (int j = 0; j < out.cols(); ++j) oi[j] -= v(0, j);
+        }
+      },
+      MinRowsPerThread(out.cols()));
   return out;
 }
 
 Matrix RowSoftmax(const Matrix& x) {
   Matrix out = x;
-  for (int i = 0; i < out.rows(); ++i) {
-    float* oi = out.row(i);
-    float max_v = oi[0];
-    for (int j = 1; j < out.cols(); ++j) max_v = std::max(max_v, oi[j]);
-    double total = 0.0;
-    for (int j = 0; j < out.cols(); ++j) {
-      oi[j] = std::exp(oi[j] - max_v);
-      total += oi[j];
-    }
-    const float inv = static_cast<float>(1.0 / total);
-    for (int j = 0; j < out.cols(); ++j) oi[j] *= inv;
-  }
+  ParallelFor(
+      0, out.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          float* oi = out.row(i);
+          float max_v = oi[0];
+          for (int j = 1; j < out.cols(); ++j) max_v = std::max(max_v, oi[j]);
+          double total = 0.0;
+          for (int j = 0; j < out.cols(); ++j) {
+            oi[j] = std::exp(oi[j] - max_v);
+            total += oi[j];
+          }
+          const float inv = static_cast<float>(1.0 / total);
+          for (int j = 0; j < out.cols(); ++j) oi[j] *= inv;
+        }
+      },
+      MinRowsPerThread(4 * out.cols()));
   return out;
 }
 
 Matrix RowLogSoftmax(const Matrix& x) {
   Matrix out = x;
-  for (int i = 0; i < out.rows(); ++i) {
-    float* oi = out.row(i);
-    float max_v = oi[0];
-    for (int j = 1; j < out.cols(); ++j) max_v = std::max(max_v, oi[j]);
-    double total = 0.0;
-    for (int j = 0; j < out.cols(); ++j) total += std::exp(oi[j] - max_v);
-    const float log_z = max_v + static_cast<float>(std::log(total));
-    for (int j = 0; j < out.cols(); ++j) oi[j] -= log_z;
-  }
+  ParallelFor(
+      0, out.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          float* oi = out.row(i);
+          float max_v = oi[0];
+          for (int j = 1; j < out.cols(); ++j) max_v = std::max(max_v, oi[j]);
+          double total = 0.0;
+          for (int j = 0; j < out.cols(); ++j) {
+            total += std::exp(oi[j] - max_v);
+          }
+          const float log_z = max_v + static_cast<float>(std::log(total));
+          for (int j = 0; j < out.cols(); ++j) oi[j] -= log_z;
+        }
+      },
+      MinRowsPerThread(4 * out.cols()));
   return out;
 }
 
 Matrix RowNorms(const Matrix& x) {
   Matrix out(x.rows(), 1);
-  for (int i = 0; i < x.rows(); ++i) {
-    const float* xi = x.row(i);
-    double total = 0.0;
-    for (int j = 0; j < x.cols(); ++j) {
-      total += static_cast<double>(xi[j]) * xi[j];
-    }
-    out(i, 0) = static_cast<float>(std::sqrt(total));
-  }
+  ParallelFor(
+      0, x.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const float* xi = x.row(i);
+          double total = 0.0;
+          for (int j = 0; j < x.cols(); ++j) {
+            total += static_cast<double>(xi[j]) * xi[j];
+          }
+          out(i, 0) = static_cast<float>(std::sqrt(total));
+        }
+      },
+      MinRowsPerThread(2 * x.cols()));
   return out;
 }
 
 Matrix RowDots(const Matrix& a, const Matrix& b) {
   SKIPNODE_CHECK(a.SameShape(b));
   Matrix out(a.rows(), 1);
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* ai = a.row(i);
-    const float* bi = b.row(i);
-    double total = 0.0;
-    for (int j = 0; j < a.cols(); ++j) {
-      total += static_cast<double>(ai[j]) * bi[j];
-    }
-    out(i, 0) = static_cast<float>(total);
-  }
+  ParallelFor(
+      0, a.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const float* ai = a.row(i);
+          const float* bi = b.row(i);
+          double total = 0.0;
+          for (int j = 0; j < a.cols(); ++j) {
+            total += static_cast<double>(ai[j]) * bi[j];
+          }
+          out(i, 0) = static_cast<float>(total);
+        }
+      },
+      MinRowsPerThread(2 * a.cols()));
   return out;
 }
 

@@ -15,23 +15,60 @@ namespace skipnode {
 
 // --- GEMM family -----------------------------------------------------------
 
+// Every dense product funnels through Gemm so the thread pool is wired in
+// exactly one place. The historical MatMul* names below are inline wrappers.
+struct GemmOptions {
+  bool transpose_a = false;
+  bool transpose_b = false;
+  // false: out = op(A) * op(B);  true: out += op(A) * op(B).
+  bool accumulate = false;
+};
+
+// out (+)= op(A) * op(B) with op fixed by `options`. Shapes are checked
+// against the transposed views. Parallel over output rows: each thread owns
+// a disjoint contiguous block of rows of `out`, and the accumulation order
+// within any row is independent of the thread count, so results are bitwise
+// identical for every SKIPNODE_NUM_THREADS (see base/parallel.h).
+void Gemm(const Matrix& a, const Matrix& b, Matrix& out,
+          const GemmOptions& options = {});
+
 // Returns A * B. A is m x k, B is k x n.
-Matrix MatMul(const Matrix& a, const Matrix& b);
+inline Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  Gemm(a, b, out);
+  return out;
+}
 
 // out += A * B (out must already be m x n).
-void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix& out);
+inline void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix& out) {
+  Gemm(a, b, out, {.accumulate = true});
+}
 
 // Returns A^T * B. A is m x k, B is m x n; result is k x n.
-Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+inline Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  Matrix out(a.cols(), b.cols());
+  Gemm(a, b, out, {.transpose_a = true});
+  return out;
+}
 
 // out += A^T * B.
-void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b, Matrix& out);
+inline void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b,
+                                       Matrix& out) {
+  Gemm(a, b, out, {.transpose_a = true, .accumulate = true});
+}
 
 // Returns A * B^T. A is m x n, B is k x n; result is m x k.
-Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+inline Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.rows());
+  Gemm(a, b, out, {.transpose_b = true});
+  return out;
+}
 
 // out += A * B^T.
-void MatMulTransposeBAccumulate(const Matrix& a, const Matrix& b, Matrix& out);
+inline void MatMulTransposeBAccumulate(const Matrix& a, const Matrix& b,
+                                       Matrix& out) {
+  Gemm(a, b, out, {.transpose_b = true, .accumulate = true});
+}
 
 // --- Element-wise ----------------------------------------------------------
 

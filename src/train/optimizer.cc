@@ -5,7 +5,16 @@
 
 #include <cmath>
 
+#include "base/parallel.h"
+
 namespace skipnode {
+namespace {
+
+// Parameter matrices are a few thousand elements; only fan out when the
+// per-thread slice carries enough work to hide the pool wake-up.
+constexpr int64_t kMinUpdateElementsPerThread = 1 << 13;
+
+}  // namespace
 
 void Optimizer::ZeroGrad(const std::vector<Parameter*>& parameters) {
   for (Parameter* p : parameters) p->ZeroGrad();
@@ -15,9 +24,16 @@ void Sgd::Step(const std::vector<Parameter*>& parameters) {
   for (Parameter* p : parameters) {
     float* value = p->value.data();
     const float* grad = p->grad.data();
-    for (int64_t i = 0; i < p->value.size(); ++i) {
-      value[i] -= learning_rate_ * (grad[i] + weight_decay_ * value[i]);
-    }
+    // Element-parallel: every weight updates independently, so chunking the
+    // range cannot change any result bit.
+    ParallelFor(
+        0, p->value.size(),
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            value[i] -= learning_rate_ * (grad[i] + weight_decay_ * value[i]);
+          }
+        },
+        kMinUpdateElementsPerThread);
   }
 }
 
@@ -35,18 +51,27 @@ void Adam::Step(const std::vector<Parameter*>& parameters) {
     const float* grad = p->grad.data();
     float* m = moments.m.data();
     float* v = moments.v.data();
-    for (int64_t i = 0; i < p->value.size(); ++i) {
-      // Coupled (classic L2): decay enters the moment estimates; decoupled
-      // (AdamW): decay is applied to the weights directly below.
-      const float g =
-          grad[i] + (decoupled_ ? 0.0f : weight_decay_ * value[i]);
-      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
-      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
-      const float m_hat = m[i] / bias1;
-      const float v_hat = v[i] / bias2;
-      value[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
-      if (decoupled_) value[i] -= learning_rate_ * weight_decay_ * value[i];
-    }
+    // Element-parallel (see Sgd::Step); the moment updates touch only
+    // element i, so each thread's slice is fully independent.
+    ParallelFor(
+        0, p->value.size(),
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            // Coupled (classic L2): decay enters the moment estimates;
+            // decoupled (AdamW): decay hits the weights directly below.
+            const float g =
+                grad[i] + (decoupled_ ? 0.0f : weight_decay_ * value[i]);
+            m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+            v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+            const float m_hat = m[i] / bias1;
+            const float v_hat = v[i] / bias2;
+            value[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+            if (decoupled_) {
+              value[i] -= learning_rate_ * weight_decay_ * value[i];
+            }
+          }
+        },
+        kMinUpdateElementsPerThread);
   }
 }
 

@@ -12,7 +12,8 @@ namespace skipnode {
 TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
                                 const Split& split,
                                 const StrategyConfig& strategy,
-                                const TrainOptions& options) {
+                                const TrainRun& run) {
+  const TrainOptions& options = run.options;
   SKIPNODE_CHECK(graph.has_labels());
   SKIPNODE_CHECK(!split.train.empty());
   Rng rng(options.seed);
@@ -48,10 +49,14 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
       Var logits = model.Forward(tape, graph, ctx, /*training=*/false, rng);
       const double val_acc =
           Accuracy(logits.value(), graph.labels(), split.val);
+      const double test_acc =
+          Accuracy(logits.value(), graph.labels(), split.test);
+      if (run.on_epoch) {
+        run.on_epoch(epoch, result.final_train_loss, val_acc, test_acc);
+      }
       if (val_acc > result.best_val_accuracy || result.best_epoch < 0) {
         result.best_val_accuracy = val_acc;
-        result.test_accuracy =
-            Accuracy(logits.value(), graph.labels(), split.test);
+        result.test_accuracy = test_acc;
         result.best_epoch = epoch;
         epochs_since_best = 0;
       } else {
@@ -66,8 +71,11 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
 }
 
 Matrix EvaluateLogits(Model& model, const Graph& graph,
-                      const StrategyConfig& strategy, uint64_t seed) {
-  Rng rng(seed);
+                      const StrategyConfig& strategy) {
+  // Eval-mode forwards never draw from the Rng (dropout is identity and the
+  // sampling strategies are disabled when training=false); this Rng only
+  // satisfies Model::Forward's signature. The value is irrelevant.
+  Rng rng(0);
   Tape tape;
   StrategyContext ctx(graph, strategy, /*training=*/false, rng);
   Var logits = model.Forward(tape, graph, ctx, /*training=*/false, rng);

@@ -8,6 +8,8 @@
 #ifndef SKIPNODE_TRAIN_TRAINER_H_
 #define SKIPNODE_TRAIN_TRAINER_H_
 
+#include <functional>
+
 #include "core/strategies.h"
 #include "graph/graph.h"
 #include "graph/splits.h"
@@ -36,16 +38,48 @@ struct TrainResult {
   int epochs_run = 0;
 };
 
+// Observes training progress on evaluated epochs. The callback never sees
+// the Rng and accuracy computation consumes no randomness, so attaching or
+// removing it cannot change the TrainResult.
+using EpochCallback = std::function<void(
+    int epoch, double train_loss, double val_accuracy, double test_accuracy)>;
+
+// A full training run: options plus optional instrumentation. Construct with
+// designated initializers, e.g.
+//   TrainNodeClassifier(model, graph, split, strategy,
+//                       {.options = {.epochs = 400},
+//                        .on_epoch = [](int e, double l, double v, double t) {
+//                          ...
+//                        }});
+struct TrainRun {
+  TrainOptions options;
+  // Invoked after every epoch where evaluation ran (per options.eval_every
+  // and always on the last epoch). Leave unset for silent training.
+  EpochCallback on_epoch;
+};
+
 // Trains `model` on `graph` under `strategy` and returns validation-selected
-// test accuracy. Deterministic given options.seed.
+// test accuracy. Deterministic given run.options.seed.
 TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
                                 const Split& split,
                                 const StrategyConfig& strategy,
-                                const TrainOptions& options);
+                                const TrainRun& run);
+
+// Thin convenience overload for callers that only carry options.
+inline TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
+                                       const Split& split,
+                                       const StrategyConfig& strategy,
+                                       const TrainOptions& options) {
+  return TrainNodeClassifier(model, graph, split, strategy,
+                             TrainRun{.options = options});
+}
 
 // One evaluation pass (no dropout, strategies in eval mode); returns logits.
+// Takes no seed: in eval mode neither dropout nor any sampling strategy
+// draws from the Rng, so the pass is deterministic by construction. The
+// internal Rng exists only to satisfy the Forward interface.
 Matrix EvaluateLogits(Model& model, const Graph& graph,
-                      const StrategyConfig& strategy, uint64_t seed = 99);
+                      const StrategyConfig& strategy);
 
 }  // namespace skipnode
 

@@ -1,0 +1,155 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "base/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace skipnode {
+namespace {
+
+// Restores the default thread count after each test so the override never
+// leaks into other test binaries' expectations.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetParallelThreadCount(0); }
+};
+
+TEST_F(ParallelTest, CoversRangeExactlyOnce) {
+  SetParallelThreadCount(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, 257, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ParallelTest, EmptyAndSingleElementRanges) {
+  SetParallelThreadCount(4);
+  int calls = 0;
+  ParallelFor(5, 5, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(7, 8, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(lo, 7);
+    EXPECT_EQ(hi, 8);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ParallelTest, ChunksAreContiguousAndDisjoint) {
+  SetParallelThreadCount(4);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelFor(10, 110, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_LE(chunks.size(), 4u);
+  std::sort(chunks.begin(), chunks.end());
+  EXPECT_EQ(chunks.front().first, 10);
+  EXPECT_EQ(chunks.back().second, 110);
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);  // No gap, no overlap.
+  }
+}
+
+TEST_F(ParallelTest, MinPerThreadCapsFanOut) {
+  SetParallelThreadCount(8);
+  std::atomic<int> calls{0};
+  // 100 elements at >= 60 per chunk allows at most one chunk.
+  ParallelFor(
+      0, 100, [&](int64_t, int64_t) { calls.fetch_add(1); },
+      /*min_per_thread=*/60);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_F(ParallelTest, PoolIsReusedAcrossManyCalls) {
+  SetParallelThreadCount(4);
+  // Hundreds of back-to-back jobs through the same pool; workers must wake,
+  // finish, and park cleanly every time.
+  for (int round = 0; round < 300; ++round) {
+    std::atomic<int64_t> sum{0};
+    ParallelFor(0, 64, [&](int64_t lo, int64_t hi) {
+      int64_t local = 0;
+      for (int64_t i = lo; i < hi; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+TEST_F(ParallelTest, NestedCallsRunInlineWithoutDeadlock) {
+  SetParallelThreadCount(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t block = lo; block < hi; ++block) {
+      const std::thread::id outer = std::this_thread::get_id();
+      ParallelFor(block * 8, (block + 1) * 8, [&](int64_t ilo, int64_t ihi) {
+        // The nested region must not hop threads: it runs inline on the
+        // worker that owns the outer chunk.
+        EXPECT_EQ(std::this_thread::get_id(), outer);
+        for (int64_t i = ilo; i < ihi; ++i) hits[i].fetch_add(1);
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ParallelTest, SetParallelThreadCountForcesAndRestores) {
+  SetParallelThreadCount(3);
+  EXPECT_EQ(ParallelThreadCount(), 3);
+  SetParallelThreadCount(1);
+  EXPECT_EQ(ParallelThreadCount(), 1);
+  SetParallelThreadCount(0);
+  EXPECT_GE(ParallelThreadCount(), 1);  // Back to env/hardware default.
+}
+
+TEST_F(ParallelTest, EnvOverrideIsHonoured) {
+  const char* saved = std::getenv("SKIPNODE_NUM_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  setenv("SKIPNODE_NUM_THREADS", "3", /*overwrite=*/1);
+  SetParallelThreadCount(0);  // Drop the cached resolution.
+  EXPECT_EQ(ParallelThreadCount(), 3);
+
+  // An explicit override beats the environment.
+  SetParallelThreadCount(2);
+  EXPECT_EQ(ParallelThreadCount(), 2);
+
+  if (saved != nullptr) {
+    setenv("SKIPNODE_NUM_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("SKIPNODE_NUM_THREADS");
+  }
+  SetParallelThreadCount(0);
+}
+
+TEST_F(ParallelTest, ManyThreadsOnFewElementsNeverYieldsEmptyChunks) {
+  SetParallelThreadCount(8);
+  std::mutex mu;
+  std::set<int64_t> seen;
+  int chunk_count = 0;
+  ParallelFor(0, 3, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++chunk_count;
+    EXPECT_LT(lo, hi);
+    for (int64_t i = lo; i < hi; ++i) EXPECT_TRUE(seen.insert(i).second);
+  });
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_LE(chunk_count, 3);
+}
+
+}  // namespace
+}  // namespace skipnode

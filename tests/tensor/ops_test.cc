@@ -4,8 +4,11 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
+
+#include "base/parallel.h"
 
 namespace skipnode {
 namespace {
@@ -178,6 +181,81 @@ TEST(OpsTest, CosineSimilarityBasics) {
   EXPECT_NEAR(CosineSimilarity(a, c, 2), 1.0f, 1e-6f);
   const float zero[] = {0, 0};
   EXPECT_EQ(CosineSimilarity(a, zero, 2), 0.0f);
+}
+
+TEST(OpsTest, GemmBothTransposesMatchesExplicitTransposes) {
+  Rng rng(11);
+  Matrix a = Matrix::Random(6, 4, rng);   // op(A) = A^T is 4 x 6.
+  Matrix b = Matrix::Random(5, 6, rng);   // op(B) = B^T is 6 x 5.
+  Matrix out(4, 5);
+  Gemm(a, b, out, {.transpose_a = true, .transpose_b = true});
+  EXPECT_LT(MaxAbsDiff(out, MatMul(Transpose(a), Transpose(b))), 1e-4f);
+}
+
+TEST(OpsTest, GemmAccumulateAddsOntoExistingOutput) {
+  Rng rng(12);
+  Matrix a = Matrix::Random(5, 3, rng);
+  Matrix b = Matrix::Random(3, 4, rng);
+  Matrix out = Matrix::Ones(5, 4);
+  Gemm(a, b, out, {.accumulate = true});
+  EXPECT_LT(MaxAbsDiff(out, Add(MatMul(a, b), Matrix::Ones(5, 4))), 1e-5f);
+  // Without accumulate the old contents are discarded.
+  Gemm(a, b, out);
+  EXPECT_LT(MaxAbsDiff(out, MatMul(a, b)), 1e-6f);
+}
+
+// True bitwise equality, not an epsilon: the parallel partition must not
+// change a single accumulation order.
+void ExpectBitwiseEqual(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), sizeof(float) * a.size()), 0);
+}
+
+TEST(OpsTest, GemmIsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(13);
+  // Big enough that ParallelFor actually fans out past min_per_thread.
+  Matrix a = Matrix::Random(192, 96, rng);
+  Matrix b = Matrix::Random(96, 64, rng);
+  Matrix at = Transpose(a);  // For the transpose_a path: 96 x 192.
+  Matrix bt = Transpose(b);  // For the transpose_b path: 64 x 96.
+
+  const GemmOptions variants[] = {
+      {},
+      {.transpose_a = true},
+      {.transpose_b = true},
+      {.transpose_a = true, .transpose_b = true},
+      {.accumulate = true},
+      {.transpose_a = true, .accumulate = true},
+  };
+  for (const GemmOptions& options : variants) {
+    const Matrix& lhs = options.transpose_a ? at : a;
+    const Matrix& rhs = options.transpose_b ? bt : b;
+    SetParallelThreadCount(1);
+    Matrix serial = Matrix::Ones(192, 64);
+    Gemm(lhs, rhs, serial, options);
+    SetParallelThreadCount(4);
+    Matrix threaded = Matrix::Ones(192, 64);
+    Gemm(lhs, rhs, threaded, options);
+    SetParallelThreadCount(0);
+    ExpectBitwiseEqual(serial, threaded);
+  }
+}
+
+TEST(OpsTest, RowOpsAreBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(14);
+  Matrix x = Matrix::Random(512, 32, rng, -3.0f, 3.0f);
+  SetParallelThreadCount(1);
+  Matrix soft1 = RowSoftmax(x), logsoft1 = RowLogSoftmax(x);
+  Matrix norms1 = RowNorms(x), relu1 = Relu(x);
+  SetParallelThreadCount(4);
+  Matrix soft4 = RowSoftmax(x), logsoft4 = RowLogSoftmax(x);
+  Matrix norms4 = RowNorms(x), relu4 = Relu(x);
+  SetParallelThreadCount(0);
+  ExpectBitwiseEqual(soft1, soft4);
+  ExpectBitwiseEqual(logsoft1, logsoft4);
+  ExpectBitwiseEqual(norms1, norms4);
+  ExpectBitwiseEqual(relu1, relu4);
 }
 
 TEST(OpsTest, MaxSingularValueOfDiagonal) {

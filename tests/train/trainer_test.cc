@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "base/parallel.h"
 #include "graph/datasets.h"
 #include "tensor/ops.h"
 #include "nn/model_factory.h"
@@ -98,6 +101,75 @@ TEST(TrainerTest, EvaluateLogitsShapeAndDeterminism) {
   EXPECT_EQ(a.rows(), setup.graph.num_nodes());
   EXPECT_EQ(a.cols(), setup.graph.num_classes());
   EXPECT_LT(MaxAbsDiff(a, b), 1e-7f);
+}
+
+TEST(TrainerTest, EpochCallbackObservesEveryEvaluatedEpoch) {
+  Fixture setup(8);
+  Rng rng(10);
+  auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
+  std::vector<int> epochs_seen;
+  double last_val = -1.0, last_test = -1.0;
+  TrainRun run;
+  run.options.epochs = 12;
+  run.options.eval_every = 3;
+  run.on_epoch = [&](int epoch, double train_loss, double val_acc,
+                     double test_acc) {
+    epochs_seen.push_back(epoch);
+    EXPECT_GT(train_loss, 0.0);
+    last_val = val_acc;
+    last_test = test_acc;
+  };
+  const TrainResult result = TrainNodeClassifier(
+      *model, setup.graph, setup.split, StrategyConfig::None(), run);
+  // Epochs 0, 3, 6, 9 per eval_every, plus the always-evaluated last epoch.
+  EXPECT_EQ(epochs_seen, (std::vector<int>{0, 3, 6, 9, 11}));
+  EXPECT_GE(last_val, 0.0);
+  EXPECT_GE(last_test, 0.0);
+  EXPECT_GE(result.best_val_accuracy, 0.0);
+}
+
+TEST(TrainerTest, CallbackDoesNotPerturbTheResult) {
+  Fixture setup(9);
+  TrainOptions options;
+  options.epochs = 20;
+  options.seed = 23;
+  TrainResult results[2];
+  for (int i = 0; i < 2; ++i) {
+    Rng rng(11);
+    auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
+    TrainRun run{.options = options};
+    if (i == 1) run.on_epoch = [](int, double, double, double) {};
+    results[i] = TrainNodeClassifier(*model, setup.graph, setup.split,
+                                     StrategyConfig::SkipNodeU(0.5f), run);
+  }
+  EXPECT_DOUBLE_EQ(results[0].test_accuracy, results[1].test_accuracy);
+  EXPECT_DOUBLE_EQ(results[0].final_train_loss, results[1].final_train_loss);
+  EXPECT_EQ(results[0].best_epoch, results[1].best_epoch);
+}
+
+// The tentpole contract: the whole training loop — GEMMs, SpMM, dropout,
+// Adam — is bitwise reproducible across thread counts, so a run at 4
+// threads must reproduce the 1-thread result exactly, not approximately.
+TEST(TrainerTest, TrainResultIsIdenticalAcrossThreadCounts) {
+  Fixture setup(10);
+  TrainOptions options;
+  options.epochs = 30;
+  options.seed = 31;
+  TrainResult results[2];
+  const int thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    SetParallelThreadCount(thread_counts[i]);
+    Rng rng(12);
+    auto model = MakeModel("GCN", ConfigFor(setup.graph, 4), rng);
+    results[i] = TrainNodeClassifier(*model, setup.graph, setup.split,
+                                     StrategyConfig::SkipNodeU(0.5f), options);
+  }
+  SetParallelThreadCount(0);
+  EXPECT_EQ(results[0].best_epoch, results[1].best_epoch);
+  EXPECT_EQ(results[0].epochs_run, results[1].epochs_run);
+  EXPECT_DOUBLE_EQ(results[0].best_val_accuracy, results[1].best_val_accuracy);
+  EXPECT_DOUBLE_EQ(results[0].test_accuracy, results[1].test_accuracy);
+  EXPECT_DOUBLE_EQ(results[0].final_train_loss, results[1].final_train_loss);
 }
 
 TEST(TrainerTest, TrainingLossFallsOverTraining) {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the library under ThreadSanitizer and runs the tests that exercise
+# the thread pool. Any data race in ParallelFor or a parallel kernel aborts
+# the run with a TSan report.
+#
+# Usage: tools/check_tsan.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-tsan
+
+cmake -B "$BUILD_DIR" -DSKIPNODE_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+  parallel_test tensor_ops_test csr_matrix_test graph_ops_test \
+  optimizer_test trainer_test
+
+# Force multi-threaded execution even on single-core hosts so the pool's
+# synchronisation actually gets exercised.
+export SKIPNODE_NUM_THREADS=4
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R \
+  '^(parallel_test|tensor_ops_test|csr_matrix_test|graph_ops_test|optimizer_test|trainer_test)$' \
+  "$@"
+
+echo "TSan: no data races detected."

@@ -44,6 +44,8 @@ Options:
   --epochs N            training epochs                         (default 200)
   --lr F                learning rate                           (default 0.01)
   --weight-decay F      L2 coefficient                          (default 5e-4)
+  --log-every N         print loss/val/test every N evaluated
+                        epochs (0 = silent)                     (default 0)
   --split NAME          public | random                         (default public)
   --save-dir DIR        checkpoint the trained model into DIR (must exist)
   --help                print this message
@@ -63,6 +65,7 @@ struct CliOptions {
   int epochs = 200;
   float learning_rate = 0.01f;
   float weight_decay = 5e-4f;
+  int log_every = 0;
   std::string split = "public";
   std::string save_dir;
 };
@@ -115,6 +118,8 @@ bool ParseFlags(int argc, const char* const* argv, CliOptions* options,
       options->learning_rate = static_cast<float>(std::atof(value));
     } else if (flag == "--weight-decay") {
       options->weight_decay = static_cast<float>(std::atof(value));
+    } else if (flag == "--log-every") {
+      options->log_every = std::atoi(value);
     } else if (flag == "--split") {
       options->split = value;
     } else if (flag == "--save-dir") {
@@ -242,16 +247,25 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
   auto model = MakeModel(options.model, config, model_rng);
 
   // --- Train --------------------------------------------------------------
-  TrainOptions train_options;
-  train_options.epochs = options.epochs;
-  train_options.learning_rate = options.learning_rate;
-  train_options.weight_decay = options.weight_decay;
-  train_options.seed = options.seed;
+  TrainRun train_run;
+  train_run.options.epochs = options.epochs;
+  train_run.options.learning_rate = options.learning_rate;
+  train_run.options.weight_decay = options.weight_decay;
+  train_run.options.seed = options.seed;
+  if (options.log_every > 0) {
+    const int log_every = options.log_every;
+    train_run.on_epoch = [out, log_every](int epoch, double train_loss,
+                                          double val_acc, double test_acc) {
+      if (epoch % log_every != 0) return;
+      std::fprintf(out, "epoch %4d | loss %.4f | val %.2f%% | test %.2f%%\n",
+                   epoch, train_loss, 100.0 * val_acc, 100.0 * test_acc);
+    };
+  }
   std::fprintf(out, "training %s (L=%d, hidden=%d) + %s for %d epochs\n",
                options.model.c_str(), options.layers, options.hidden,
                StrategyName(strategy.kind), options.epochs);
   const TrainResult result =
-      TrainNodeClassifier(*model, *graph, split, strategy, train_options);
+      TrainNodeClassifier(*model, *graph, split, strategy, train_run);
 
   // --- Report -------------------------------------------------------------
   // The tape must outlive Penultimate()'s Var, so run the evaluation
