@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skipnode.dir/ablation_skipnode.cc.o"
+  "CMakeFiles/ablation_skipnode.dir/ablation_skipnode.cc.o.d"
+  "ablation_skipnode"
+  "ablation_skipnode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skipnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_three_issues.dir/fig2_three_issues.cc.o"
+  "CMakeFiles/fig2_three_issues.dir/fig2_three_issues.cc.o.d"
+  "fig2_three_issues"
+  "fig2_three_issues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_three_issues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_distance_ratio.dir/fig4_distance_ratio.cc.o"
+  "CMakeFiles/fig4_distance_ratio.dir/fig4_distance_ratio.cc.o.d"
+  "fig4_distance_ratio"
+  "fig4_distance_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_distance_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_full_supervised.dir/table3_full_supervised.cc.o"
+  "CMakeFiles/table3_full_supervised.dir/table3_full_supervised.cc.o.d"
+  "table3_full_supervised"
+  "table3_full_supervised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_full_supervised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

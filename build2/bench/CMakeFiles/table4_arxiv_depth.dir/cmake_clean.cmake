@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_arxiv_depth.dir/table4_arxiv_depth.cc.o"
+  "CMakeFiles/table4_arxiv_depth.dir/table4_arxiv_depth.cc.o.d"
+  "table4_arxiv_depth"
+  "table4_arxiv_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_arxiv_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

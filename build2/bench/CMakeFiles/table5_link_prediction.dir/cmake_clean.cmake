@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_link_prediction.dir/table5_link_prediction.cc.o"
+  "CMakeFiles/table5_link_prediction.dir/table5_link_prediction.cc.o.d"
+  "table5_link_prediction"
+  "table5_link_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_link_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_semi_supervised_depth.dir/table6_semi_supervised_depth.cc.o"
+  "CMakeFiles/table6_semi_supervised_depth.dir/table6_semi_supervised_depth.cc.o.d"
+  "table6_semi_supervised_depth"
+  "table6_semi_supervised_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_semi_supervised_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

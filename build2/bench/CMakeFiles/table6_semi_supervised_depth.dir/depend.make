@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_semi_supervised_depth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_strategy_comparison.dir/table7_strategy_comparison.cc.o"
+  "CMakeFiles/table7_strategy_comparison.dir/table7_strategy_comparison.cc.o.d"
+  "table7_strategy_comparison"
+  "table7_strategy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_strategy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

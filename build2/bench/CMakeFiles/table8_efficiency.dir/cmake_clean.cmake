@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_efficiency.dir/table8_efficiency.cc.o"
+  "CMakeFiles/table8_efficiency.dir/table8_efficiency.cc.o.d"
+  "table8_efficiency"
+  "table8_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_gcn_rescue.dir/deep_gcn_rescue.cpp.o"
+  "CMakeFiles/deep_gcn_rescue.dir/deep_gcn_rescue.cpp.o.d"
+  "deep_gcn_rescue"
+  "deep_gcn_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_gcn_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for deep_gcn_rescue.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversmoothing_lab.dir/oversmoothing_lab.cpp.o"
+  "CMakeFiles/oversmoothing_lab.dir/oversmoothing_lab.cpp.o.d"
+  "oversmoothing_lab"
+  "oversmoothing_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversmoothing_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipnode_autograd.dir/autograd/grad_check.cc.o"
+  "CMakeFiles/skipnode_autograd.dir/autograd/grad_check.cc.o.d"
+  "CMakeFiles/skipnode_autograd.dir/autograd/ops.cc.o"
+  "CMakeFiles/skipnode_autograd.dir/autograd/ops.cc.o.d"
+  "CMakeFiles/skipnode_autograd.dir/autograd/tape.cc.o"
+  "CMakeFiles/skipnode_autograd.dir/autograd/tape.cc.o.d"
+  "libskipnode_autograd.a"
+  "libskipnode_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipnode_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

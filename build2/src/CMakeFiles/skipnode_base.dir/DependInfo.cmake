@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/parallel.cc" "src/CMakeFiles/skipnode_base.dir/base/parallel.cc.o" "gcc" "src/CMakeFiles/skipnode_base.dir/base/parallel.cc.o.d"
+  "/root/repo/src/base/result_table.cc" "src/CMakeFiles/skipnode_base.dir/base/result_table.cc.o" "gcc" "src/CMakeFiles/skipnode_base.dir/base/result_table.cc.o.d"
+  "/root/repo/src/base/rng.cc" "src/CMakeFiles/skipnode_base.dir/base/rng.cc.o" "gcc" "src/CMakeFiles/skipnode_base.dir/base/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipnode_base.dir/base/parallel.cc.o"
+  "CMakeFiles/skipnode_base.dir/base/parallel.cc.o.d"
+  "CMakeFiles/skipnode_base.dir/base/result_table.cc.o"
+  "CMakeFiles/skipnode_base.dir/base/result_table.cc.o.d"
+  "CMakeFiles/skipnode_base.dir/base/rng.cc.o"
+  "CMakeFiles/skipnode_base.dir/base/rng.cc.o.d"
+  "libskipnode_base.a"
+  "libskipnode_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipnode_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

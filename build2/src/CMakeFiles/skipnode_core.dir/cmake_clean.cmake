@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipnode_core.dir/core/oversmoothing.cc.o"
+  "CMakeFiles/skipnode_core.dir/core/oversmoothing.cc.o.d"
+  "CMakeFiles/skipnode_core.dir/core/skipnode.cc.o"
+  "CMakeFiles/skipnode_core.dir/core/skipnode.cc.o.d"
+  "CMakeFiles/skipnode_core.dir/core/strategies.cc.o"
+  "CMakeFiles/skipnode_core.dir/core/strategies.cc.o.d"
+  "libskipnode_core.a"
+  "libskipnode_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipnode_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/datasets.cc" "src/CMakeFiles/skipnode_graph.dir/graph/datasets.cc.o" "gcc" "src/CMakeFiles/skipnode_graph.dir/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/skipnode_graph.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/skipnode_graph.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/skipnode_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/skipnode_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/skipnode_graph.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/skipnode_graph.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/splits.cc" "src/CMakeFiles/skipnode_graph.dir/graph/splits.cc.o" "gcc" "src/CMakeFiles/skipnode_graph.dir/graph/splits.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/skipnode_sparse.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_tensor.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipnode_graph.dir/graph/datasets.cc.o"
+  "CMakeFiles/skipnode_graph.dir/graph/datasets.cc.o.d"
+  "CMakeFiles/skipnode_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/skipnode_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/skipnode_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/skipnode_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/skipnode_graph.dir/graph/io.cc.o"
+  "CMakeFiles/skipnode_graph.dir/graph/io.cc.o.d"
+  "CMakeFiles/skipnode_graph.dir/graph/splits.cc.o"
+  "CMakeFiles/skipnode_graph.dir/graph/splits.cc.o.d"
+  "libskipnode_graph.a"
+  "libskipnode_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipnode_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

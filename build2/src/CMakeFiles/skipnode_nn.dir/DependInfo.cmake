@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/appnp.cc" "src/CMakeFiles/skipnode_nn.dir/nn/appnp.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/appnp.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/CMakeFiles/skipnode_nn.dir/nn/checkpoint.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/checkpoint.cc.o.d"
+  "/root/repo/src/nn/gat.cc" "src/CMakeFiles/skipnode_nn.dir/nn/gat.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/gat.cc.o.d"
+  "/root/repo/src/nn/gcn.cc" "src/CMakeFiles/skipnode_nn.dir/nn/gcn.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/gcn.cc.o.d"
+  "/root/repo/src/nn/gcnii.cc" "src/CMakeFiles/skipnode_nn.dir/nn/gcnii.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/gcnii.cc.o.d"
+  "/root/repo/src/nn/gprgnn.cc" "src/CMakeFiles/skipnode_nn.dir/nn/gprgnn.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/gprgnn.cc.o.d"
+  "/root/repo/src/nn/grand.cc" "src/CMakeFiles/skipnode_nn.dir/nn/grand.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/grand.cc.o.d"
+  "/root/repo/src/nn/incepgcn.cc" "src/CMakeFiles/skipnode_nn.dir/nn/incepgcn.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/incepgcn.cc.o.d"
+  "/root/repo/src/nn/jknet.cc" "src/CMakeFiles/skipnode_nn.dir/nn/jknet.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/jknet.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/skipnode_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/model_factory.cc" "src/CMakeFiles/skipnode_nn.dir/nn/model_factory.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/model_factory.cc.o.d"
+  "/root/repo/src/nn/resgcn.cc" "src/CMakeFiles/skipnode_nn.dir/nn/resgcn.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/resgcn.cc.o.d"
+  "/root/repo/src/nn/sgc.cc" "src/CMakeFiles/skipnode_nn.dir/nn/sgc.cc.o" "gcc" "src/CMakeFiles/skipnode_nn.dir/nn/sgc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/skipnode_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_autograd.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_graph.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_sparse.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_tensor.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipnode_nn.dir/nn/appnp.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/appnp.cc.o.d"
+  "CMakeFiles/skipnode_nn.dir/nn/checkpoint.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/checkpoint.cc.o.d"
+  "CMakeFiles/skipnode_nn.dir/nn/gat.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/gat.cc.o.d"
+  "CMakeFiles/skipnode_nn.dir/nn/gcn.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/gcn.cc.o.d"
+  "CMakeFiles/skipnode_nn.dir/nn/gcnii.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/gcnii.cc.o.d"
+  "CMakeFiles/skipnode_nn.dir/nn/gprgnn.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/gprgnn.cc.o.d"
+  "CMakeFiles/skipnode_nn.dir/nn/grand.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/grand.cc.o.d"
+  "CMakeFiles/skipnode_nn.dir/nn/incepgcn.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/incepgcn.cc.o.d"
+  "CMakeFiles/skipnode_nn.dir/nn/jknet.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/jknet.cc.o.d"
+  "CMakeFiles/skipnode_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/skipnode_nn.dir/nn/model_factory.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/model_factory.cc.o.d"
+  "CMakeFiles/skipnode_nn.dir/nn/resgcn.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/resgcn.cc.o.d"
+  "CMakeFiles/skipnode_nn.dir/nn/sgc.cc.o"
+  "CMakeFiles/skipnode_nn.dir/nn/sgc.cc.o.d"
+  "libskipnode_nn.a"
+  "libskipnode_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipnode_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

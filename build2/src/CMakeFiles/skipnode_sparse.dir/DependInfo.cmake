@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csr_matrix.cc" "src/CMakeFiles/skipnode_sparse.dir/sparse/csr_matrix.cc.o" "gcc" "src/CMakeFiles/skipnode_sparse.dir/sparse/csr_matrix.cc.o.d"
+  "/root/repo/src/sparse/graph_ops.cc" "src/CMakeFiles/skipnode_sparse.dir/sparse/graph_ops.cc.o" "gcc" "src/CMakeFiles/skipnode_sparse.dir/sparse/graph_ops.cc.o.d"
+  "/root/repo/src/sparse/spectral.cc" "src/CMakeFiles/skipnode_sparse.dir/sparse/spectral.cc.o" "gcc" "src/CMakeFiles/skipnode_sparse.dir/sparse/spectral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/skipnode_tensor.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipnode_sparse.dir/sparse/csr_matrix.cc.o"
+  "CMakeFiles/skipnode_sparse.dir/sparse/csr_matrix.cc.o.d"
+  "CMakeFiles/skipnode_sparse.dir/sparse/graph_ops.cc.o"
+  "CMakeFiles/skipnode_sparse.dir/sparse/graph_ops.cc.o.d"
+  "CMakeFiles/skipnode_sparse.dir/sparse/spectral.cc.o"
+  "CMakeFiles/skipnode_sparse.dir/sparse/spectral.cc.o.d"
+  "libskipnode_sparse.a"
+  "libskipnode_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipnode_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

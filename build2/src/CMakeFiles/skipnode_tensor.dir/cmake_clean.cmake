@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipnode_tensor.dir/tensor/matrix.cc.o"
+  "CMakeFiles/skipnode_tensor.dir/tensor/matrix.cc.o.d"
+  "CMakeFiles/skipnode_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/skipnode_tensor.dir/tensor/ops.cc.o.d"
+  "libskipnode_tensor.a"
+  "libskipnode_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipnode_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

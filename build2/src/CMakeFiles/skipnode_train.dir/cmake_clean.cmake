@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipnode_train.dir/train/dynamics.cc.o"
+  "CMakeFiles/skipnode_train.dir/train/dynamics.cc.o.d"
+  "CMakeFiles/skipnode_train.dir/train/link_trainer.cc.o"
+  "CMakeFiles/skipnode_train.dir/train/link_trainer.cc.o.d"
+  "CMakeFiles/skipnode_train.dir/train/metrics.cc.o"
+  "CMakeFiles/skipnode_train.dir/train/metrics.cc.o.d"
+  "CMakeFiles/skipnode_train.dir/train/optimizer.cc.o"
+  "CMakeFiles/skipnode_train.dir/train/optimizer.cc.o.d"
+  "CMakeFiles/skipnode_train.dir/train/trainer.cc.o"
+  "CMakeFiles/skipnode_train.dir/train/trainer.cc.o.d"
+  "libskipnode_train.a"
+  "libskipnode_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipnode_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

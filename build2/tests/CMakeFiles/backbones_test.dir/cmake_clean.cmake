@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backbones_test.dir/nn/backbones_test.cc.o"
+  "CMakeFiles/backbones_test.dir/nn/backbones_test.cc.o.d"
+  "backbones_test"
+  "backbones_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backbones_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

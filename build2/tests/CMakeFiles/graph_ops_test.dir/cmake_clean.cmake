@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_ops_test.dir/sparse/graph_ops_test.cc.o"
+  "CMakeFiles/graph_ops_test.dir/sparse/graph_ops_test.cc.o.d"
+  "graph_ops_test"
+  "graph_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

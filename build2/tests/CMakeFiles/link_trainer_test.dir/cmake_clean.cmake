@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_trainer_test.dir/train/link_trainer_test.cc.o"
+  "CMakeFiles/link_trainer_test.dir/train/link_trainer_test.cc.o.d"
+  "link_trainer_test"
+  "link_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

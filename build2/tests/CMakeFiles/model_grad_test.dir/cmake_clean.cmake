@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_grad_test.dir/nn/model_grad_test.cc.o"
+  "CMakeFiles/model_grad_test.dir/nn/model_grad_test.cc.o.d"
+  "model_grad_test"
+  "model_grad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_grad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_grad_test.dir/autograd/ops_grad_test.cc.o"
+  "CMakeFiles/ops_grad_test.dir/autograd/ops_grad_test.cc.o.d"
+  "ops_grad_test"
+  "ops_grad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_grad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversmoothing_test.dir/core/oversmoothing_test.cc.o"
+  "CMakeFiles/oversmoothing_test.dir/core/oversmoothing_test.cc.o.d"
+  "oversmoothing_test"
+  "oversmoothing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversmoothing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_table_test.dir/base/result_table_test.cc.o"
+  "CMakeFiles/result_table_test.dir/base/result_table_test.cc.o.d"
+  "result_table_test"
+  "result_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rho_schedule_test.dir/core/rho_schedule_test.cc.o"
+  "CMakeFiles/rho_schedule_test.dir/core/rho_schedule_test.cc.o.d"
+  "rho_schedule_test"
+  "rho_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rho_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipnode_test.dir/core/skipnode_test.cc.o"
+  "CMakeFiles/skipnode_test.dir/core/skipnode_test.cc.o.d"
+  "skipnode_test"
+  "skipnode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipnode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

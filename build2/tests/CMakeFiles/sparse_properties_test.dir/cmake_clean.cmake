@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_properties_test.dir/sparse/properties_test.cc.o"
+  "CMakeFiles/sparse_properties_test.dir/sparse/properties_test.cc.o.d"
+  "sparse_properties_test"
+  "sparse_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_test.dir/sparse/spectral_test.cc.o"
+  "CMakeFiles/spectral_test.dir/sparse/spectral_test.cc.o.d"
+  "spectral_test"
+  "spectral_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

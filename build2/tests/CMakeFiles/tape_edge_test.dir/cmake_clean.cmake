@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tape_edge_test.dir/autograd/tape_edge_test.cc.o"
+  "CMakeFiles/tape_edge_test.dir/autograd/tape_edge_test.cc.o.d"
+  "tape_edge_test"
+  "tape_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tape_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

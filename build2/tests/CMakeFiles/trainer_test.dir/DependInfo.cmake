@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/train/trainer_test.cc" "tests/CMakeFiles/trainer_test.dir/train/trainer_test.cc.o" "gcc" "tests/CMakeFiles/trainer_test.dir/train/trainer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/skipnode_train.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_nn.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_autograd.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_graph.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_sparse.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_tensor.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/skipnode_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipnode_cli.dir/cli.cc.o"
+  "CMakeFiles/skipnode_cli.dir/cli.cc.o.d"
+  "libskipnode_cli.a"
+  "libskipnode_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipnode_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipnode_train_cli.dir/skipnode_train_main.cc.o"
+  "CMakeFiles/skipnode_train_cli.dir/skipnode_train_main.cc.o.d"
+  "skipnode_train"
+  "skipnode_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipnode_train_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
