@@ -57,7 +57,10 @@ inline double RunCell(const std::string& backbone, const Graph& graph,
 
   // Benches can watch any cell live by exporting SKIPNODE_BENCH_TRACE=1;
   // the callback observes only (it never touches the Rng), so tracing does
-  // not change any reported number.
+  // not change any reported number. SKIPNODE_BENCH_GUARD=1 runs every cell
+  // under the numerical-health guardrails (DESIGN §8) — also a no-op on the
+  // numbers: the scans are pure reads and no fault ever fires in a bench,
+  // so guarded cells are bitwise identical to unguarded ones.
   TrainRun run;
   run.options.epochs = epochs;
   run.options.eval_every = 2;
@@ -68,6 +71,9 @@ inline double RunCell(const std::string& backbone, const Graph& graph,
       std::printf("    epoch %4d | loss %.4f | val %.2f%% | test %.2f%%\n",
                   epoch, loss, 100.0 * val, 100.0 * test);
     };
+  }
+  if (std::getenv("SKIPNODE_BENCH_GUARD") != nullptr) {
+    run.health.enabled = true;
   }
 
   Rng rng(seed * 7919 + 13);

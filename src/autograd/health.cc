@@ -1,0 +1,49 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "autograd/health.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace skipnode {
+
+GradientHealth ProbeGradients(const std::vector<Parameter*>& parameters) {
+  GradientHealth health;
+  double squared = 0.0;
+  for (const Parameter* p : parameters) {
+    if (health.finite && HasNonFinite(p->grad)) {
+      health.finite = false;
+      health.first_bad = p->name;
+    }
+    // Serial double accumulation over the flat buffer: the order is fixed by
+    // the parameter list, never by the thread count.
+    const float* g = p->grad.data();
+    for (int64_t i = 0; i < p->grad.size(); ++i) {
+      squared += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  health.global_norm = std::sqrt(squared);
+  return health;
+}
+
+bool ParametersFinite(const std::vector<Parameter*>& parameters,
+                      std::string* first_bad) {
+  for (const Parameter* p : parameters) {
+    if (HasNonFinite(p->value)) {
+      if (first_bad != nullptr) *first_bad = p->name;
+      return false;
+    }
+  }
+  return true;
+}
+
+void ScaleGradients(const std::vector<Parameter*>& parameters, float factor) {
+  for (Parameter* p : parameters) {
+    float* g = p->grad.data();
+    for (int64_t i = 0; i < p->grad.size(); ++i) g[i] *= factor;
+  }
+}
+
+}  // namespace skipnode

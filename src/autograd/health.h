@@ -1,0 +1,47 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Gradient- and parameter-health probes for the training loop's guardrails
+// (DESIGN §8). A probe is a pure read over the Parameter set: it never
+// touches values, gradients, or any Rng, so attaching one to a training run
+// cannot change a single bit of the result. The only mutating helper is
+// ScaleGradients, used by the trainer's gradient clipping.
+
+#ifndef SKIPNODE_AUTOGRAD_HEALTH_H_
+#define SKIPNODE_AUTOGRAD_HEALTH_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/tape.h"
+
+namespace skipnode {
+
+// Snapshot of the gradient state after a backward pass.
+struct GradientHealth {
+  // False iff some gradient holds a NaN or an Inf.
+  bool finite = true;
+  // Name of the first offending parameter (empty when finite).
+  std::string first_bad;
+  // Global L2 norm over every gradient, accumulated serially in double so
+  // the value is identical at any thread count. Meaningless when !finite
+  // (a NaN poisons the sum) — consult `finite` first.
+  double global_norm = 0.0;
+};
+
+// Scans every parameter's gradient: non-finite flags (parallel per-row,
+// serially reduced — see tensor/ops HasNonFinite) plus the global norm.
+GradientHealth ProbeGradients(const std::vector<Parameter*>& parameters);
+
+// True iff every parameter *value* is finite; on failure `first_bad` (when
+// non-null) receives the first offending parameter's name.
+bool ParametersFinite(const std::vector<Parameter*>& parameters,
+                      std::string* first_bad = nullptr);
+
+// grad *= factor for every parameter — the commit step of gradient-norm
+// clipping (factor = clip / global_norm).
+void ScaleGradients(const std::vector<Parameter*>& parameters, float factor);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_AUTOGRAD_HEALTH_H_

@@ -52,6 +52,11 @@ Var Tape::Leaf(Parameter& parameter) {
 
 Var Tape::Constant(Matrix value) { return Emplace(std::move(value)); }
 
+Matrix& Tape::MutableValue(Var v) {
+  SKIPNODE_CHECK(v.tape_ == this);
+  return node(v.index_).value;
+}
+
 void Tape::Backward(Var loss) {
   SKIPNODE_CHECK(loss.tape_ == this);
   SKIPNODE_CHECK(!backward_done_);

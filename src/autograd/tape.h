@@ -153,6 +153,12 @@ class Tape {
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
 
+  // Mutable access to a node's forward value, for the fault-injection layer
+  // (base/fault.h): corrupting an activation *before* the ops consuming it
+  // are recorded propagates the fault exactly as a kernel bug would. Not for
+  // normal modelling code — ops must build values through the tape.
+  Matrix& MutableValue(Var v);
+
  private:
   friend class Var;
 

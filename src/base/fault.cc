@@ -1,0 +1,86 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "base/fault.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/check.h"
+
+namespace skipnode {
+
+void FaultInjector::Corrupt(float* data, int64_t size, int epoch) {
+  SKIPNODE_CHECK(plan_.enabled && !fired_);
+  SKIPNODE_CHECK(data != nullptr && size > 0);
+  fired_ = true;
+
+  const int count =
+      static_cast<int>(std::min<int64_t>(std::max(plan_.elements, 1), size));
+  const float payload = plan_.kind == FaultKind::kNaN
+                            ? std::numeric_limits<float>::quiet_NaN()
+                            : std::numeric_limits<float>::infinity();
+
+  FaultEvent event;
+  event.site = plan_.site;
+  event.kind = plan_.kind;
+  event.epoch = epoch;
+  // Sampling via the injector's private Rng keeps positions deterministic
+  // per seed and leaves the caller's random streams untouched.
+  std::vector<int> picks =
+      rng_.SampleWithoutReplacement(static_cast<int>(size), count);
+  std::sort(picks.begin(), picks.end());
+  for (const int index : picks) {
+    data[index] = payload;
+    event.indices.push_back(index);
+  }
+  events_.push_back(std::move(event));
+}
+
+bool ParseFaultSite(const std::string& name, FaultSite* site) {
+  if (name == "activation") {
+    *site = FaultSite::kActivation;
+  } else if (name == "gradient") {
+    *site = FaultSite::kGradient;
+  } else if (name == "update") {
+    *site = FaultSite::kUpdate;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseFaultKind(const std::string& name, FaultKind* kind) {
+  if (name == "nan") {
+    *kind = FaultKind::kNaN;
+  } else if (name == "inf") {
+    *kind = FaultKind::kInf;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kActivation:
+      return "activation";
+    case FaultSite::kGradient:
+      return "gradient";
+    case FaultSite::kUpdate:
+      return "update";
+  }
+  return "?";
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNaN:
+      return "nan";
+    case FaultKind::kInf:
+      return "inf";
+  }
+  return "?";
+}
+
+}  // namespace skipnode

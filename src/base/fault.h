@@ -1,0 +1,105 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Deterministic fault injection for the training loop. A FaultPlan names a
+// single site (activations, gradients, or parameter updates), an epoch, and
+// a corruption kind (NaN / Inf); the FaultInjector then overwrites a seeded
+// random subset of one tensor's elements when the trainer reaches that
+// point. The injector draws from its own Rng, so enabling it never perturbs
+// the training stream — a run with a plan that fires at epoch k is bitwise
+// identical to the unfaulted run up to epoch k.
+//
+// This layer exists so failure paths are testable, not theoretical: every
+// recovery feature (non-finite scans, rollback, LR backoff) is exercised by
+// injecting the fault it defends against. Sits in base below tensor, so it
+// corrupts raw float spans rather than Matrix objects.
+
+#ifndef SKIPNODE_BASE_FAULT_H_
+#define SKIPNODE_BASE_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace skipnode {
+
+// Where in the training step the fault strikes.
+enum class FaultSite {
+  kActivation,  // forward activations (the logits feeding the loss)
+  kGradient,    // a parameter gradient after the backward pass
+  kUpdate,      // a parameter value after the optimizer step
+};
+
+// What gets written into the corrupted elements.
+enum class FaultKind {
+  kNaN,
+  kInf,
+};
+
+// A single scheduled fault. Default-constructed plans are disabled; flip
+// `enabled` (or parse CLI flags via the helpers below) to arm one.
+struct FaultPlan {
+  bool enabled = false;
+  FaultSite site = FaultSite::kActivation;
+  FaultKind kind = FaultKind::kNaN;
+  // Epoch (0-based) at which the fault fires, once.
+  int epoch = 0;
+  // For kGradient / kUpdate: index into Model::Parameters() of the tensor
+  // to corrupt. Ignored for kActivation (the logits are the target).
+  int parameter_index = 0;
+  // Number of elements overwritten (clamped to the tensor size).
+  int elements = 1;
+  // Seed for the injector's private Rng (element positions).
+  uint64_t seed = 0x0bad'f00dULL;
+};
+
+// Record of one fired fault, mirrored into the trainer's health log.
+struct FaultEvent {
+  FaultSite site;
+  FaultKind kind;
+  int epoch = 0;
+  // Flat indices that were overwritten.
+  std::vector<int64_t> indices;
+};
+
+// Executes a FaultPlan deterministically. Not thread-safe; owned by one
+// training loop.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan)
+      : plan_(plan), rng_(plan.seed) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // True iff the plan is armed for `site` at `epoch` and has not fired yet.
+  bool ShouldFire(FaultSite site, int epoch) const {
+    return plan_.enabled && !fired_ && site == plan_.site &&
+           epoch == plan_.epoch;
+  }
+
+  // Overwrites up to plan().elements distinct elements of data[0, size) with
+  // the plan's payload and records a FaultEvent. Call only when ShouldFire()
+  // returned true for the current site/epoch.
+  void Corrupt(float* data, int64_t size, int epoch);
+
+  // Every fault fired so far (at most one under the current plan shape).
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  bool fired_ = false;
+  std::vector<FaultEvent> events_;
+};
+
+// CLI / logging helpers. The parsers return false on unknown names.
+bool ParseFaultSite(const std::string& name, FaultSite* site);
+bool ParseFaultKind(const std::string& name, FaultKind* kind);
+const char* FaultSiteName(FaultSite site);
+const char* FaultKindName(FaultKind kind);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_BASE_FAULT_H_

@@ -4,6 +4,7 @@
 #include "graph/io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -11,6 +12,21 @@
 #include <utility>
 
 namespace skipnode {
+namespace {
+
+// Strips a trailing '\r' (CRLF input) so Windows-authored files parse.
+void StripCarriageReturn(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+// True iff only whitespace remains in `tokens` — rejects lines with extra
+// columns or a partially-consumed token (e.g. "1 2 3", "1 2.5").
+bool RemainderIsBlank(std::istringstream& tokens) {
+  tokens >> std::ws;
+  return tokens.eof();
+}
+
+}  // namespace
 
 bool LoadEdgeList(const std::string& path, EdgeList* edges, int* num_nodes,
                   int min_num_nodes) {
@@ -21,10 +37,13 @@ bool LoadEdgeList(const std::string& path, EdgeList* edges, int* num_nodes,
   std::set<std::pair<int, int>> seen;
   std::string line;
   while (std::getline(in, line)) {
+    StripCarriageReturn(&line);
     if (line.empty() || line[0] == '#') continue;
     std::istringstream tokens(line);
     int u, v;
-    if (!(tokens >> u >> v)) return false;
+    // operator>> sets failbit on non-numeric tokens and on values that
+    // overflow int, so both malformations land on the same return.
+    if (!(tokens >> u >> v) || !RemainderIsBlank(tokens)) return false;
     if (u < 0 || v < 0) return false;
     max_id = std::max({max_id, u, v});
     if (u == v) continue;  // Self-loops are re-added by normalisation.
@@ -43,16 +62,20 @@ bool SaveEdgeList(const std::string& path, const EdgeList& edges) {
   return static_cast<bool>(out);
 }
 
-bool LoadLabels(const std::string& path, std::vector<int>* labels) {
+bool LoadLabels(const std::string& path, std::vector<int>* labels,
+                int num_classes) {
   std::ifstream in(path);
   if (!in) return false;
   labels->clear();
   std::string line;
   while (std::getline(in, line)) {
+    StripCarriageReturn(&line);
     if (line.empty() || line[0] == '#') continue;
     std::istringstream tokens(line);
     int label;
-    if (!(tokens >> label)) return false;
+    if (!(tokens >> label) || !RemainderIsBlank(tokens)) return false;
+    if (label < 0) return false;
+    if (num_classes >= 0 && label >= num_classes) return false;
     labels->push_back(label);
   }
   return true;
@@ -73,6 +96,7 @@ bool LoadMatrixCsv(const std::string& path, Matrix* matrix) {
   int cols = -1;
   std::string line;
   while (std::getline(in, line)) {
+    StripCarriageReturn(&line);
     if (line.empty() || line[0] == '#') continue;
     std::istringstream cells(line);
     std::string cell;
@@ -81,6 +105,9 @@ bool LoadMatrixCsv(const std::string& path, Matrix* matrix) {
       char* end = nullptr;
       const float value = std::strtof(cell.c_str(), &end);
       if (end == cell.c_str()) return false;  // Not a number.
+      while (*end == ' ' || *end == '\t') ++end;
+      if (*end != '\0') return false;  // Trailing garbage ("1.5abc").
+      if (!std::isfinite(value)) return false;  // "nan"/"inf" or overflow.
       values.push_back(value);
       ++this_cols;
     }

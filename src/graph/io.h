@@ -7,7 +7,11 @@
 //   * labels:      one integer per line, row i = node i;
 //   * matrix CSV:  comma-separated floats, one row per line.
 // All loaders return false on malformed input instead of aborting (I/O
-// errors are environmental, not programming errors).
+// errors are environmental, not programming errors). Malformed means:
+// ragged rows, non-numeric or partially-numeric tokens ("1.5abc"), extra
+// columns, integer overflow, negative node ids / labels, labels beyond a
+// claimed class count, and non-finite CSV values. CRLF line endings are
+// tolerated.
 
 #ifndef SKIPNODE_GRAPH_IO_H_
 #define SKIPNODE_GRAPH_IO_H_
@@ -28,8 +32,11 @@ bool LoadEdgeList(const std::string& path, EdgeList* edges, int* num_nodes,
 // Writes one "u v" line per undirected edge.
 bool SaveEdgeList(const std::string& path, const EdgeList& edges);
 
-// Reads per-node integer labels (one per line).
-bool LoadLabels(const std::string& path, std::vector<int>* labels);
+// Reads per-node integer labels (one per line, each >= 0). When
+// `num_classes` is non-negative it is the claimed class count and any label
+// >= num_classes fails the load.
+bool LoadLabels(const std::string& path, std::vector<int>* labels,
+                int num_classes = -1);
 
 bool SaveLabels(const std::string& path, const std::vector<int>& labels);
 

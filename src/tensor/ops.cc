@@ -389,6 +389,65 @@ float CosineSimilarity(const float* a, const float* b, int n) {
   return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
 }
 
+std::vector<uint8_t> RowNonFiniteFlags(const Matrix& x) {
+  std::vector<uint8_t> flags(x.rows(), 0);
+  ParallelFor(
+      0, x.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const float* xi = x.row(i);
+          uint8_t bad = 0;
+          for (int j = 0; j < x.cols(); ++j) {
+            bad |= static_cast<uint8_t>(!std::isfinite(xi[j]));
+          }
+          flags[i] = bad;
+        }
+      },
+      MinRowsPerThread(x.cols()));
+  return flags;
+}
+
+bool HasNonFinite(const Matrix& x) {
+  // Parallel per-row flags, serial OR-reduction (DESIGN §7: cross-row
+  // reductions stay serial; an OR is order-insensitive anyway, but the
+  // shared pattern keeps every scan on the same contract).
+  const std::vector<uint8_t> flags = RowNonFiniteFlags(x);
+  for (const uint8_t flag : flags) {
+    if (flag) return true;
+  }
+  return false;
+}
+
+int64_t CountNonFinite(const Matrix& x) {
+  // Per-row counts in parallel (each row owned by one thread), summed
+  // serially — integer sums are exact, but the contract is uniform.
+  std::vector<int64_t> row_counts(x.rows(), 0);
+  ParallelFor(
+      0, x.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const float* xi = x.row(i);
+          int64_t count = 0;
+          for (int j = 0; j < x.cols(); ++j) {
+            count += !std::isfinite(xi[j]);
+          }
+          row_counts[i] = count;
+        }
+      },
+      MinRowsPerThread(x.cols()));
+  int64_t total = 0;
+  for (const int64_t count : row_counts) total += count;
+  return total;
+}
+
+float MaxRowNorm(const Matrix& x) {
+  if (x.rows() == 0) return 0.0f;
+  const Matrix norms = RowNorms(x);
+  float best = 0.0f;
+  for (int i = 0; i < norms.rows(); ++i) best = std::max(best, norms(i, 0));
+  return best;
+}
+
 float MaxSingularValue(const Matrix& w, int iterations, Rng* rng) {
   SKIPNODE_CHECK(w.rows() > 0 && w.cols() > 0);
   Rng local(12345);

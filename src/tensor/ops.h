@@ -7,6 +7,7 @@
 #ifndef SKIPNODE_TENSOR_OPS_H_
 #define SKIPNODE_TENSOR_OPS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -120,6 +121,25 @@ Matrix RowDots(const Matrix& a, const Matrix& b);
 
 // Cosine similarity of two equal-length float spans; 0 if either is zero.
 float CosineSimilarity(const float* a, const float* b, int n);
+
+// --- Numerical health scans -------------------------------------------------
+// Cheap guardrail kernels for the trainer's health checks (DESIGN §8). All
+// of them are pure reads and follow the row-ownership contract: per-row
+// flags are computed under ParallelFor, then reduced serially, so the
+// results are bitwise identical at any thread count.
+
+// flags[i] = 1 iff row i contains a NaN or an Inf (rows x 1 of 0/1).
+std::vector<uint8_t> RowNonFiniteFlags(const Matrix& x);
+
+// True iff any element of x is NaN or Inf.
+bool HasNonFinite(const Matrix& x);
+
+// Number of NaN / Inf elements in x.
+int64_t CountNonFinite(const Matrix& x);
+
+// Largest row L2 norm (0 for empty matrices) — an overflow tripwire that
+// trips before values actually reach Inf.
+float MaxRowNorm(const Matrix& x);
 
 // --- Spectral helper ---------------------------------------------------------
 

@@ -3,41 +3,206 @@
 
 #include "train/trainer.h"
 
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "autograd/health.h"
 #include "base/check.h"
 #include "train/metrics.h"
 #include "train/optimizer.h"
 
 namespace skipnode {
+namespace {
+
+// Outcome of one guarded training step.
+enum class StepStatus {
+  kOk,          // stepped normally
+  kRolledBack,  // fault detected, snapshot restored — skip this epoch's eval
+  kHalt,        // rollback budget exhausted — stop training
+};
+
+std::string FormatDetail(const char* format, ...) {
+  char buffer[160];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+const char* HealthEventKindName(HealthEventKind kind) {
+  switch (kind) {
+    case HealthEventKind::kFaultInjected:
+      return "fault-injected";
+    case HealthEventKind::kNonFiniteLoss:
+      return "non-finite-loss";
+    case HealthEventKind::kNonFiniteGradient:
+      return "non-finite-gradient";
+    case HealthEventKind::kNonFiniteParameter:
+      return "non-finite-parameter";
+    case HealthEventKind::kGradientClipped:
+      return "gradient-clipped";
+    case HealthEventKind::kRollback:
+      return "rollback";
+    case HealthEventKind::kRecoveryExhausted:
+      return "recovery-exhausted";
+  }
+  return "?";
+}
 
 TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
                                 const Split& split,
                                 const StrategyConfig& strategy,
                                 const TrainRun& run) {
   const TrainOptions& options = run.options;
+  const HealthOptions& health = run.health;
   SKIPNODE_CHECK(graph.has_labels());
   SKIPNODE_CHECK(!split.train.empty());
+  SKIPNODE_CHECK(health.check_every >= 1);
+  SKIPNODE_CHECK(health.max_rollbacks >= 0);
+  SKIPNODE_CHECK(health.lr_backoff > 0.0f && health.lr_backoff <= 1.0f);
+  SKIPNODE_CHECK(health.grad_clip_norm >= 0.0f);
+  SKIPNODE_CHECK(!run.fault.enabled || run.fault.parameter_index >= 0);
   Rng rng(options.seed);
-  Adam optimizer(options.learning_rate, options.weight_decay);
+  float learning_rate = options.learning_rate;
+  Adam optimizer(learning_rate, options.weight_decay);
   const std::vector<Parameter*> parameters = model.Parameters();
+  FaultInjector injector(run.fault);
 
   TrainResult result;
+  result.final_learning_rate = learning_rate;
+
+  const auto log_event = [&](HealthEventKind kind, int epoch,
+                             std::string detail) {
+    HealthEvent event{kind, epoch, std::move(detail)};
+    if (run.health_log != nullptr) run.health_log->push_back(event);
+    result.health_log.push_back(std::move(event));
+  };
+
+  // The last known-good parameter snapshot. Taken before the first step and
+  // refreshed on every scan epoch that passes all checks; rollback restores
+  // it verbatim. Plain copies — taking one cannot perturb training.
+  std::vector<Matrix> snapshot;
+  int snapshot_epoch = -1;
+  const auto take_snapshot = [&](int epoch) {
+    snapshot.clear();
+    for (const Parameter* p : parameters) snapshot.push_back(p->value);
+    snapshot_epoch = epoch;
+  };
+
+  // Restores the snapshot, decays the LR, and restarts the optimizer (a bad
+  // step may have poisoned the Adam moments; fresh moments are the only
+  // state guaranteed clean). Returns false once the budget is spent.
+  const auto rollback = [&](int epoch) {
+    if (result.rollbacks >= health.max_rollbacks) {
+      log_event(HealthEventKind::kRecoveryExhausted, epoch,
+                FormatDetail("%d rollbacks spent", result.rollbacks));
+      return false;
+    }
+    ++result.rollbacks;
+    for (size_t i = 0; i < parameters.size(); ++i) {
+      parameters[i]->value = snapshot[i];
+    }
+    const float decayed = learning_rate * health.lr_backoff;
+    log_event(HealthEventKind::kRollback, epoch,
+              FormatDetail("restored epoch-%d snapshot, lr %g -> %g",
+                           snapshot_epoch, learning_rate, decayed));
+    learning_rate = decayed;
+    result.final_learning_rate = learning_rate;
+    optimizer = Adam(learning_rate, options.weight_decay);
+    return true;
+  };
+
+  const auto maybe_inject = [&](FaultSite site, int epoch, float* data,
+                                int64_t size) {
+    if (!injector.ShouldFire(site, epoch)) return;
+    injector.Corrupt(data, size, epoch);
+    log_event(HealthEventKind::kFaultInjected, epoch,
+              FormatDetail("%s %s x%zu", FaultSiteName(site),
+                           FaultKindName(run.fault.kind),
+                           injector.events().back().indices.size()));
+  };
+
+  // One training step under the guardrails. Factored out so the epoch loop
+  // below reads as: step, then (maybe) evaluate.
+  const auto train_step = [&](int epoch) {
+    const bool scan_epoch =
+        health.enabled &&
+        (epoch % health.check_every == 0 || epoch == options.epochs - 1);
+    Tape tape;
+    StrategyContext ctx(graph, strategy, /*training=*/true, rng);
+    Var logits = model.Forward(tape, graph, ctx, /*training=*/true, rng);
+    {
+      Matrix& activations = tape.MutableValue(logits);
+      maybe_inject(FaultSite::kActivation, epoch, activations.data(),
+                   activations.size());
+    }
+    Var loss = tape.SoftmaxCrossEntropy(logits, graph.labels(), split.train);
+    const Var aux = model.AuxiliaryLoss(tape);
+    if (aux.valid()) loss = tape.Add(loss, aux);
+    const double loss_value = loss.value()(0, 0);
+    result.final_train_loss = loss_value;
+    if (health.enabled && !std::isfinite(loss_value)) {
+      log_event(HealthEventKind::kNonFiniteLoss, epoch,
+                FormatDetail("loss = %g", loss_value));
+      return rollback(epoch) ? StepStatus::kRolledBack : StepStatus::kHalt;
+    }
+    Optimizer::ZeroGrad(parameters);
+    tape.Backward(loss);
+    if (injector.ShouldFire(FaultSite::kGradient, epoch)) {
+      Parameter* target =
+          parameters[run.fault.parameter_index % parameters.size()];
+      maybe_inject(FaultSite::kGradient, epoch, target->grad.data(),
+                   target->grad.size());
+    }
+    if (scan_epoch || (health.enabled && health.grad_clip_norm > 0.0f)) {
+      const GradientHealth grads = ProbeGradients(parameters);
+      if (!grads.finite) {
+        log_event(HealthEventKind::kNonFiniteGradient, epoch,
+                  grads.first_bad);
+        return rollback(epoch) ? StepStatus::kRolledBack : StepStatus::kHalt;
+      }
+      if (health.grad_clip_norm > 0.0f &&
+          grads.global_norm > health.grad_clip_norm) {
+        ScaleGradients(parameters,
+                       static_cast<float>(health.grad_clip_norm /
+                                          grads.global_norm));
+        log_event(HealthEventKind::kGradientClipped, epoch,
+                  FormatDetail("norm %g > %g", grads.global_norm,
+                               health.grad_clip_norm));
+      }
+    }
+    optimizer.Step(parameters);
+    if (injector.ShouldFire(FaultSite::kUpdate, epoch)) {
+      Parameter* target =
+          parameters[run.fault.parameter_index % parameters.size()];
+      maybe_inject(FaultSite::kUpdate, epoch, target->value.data(),
+                   target->value.size());
+    }
+    if (scan_epoch) {
+      std::string first_bad;
+      if (!ParametersFinite(parameters, &first_bad)) {
+        log_event(HealthEventKind::kNonFiniteParameter, epoch, first_bad);
+        return rollback(epoch) ? StepStatus::kRolledBack : StepStatus::kHalt;
+      }
+      take_snapshot(epoch);
+    }
+    return StepStatus::kOk;
+  };
+
+  if (health.enabled) take_snapshot(-1);
+
   int epochs_since_best = 0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
-    // --- Training step -----------------------------------------------------
-    {
-      Tape tape;
-      StrategyContext ctx(graph, strategy, /*training=*/true, rng);
-      Var logits = model.Forward(tape, graph, ctx, /*training=*/true, rng);
-      Var loss =
-          tape.SoftmaxCrossEntropy(logits, graph.labels(), split.train);
-      const Var aux = model.AuxiliaryLoss(tape);
-      if (aux.valid()) loss = tape.Add(loss, aux);
-      result.final_train_loss = loss.value()(0, 0);
-      Optimizer::ZeroGrad(parameters);
-      tape.Backward(loss);
-      optimizer.Step(parameters);
-    }
+    const StepStatus status = train_step(epoch);
     result.epochs_run = epoch + 1;
+    if (status == StepStatus::kHalt) break;
+    // A rolled-back epoch re-evaluates nothing: the parameters are an older,
+    // already-evaluated state.
+    if (status == StepStatus::kRolledBack) continue;
 
     // --- Periodic evaluation ----------------------------------------------
     if (epoch % options.eval_every != 0 && epoch != options.epochs - 1) {

@@ -9,7 +9,10 @@
 #define SKIPNODE_TRAIN_TRAINER_H_
 
 #include <functional>
+#include <string>
+#include <vector>
 
+#include "base/fault.h"
 #include "core/strategies.h"
 #include "graph/graph.h"
 #include "graph/splits.h"
@@ -29,6 +32,50 @@ struct TrainOptions {
   uint64_t seed = 1;
 };
 
+// Numerical-health guardrails (DESIGN §8). When enabled, the trainer checks
+// the loss every epoch and scans gradients / parameters every `check_every`
+// epochs; a non-finite value triggers a rollback to the last good in-memory
+// parameter snapshot, a learning-rate backoff, and a fresh optimizer (so
+// poisoned Adam moments die with the bad step) instead of silently training
+// on garbage. All checks are pure reads: with no fault firing and
+// `grad_clip_norm` at 0, a guarded run is bitwise identical to an unguarded
+// one at any thread count.
+struct HealthOptions {
+  bool enabled = false;
+  // Cadence of the gradient/parameter scans and snapshots (>= 1). The loss
+  // scalar is checked every epoch regardless — it is already in hand.
+  int check_every = 1;
+  // Rollbacks allowed before the trainer gives up and returns early.
+  int max_rollbacks = 3;
+  // Learning-rate multiplier applied on every rollback (in (0, 1]).
+  float lr_backoff = 0.5f;
+  // Global gradient-norm clip applied before each step; 0 disables. Unlike
+  // the scans, clipping changes the trajectory — it is a training knob, not
+  // a pure guardrail.
+  float grad_clip_norm = 0.0f;
+};
+
+// One entry in the health log.
+enum class HealthEventKind {
+  kFaultInjected,       // the fault-injection layer fired (testing only)
+  kNonFiniteLoss,       // loss came back NaN/Inf
+  kNonFiniteGradient,   // a parameter gradient failed the scan
+  kNonFiniteParameter,  // a parameter value failed the post-step scan
+  kGradientClipped,     // global grad norm exceeded grad_clip_norm
+  kRollback,            // parameters restored from snapshot, LR decayed
+  kRecoveryExhausted,   // max_rollbacks spent; training stopped early
+};
+
+struct HealthEvent {
+  HealthEventKind kind;
+  int epoch = 0;
+  // Human-readable context: offending parameter, fault site, LR transition.
+  std::string detail;
+};
+
+// Stable name for logs and CLI output.
+const char* HealthEventKindName(HealthEventKind kind);
+
 struct TrainResult {
   double best_val_accuracy = 0.0;
   // Test accuracy at the best-validation epoch.
@@ -36,6 +83,13 @@ struct TrainResult {
   int best_epoch = -1;
   double final_train_loss = 0.0;
   int epochs_run = 0;
+  // Guardrail outcomes (empty / zero when HealthOptions is disabled and no
+  // fault was injected).
+  std::vector<HealthEvent> health_log;
+  int rollbacks = 0;
+  // Learning rate at the end of the run (== options.learning_rate unless a
+  // rollback decayed it).
+  float final_learning_rate = 0.0f;
 };
 
 // Observes training progress on evaluated epochs. The callback never sees
@@ -53,9 +107,17 @@ using EpochCallback = std::function<void(
 //                        }});
 struct TrainRun {
   TrainOptions options;
+  // Numerical-health guardrails; disabled by default.
+  HealthOptions health;
+  // Deterministic fault injection (base/fault.h); disabled by default. Used
+  // by tests and the CLI to prove the recovery path end to end.
+  FaultPlan fault;
   // Invoked after every epoch where evaluation ran (per options.eval_every
   // and always on the last epoch). Leave unset for silent training.
   EpochCallback on_epoch;
+  // Optional external sink: when set, every HealthEvent is appended here as
+  // it happens, in addition to TrainResult::health_log.
+  std::vector<HealthEvent>* health_log = nullptr;
 };
 
 // Trains `model` on `graph` under `strategy` and returns validation-selected
@@ -70,8 +132,9 @@ inline TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
                                        const Split& split,
                                        const StrategyConfig& strategy,
                                        const TrainOptions& options) {
-  return TrainNodeClassifier(model, graph, split, strategy,
-                             TrainRun{.options = options});
+  TrainRun run;
+  run.options = options;
+  return TrainNodeClassifier(model, graph, split, strategy, run);
 }
 
 // One evaluation pass (no dropout, strategies in eval mode); returns logits.

@@ -1,0 +1,91 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "autograd/health.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/tape.h"
+#include "tensor/matrix.h"
+
+namespace skipnode {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+TEST(HealthTest, ProbeReportsTheExactGlobalNorm) {
+  Parameter w("w", Matrix(2, 2));
+  Parameter b("b", Matrix(1, 2));
+  w.grad(0, 0) = 3.0f;
+  b.grad(0, 1) = 4.0f;
+  const GradientHealth health = ProbeGradients({&w, &b});
+  EXPECT_TRUE(health.finite);
+  EXPECT_TRUE(health.first_bad.empty());
+  EXPECT_DOUBLE_EQ(health.global_norm, 5.0);
+}
+
+TEST(HealthTest, ProbeNamesTheFirstNonFiniteGradient) {
+  Parameter w("w", Matrix(2, 2));
+  Parameter b("b", Matrix(1, 2));
+  b.grad(0, 0) = kNaN;
+  const GradientHealth health = ProbeGradients({&w, &b});
+  EXPECT_FALSE(health.finite);
+  EXPECT_EQ(health.first_bad, "b");
+}
+
+TEST(HealthTest, ParametersFiniteChecksValuesNotGradients) {
+  Parameter w("w", Matrix(2, 2));
+  w.grad(0, 0) = kNaN;  // Poisoned grad must not trip the *value* scan.
+  std::string first_bad;
+  EXPECT_TRUE(ParametersFinite({&w}, &first_bad));
+  EXPECT_TRUE(first_bad.empty());
+
+  w.value(1, 1) = kInf;
+  EXPECT_FALSE(ParametersFinite({&w}, &first_bad));
+  EXPECT_EQ(first_bad, "w");
+}
+
+TEST(HealthTest, ScaleGradientsScalesEveryParameter) {
+  Parameter w("w", Matrix(2, 2));
+  Parameter b("b", Matrix(1, 2));
+  w.grad(0, 0) = 8.0f;
+  b.grad(0, 1) = -6.0f;
+  ScaleGradients({&w, &b}, 0.5f);
+  EXPECT_FLOAT_EQ(w.grad(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(b.grad(0, 1), -3.0f);
+}
+
+TEST(HealthTest, MutableValueCorruptionReachesLossAndGradients) {
+  // Corrupting a forward value through Tape::MutableValue before recording
+  // the loss must poison both the loss and the backward pass — this is the
+  // property the trainer's kActivation fault site relies on.
+  Parameter w("w", Matrix(3, 2));
+  w.value(0, 0) = 0.3f;
+  w.value(1, 1) = -0.2f;
+  w.value(2, 0) = 0.1f;
+  Matrix x(4, 3);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) x(i, j) = 0.1f * static_cast<float>(i + j);
+  }
+  const std::vector<int> labels = {0, 1, 0, 1};
+  const std::vector<int> nodes = {0, 1, 2, 3};
+
+  Tape tape;
+  Var logits = tape.MatMul(tape.Constant(x), tape.Leaf(w));
+  tape.MutableValue(logits)(1, 0) = kNaN;
+  Var loss = tape.SoftmaxCrossEntropy(logits, labels, nodes);
+  EXPECT_TRUE(std::isnan(loss.value()(0, 0)));
+
+  w.ZeroGrad();
+  tape.Backward(loss);
+  EXPECT_FALSE(ProbeGradients({&w}).finite);
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -1,0 +1,104 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "base/fault.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skipnode {
+namespace {
+
+FaultPlan ArmedPlan() {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.site = FaultSite::kGradient;
+  plan.kind = FaultKind::kNaN;
+  plan.epoch = 7;
+  plan.elements = 3;
+  plan.seed = 99;
+  return plan;
+}
+
+TEST(FaultTest, DisabledPlanNeverFires) {
+  FaultInjector injector(FaultPlan{});
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    EXPECT_FALSE(injector.ShouldFire(FaultSite::kActivation, epoch));
+    EXPECT_FALSE(injector.ShouldFire(FaultSite::kGradient, epoch));
+    EXPECT_FALSE(injector.ShouldFire(FaultSite::kUpdate, epoch));
+  }
+  EXPECT_TRUE(injector.events().empty());
+}
+
+TEST(FaultTest, FiresOnlyAtItsSiteAndEpoch) {
+  FaultInjector injector(ArmedPlan());
+  EXPECT_FALSE(injector.ShouldFire(FaultSite::kGradient, 6));
+  EXPECT_FALSE(injector.ShouldFire(FaultSite::kActivation, 7));
+  EXPECT_FALSE(injector.ShouldFire(FaultSite::kUpdate, 7));
+  EXPECT_TRUE(injector.ShouldFire(FaultSite::kGradient, 7));
+}
+
+TEST(FaultTest, CorruptWritesTheExactPayloadCountAndRecordsIt) {
+  FaultInjector injector(ArmedPlan());
+  std::vector<float> data(100, 1.0f);
+  ASSERT_TRUE(injector.ShouldFire(FaultSite::kGradient, 7));
+  injector.Corrupt(data.data(), static_cast<int64_t>(data.size()), 7);
+  int nans = 0;
+  for (const float v : data) nans += std::isnan(v);
+  EXPECT_EQ(nans, 3);
+  ASSERT_EQ(injector.events().size(), 1u);
+  const FaultEvent& event = injector.events().front();
+  EXPECT_EQ(event.epoch, 7);
+  EXPECT_EQ(event.site, FaultSite::kGradient);
+  EXPECT_EQ(event.indices.size(), 3u);
+  for (const int64_t index : event.indices) {
+    EXPECT_TRUE(std::isnan(data[index]));
+  }
+  // One-shot: the plan never re-fires.
+  EXPECT_FALSE(injector.ShouldFire(FaultSite::kGradient, 7));
+}
+
+TEST(FaultTest, CorruptionIsDeterministicPerSeed) {
+  std::vector<float> a(64, 0.0f), b(64, 0.0f);
+  FaultInjector first(ArmedPlan()), second(ArmedPlan());
+  first.Corrupt(a.data(), 64, 7);
+  second.Corrupt(b.data(), 64, 7);
+  EXPECT_EQ(first.events().front().indices, second.events().front().indices);
+
+  FaultPlan reseeded = ArmedPlan();
+  reseeded.seed = 100;
+  FaultInjector third(reseeded);
+  std::vector<float> c(64, 0.0f);
+  third.Corrupt(c.data(), 64, 7);
+  EXPECT_NE(first.events().front().indices, third.events().front().indices);
+}
+
+TEST(FaultTest, InfPayloadAndClampToTensorSize) {
+  FaultPlan plan = ArmedPlan();
+  plan.kind = FaultKind::kInf;
+  plan.elements = 100;  // Larger than the tensor: clamped.
+  FaultInjector injector(plan);
+  std::vector<float> data(5, 0.0f);
+  injector.Corrupt(data.data(), 5, 7);
+  for (const float v : data) EXPECT_TRUE(std::isinf(v));
+}
+
+TEST(FaultTest, ParseAndNameRoundTrip) {
+  FaultSite site;
+  FaultKind kind;
+  for (const char* name : {"activation", "gradient", "update"}) {
+    ASSERT_TRUE(ParseFaultSite(name, &site));
+    EXPECT_STREQ(FaultSiteName(site), name);
+  }
+  for (const char* name : {"nan", "inf"}) {
+    ASSERT_TRUE(ParseFaultKind(name, &kind));
+    EXPECT_STREQ(FaultKindName(kind), name);
+  }
+  EXPECT_FALSE(ParseFaultSite("loss", &site));
+  EXPECT_FALSE(ParseFaultKind("zero", &kind));
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -1,0 +1,188 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Crash- and corruption-safety of the checkpoint layer: a damaged or
+// half-written checkpoint must fail the load cleanly (model untouched), and
+// an interrupted save must never clobber the previous valid generation.
+
+#include "nn/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/io.h"
+#include "nn/model_factory.h"
+#include "tensor/ops.h"
+#include "train/trainer.h"
+
+namespace skipnode {
+namespace {
+
+namespace fs = std::filesystem;
+
+Graph& TestGraph() {
+  static Graph* const kGraph =
+      new Graph(BuildDatasetByName("cornell_like", 1.0, 3));
+  return *kGraph;
+}
+
+ModelConfig SmallConfig() {
+  Graph& graph = TestGraph();
+  ModelConfig config;
+  config.in_dim = graph.feature_dim();
+  config.hidden_dim = 8;
+  config.out_dim = graph.num_classes();
+  config.num_layers = 3;
+  config.dropout = 0.0f;
+  return config;
+}
+
+Matrix Logits(Model& model) {
+  return EvaluateLogits(model, TestGraph(), StrategyConfig::None());
+}
+
+// Fresh per-test checkpoint directory under the gtest temp root.
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "/ckpt_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// Committed generation named by the manifest's first line (e.g.
+// "gen-000001"), or "" for a legacy flat checkpoint.
+std::string LiveGeneration(const std::string& dir) {
+  std::ifstream manifest(dir + "/manifest.txt");
+  std::string keyword, generation;
+  manifest >> keyword >> generation;
+  return keyword == "generation" ? generation : "";
+}
+
+TEST(CheckpointCorruptionTest, TruncatedParameterFileFailsLoadCleanly) {
+  const std::string dir = FreshDir("truncated");
+  Rng rng_a(1), rng_b(2);
+  auto saved = MakeModel("GCN", SmallConfig(), rng_a);
+  auto victim = MakeModel("GCN", SmallConfig(), rng_b);
+  ASSERT_TRUE(SaveModelParameters(*saved, dir));
+
+  const std::string name = saved->Parameters().front()->name;
+  const std::string csv = dir + "/" + LiveGeneration(dir) + "/" + name + ".csv";
+  {
+    std::ofstream truncate(csv, std::ios::trunc);
+    truncate << "0.5,0.5\n";  // Wrong arity and row count for the parameter.
+  }
+
+  const Matrix before = Logits(*victim);
+  EXPECT_FALSE(LoadModelParameters(*victim, dir));
+  EXPECT_EQ(MaxAbsDiff(Logits(*victim), before), 0.0f);
+}
+
+TEST(CheckpointCorruptionTest, MissingManifestEntryFailsLoadCleanly) {
+  const std::string dir = FreshDir("missing_entry");
+  Rng rng_a(3), rng_b(4);
+  auto saved = MakeModel("GCN", SmallConfig(), rng_a);
+  auto victim = MakeModel("GCN", SmallConfig(), rng_b);
+  ASSERT_TRUE(SaveModelParameters(*saved, dir));
+
+  // Rewrite the manifest without its last parameter entry.
+  std::ifstream in(dir + "/manifest.txt");
+  std::ostringstream kept;
+  std::string line, dropped;
+  while (std::getline(in, line)) {
+    if (!dropped.empty()) kept << dropped << '\n';
+    dropped = line;
+  }
+  in.close();
+  std::ofstream(dir + "/manifest.txt", std::ios::trunc) << kept.str();
+
+  const Matrix before = Logits(*victim);
+  EXPECT_FALSE(LoadModelParameters(*victim, dir));
+  EXPECT_EQ(MaxAbsDiff(Logits(*victim), before), 0.0f);
+}
+
+TEST(CheckpointCorruptionTest, ManifestShapeLieFailsLoadCleanly) {
+  const std::string dir = FreshDir("shape_lie");
+  Rng rng_a(5), rng_b(6);
+  auto saved = MakeModel("GCN", SmallConfig(), rng_a);
+  auto victim = MakeModel("GCN", SmallConfig(), rng_b);
+  ASSERT_TRUE(SaveModelParameters(*saved, dir));
+
+  // Inflate every row count: the manifest now disagrees with both the model
+  // shapes and the files on disk.
+  std::ifstream in(dir + "/manifest.txt");
+  std::ostringstream rewritten;
+  std::string keyword;
+  in >> keyword;
+  if (keyword == "generation") {
+    std::string generation;
+    in >> generation;
+    rewritten << keyword << ' ' << generation << '\n';
+  }
+  std::string name;
+  int rows, cols;
+  while (in >> name >> rows >> cols) {
+    rewritten << name << ' ' << rows + 1 << ' ' << cols << '\n';
+  }
+  in.close();
+  std::ofstream(dir + "/manifest.txt", std::ios::trunc) << rewritten.str();
+
+  const Matrix before = Logits(*victim);
+  EXPECT_FALSE(LoadModelParameters(*victim, dir));
+  EXPECT_EQ(MaxAbsDiff(Logits(*victim), before), 0.0f);
+}
+
+TEST(CheckpointCorruptionTest, InterruptedSaveNeverClobbersTheOldCheckpoint) {
+  const std::string dir = FreshDir("interrupted");
+  Rng rng_a(7), rng_b(8);
+  auto saved = MakeModel("GCN", SmallConfig(), rng_a);
+  ASSERT_TRUE(SaveModelParameters(*saved, dir));
+  const Matrix golden = Logits(*saved);
+
+  // Simulate a save that died mid-stage: a half-written staging directory
+  // plus an uncommitted manifest. Readers must keep seeing gen-000001.
+  fs::create_directory(dir + "/gen-000002.tmp");
+  std::ofstream(dir + "/gen-000002.tmp/garbage.csv") << "0.1,0.2\n";
+  std::ofstream(dir + "/manifest.txt.tmp") << "generation gen-000002\n";
+
+  auto restored = MakeModel("GCN", SmallConfig(), rng_b);
+  ASSERT_TRUE(LoadModelParameters(*restored, dir));
+  EXPECT_LT(MaxAbsDiff(Logits(*restored), golden), 1e-4f);
+
+  // The next successful save commits a fresh generation and sweeps up both
+  // the crashed staging dir and the superseded generation.
+  ASSERT_TRUE(SaveModelParameters(*restored, dir));
+  EXPECT_FALSE(fs::exists(dir + "/gen-000002.tmp"));
+  EXPECT_FALSE(fs::exists(dir + "/manifest.txt.tmp"));
+  EXPECT_FALSE(fs::exists(dir + "/gen-000001"));
+  ASSERT_TRUE(LoadModelParameters(*restored, dir));
+  EXPECT_LT(MaxAbsDiff(Logits(*restored), golden), 1e-4f);
+}
+
+TEST(CheckpointCorruptionTest, LegacyFlatCheckpointStillLoads) {
+  const std::string dir = FreshDir("legacy");
+  fs::create_directory(dir);
+  Rng rng_a(9), rng_b(10);
+  auto saved = MakeModel("GCN", SmallConfig(), rng_a);
+
+  // Hand-write the pre-generation layout: CSVs and a manifest with no
+  // `generation` line, all at the directory top level.
+  std::ostringstream manifest;
+  for (Parameter* param : saved->Parameters()) {
+    ASSERT_TRUE(
+        SaveMatrixCsv(dir + "/" + param->name + ".csv", param->value));
+    manifest << param->name << ' ' << param->value.rows() << ' '
+             << param->value.cols() << '\n';
+  }
+  std::ofstream(dir + "/manifest.txt") << manifest.str();
+
+  auto restored = MakeModel("GCN", SmallConfig(), rng_b);
+  ASSERT_TRUE(LoadModelParameters(*restored, dir));
+  EXPECT_LT(MaxAbsDiff(Logits(*restored), Logits(*saved)), 1e-4f);
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -256,6 +257,56 @@ TEST(OpsTest, RowOpsAreBitwiseIdenticalAcrossThreadCounts) {
   ExpectBitwiseEqual(logsoft1, logsoft4);
   ExpectBitwiseEqual(norms1, norms4);
   ExpectBitwiseEqual(relu1, relu4);
+}
+
+TEST(OpsTest, NonFiniteScansFindNothingInCleanMatrices) {
+  Rng rng(21);
+  Matrix x = Matrix::Random(64, 8, rng, -10.0f, 10.0f);
+  EXPECT_FALSE(HasNonFinite(x));
+  EXPECT_EQ(CountNonFinite(x), 0);
+  const std::vector<uint8_t> flags = RowNonFiniteFlags(x);
+  for (const uint8_t flag : flags) EXPECT_EQ(flag, 0);
+}
+
+TEST(OpsTest, NonFiniteScansFlagNanAndInfPerRow) {
+  Matrix x = Matrix::Ones(5, 4);
+  x(1, 2) = std::numeric_limits<float>::quiet_NaN();
+  x(3, 0) = std::numeric_limits<float>::infinity();
+  x(3, 3) = -std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(HasNonFinite(x));
+  EXPECT_EQ(CountNonFinite(x), 3);
+  EXPECT_EQ(RowNonFiniteFlags(x),
+            (std::vector<uint8_t>{0, 1, 0, 1, 0}));
+}
+
+TEST(OpsTest, MaxRowNormPicksTheLargestRow) {
+  Matrix x(3, 2);
+  x(1, 0) = 3.0f;
+  x(1, 1) = 4.0f;  // Row norm 5.
+  x(2, 0) = 1.0f;
+  EXPECT_FLOAT_EQ(MaxRowNorm(x), 5.0f);
+  EXPECT_FLOAT_EQ(MaxRowNorm(Matrix()), 0.0f);
+}
+
+TEST(OpsTest, HealthScansAreBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(22);
+  Matrix x = Matrix::Random(700, 40, rng, -5.0f, 5.0f);
+  x(123, 7) = std::numeric_limits<float>::quiet_NaN();
+  x(600, 0) = std::numeric_limits<float>::infinity();
+  SetParallelThreadCount(1);
+  const std::vector<uint8_t> flags1 = RowNonFiniteFlags(x);
+  const int64_t count1 = CountNonFinite(x);
+  const float norm1 = MaxRowNorm(x);
+  SetParallelThreadCount(4);
+  const std::vector<uint8_t> flags4 = RowNonFiniteFlags(x);
+  const int64_t count4 = CountNonFinite(x);
+  const float norm4 = MaxRowNorm(x);
+  SetParallelThreadCount(0);
+  EXPECT_EQ(flags1, flags4);
+  EXPECT_EQ(count1, count4);
+  EXPECT_EQ(count1, 2);
+  // NaN != NaN, so compare the bit patterns.
+  EXPECT_EQ(std::memcmp(&norm1, &norm4, sizeof(norm1)), 0);
 }
 
 TEST(OpsTest, MaxSingularValueOfDiagonal) {

@@ -137,7 +137,8 @@ TEST(TrainerTest, CallbackDoesNotPerturbTheResult) {
   for (int i = 0; i < 2; ++i) {
     Rng rng(11);
     auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
-    TrainRun run{.options = options};
+    TrainRun run;
+    run.options = options;
     if (i == 1) run.on_epoch = [](int, double, double, double) {};
     results[i] = TrainNodeClassifier(*model, setup.graph, setup.split,
                                      StrategyConfig::SkipNodeU(0.5f), run);

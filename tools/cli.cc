@@ -47,7 +47,20 @@ Options:
   --log-every N         print loss/val/test every N evaluated
                         epochs (0 = silent)                     (default 0)
   --split NAME          public | random                         (default public)
-  --save-dir DIR        checkpoint the trained model into DIR (must exist)
+  --save-dir DIR        checkpoint the trained model into DIR (created if
+                        missing; saves are atomic)
+  --load-dir DIR        warm-start from a checkpoint in DIR before training
+Numerical health (DESIGN §8):
+  --health              enable guardrails: non-finite loss/grad/param scans,
+                        rollback to last good snapshot, LR backoff
+  --check-every N       scan/snapshot cadence in epochs          (default 1)
+  --max-rollbacks N     rollbacks before giving up               (default 3)
+  --lr-backoff F        LR multiplier per rollback in (0,1]      (default 0.5)
+  --grad-clip F         global gradient-norm clip (0 = off)      (default 0)
+Fault injection (testing the guardrails):
+  --inject SITE         arm one fault: activation | gradient | update
+  --inject-epoch N      epoch at which it fires                  (default 0)
+  --inject-kind K       nan | inf                                (default nan)
   --help                print this message
 )";
 
@@ -68,6 +81,15 @@ struct CliOptions {
   int log_every = 0;
   std::string split = "public";
   std::string save_dir;
+  std::string load_dir;
+  bool health = false;
+  int check_every = 1;
+  int max_rollbacks = 3;
+  float lr_backoff = 0.5f;
+  float grad_clip = 0.0f;
+  std::string inject_site;
+  int inject_epoch = 0;
+  std::string inject_kind = "nan";
 };
 
 // Parses flags into `options`; returns false (with a message) on errors.
@@ -78,6 +100,10 @@ bool ParseFlags(int argc, const char* const* argv, CliOptions* options,
     if (flag == "--help") {
       std::fputs(kUsage, out);
       return false;
+    }
+    if (flag == "--health") {  // Boolean flag: takes no value.
+      options->health = true;
+      continue;
     }
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) return nullptr;
@@ -124,6 +150,22 @@ bool ParseFlags(int argc, const char* const* argv, CliOptions* options,
       options->split = value;
     } else if (flag == "--save-dir") {
       options->save_dir = value;
+    } else if (flag == "--load-dir") {
+      options->load_dir = value;
+    } else if (flag == "--check-every") {
+      options->check_every = std::atoi(value);
+    } else if (flag == "--max-rollbacks") {
+      options->max_rollbacks = std::atoi(value);
+    } else if (flag == "--lr-backoff") {
+      options->lr_backoff = static_cast<float>(std::atof(value));
+    } else if (flag == "--grad-clip") {
+      options->grad_clip = static_cast<float>(std::atof(value));
+    } else if (flag == "--inject") {
+      options->inject_site = value;
+    } else if (flag == "--inject-epoch") {
+      options->inject_epoch = std::atoi(value);
+    } else if (flag == "--inject-kind") {
+      options->inject_kind = value;
     } else {
       std::fprintf(out, "error: unknown flag %s (try --help)\n",
                    flag.c_str());
@@ -245,6 +287,16 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
 
   Rng model_rng(options.seed + 7);
   auto model = MakeModel(options.model, config, model_rng);
+  if (!options.load_dir.empty()) {
+    if (!LoadModelParameters(*model, options.load_dir)) {
+      std::fprintf(out,
+                   "error: failed to restore checkpoint from '%s' "
+                   "(model left untouched)\n",
+                   options.load_dir.c_str());
+      return 1;
+    }
+    std::fprintf(out, "warm-started from %s\n", options.load_dir.c_str());
+  }
 
   // --- Train --------------------------------------------------------------
   TrainRun train_run;
@@ -252,6 +304,34 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
   train_run.options.learning_rate = options.learning_rate;
   train_run.options.weight_decay = options.weight_decay;
   train_run.options.seed = options.seed;
+  if (options.check_every < 1 || options.max_rollbacks < 0 ||
+      options.lr_backoff <= 0.0f || options.lr_backoff > 1.0f ||
+      options.grad_clip < 0.0f) {
+    std::fprintf(out, "error: bad health flags (see --help)\n");
+    return 1;
+  }
+  train_run.health.enabled = options.health;
+  train_run.health.check_every = options.check_every;
+  train_run.health.max_rollbacks = options.max_rollbacks;
+  train_run.health.lr_backoff = options.lr_backoff;
+  train_run.health.grad_clip_norm = options.grad_clip;
+  if (!options.inject_site.empty()) {
+    FaultPlan plan;
+    plan.enabled = true;
+    if (!ParseFaultSite(options.inject_site, &plan.site)) {
+      std::fprintf(out, "error: unknown --inject site '%s'\n",
+                   options.inject_site.c_str());
+      return 1;
+    }
+    if (!ParseFaultKind(options.inject_kind, &plan.kind)) {
+      std::fprintf(out, "error: unknown --inject-kind '%s'\n",
+                   options.inject_kind.c_str());
+      return 1;
+    }
+    plan.epoch = options.inject_epoch;
+    plan.seed = options.seed + 41;
+    train_run.fault = plan;
+  }
   if (options.log_every > 0) {
     const int log_every = options.log_every;
     train_run.on_epoch = [out, log_every](int epoch, double train_loss,
@@ -266,6 +346,14 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
                StrategyName(strategy.kind), options.epochs);
   const TrainResult result =
       TrainNodeClassifier(*model, *graph, split, strategy, train_run);
+  for (const HealthEvent& event : result.health_log) {
+    std::fprintf(out, "health: epoch %4d | %-20s | %s\n", event.epoch,
+                 HealthEventKindName(event.kind), event.detail.c_str());
+  }
+  if (result.rollbacks > 0) {
+    std::fprintf(out, "health: %d rollback(s); final lr %g\n",
+                 result.rollbacks, result.final_learning_rate);
+  }
 
   // --- Report -------------------------------------------------------------
   // The tape must outlive Penultimate()'s Var, so run the evaluation
