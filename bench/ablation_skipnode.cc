@@ -20,7 +20,7 @@ namespace skipnode {
 namespace {
 
 void Main() {
-  bench::PrintHeader("Ablation: SkipNode design choices (16-layer GCN)");
+  bench::Begin("ablation");
 
   Graph graph =
       BuildDatasetByName("cora_like", bench::Pick(0.25, 1.0), /*seed=*/15);
@@ -60,17 +60,17 @@ void Main() {
   arms.push_back({"biased  ramp 0.4+0.04l", ramp_b});
 
   ResultTable table({"arm", "acc(%)"});
-  std::printf("%-24s %9s\n", "arm", "acc(%)");
+  table.StreamTo(stdout);
   for (const Arm& arm : arms) {
     const double acc =
         bench::RunCell("GCN", graph, split, arm.config, depth, hidden,
                        epochs, /*seed=*/33, /*dropout=*/0.2f);
     table.AddRow({arm.label, ResultTable::Cell(acc)});
-    std::printf("%-24s %9.1f\n", arm.label, acc);
-    std::fflush(stdout);
   }
   const std::string csv = "/tmp/skipnode_ablation.csv";
-  if (table.SaveCsv(csv)) std::printf("\nresults written to %s\n", csv.c_str());
+  if (table.EmitToFile(TableFormat::kCsv, csv)) {
+    std::printf("\nresults written to %s\n", csv.c_str());
+  }
   std::printf(
       "\nExpected shape: larger rho helps at this depth (Fig. 5's lesson), "
       "with the best SkipNode arms well above vanilla; biased sampling "

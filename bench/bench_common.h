@@ -2,18 +2,26 @@
 // Licensed under the Apache License, Version 2.0.
 //
 // Shared plumbing for the table/figure reproduction binaries. Every binary
-// runs at one of two scales:
-//   * smoke (default): shrunk datasets / epochs / run counts sized for a
-//     single CPU core — the qualitative shapes of the paper still hold;
-//   * paper (SKIPNODE_BENCH_SCALE=paper): the full protocol from DESIGN.md.
+// reads its configuration from one place — BenchConfig::FromEnv() — instead
+// of scattering getenv calls:
+//   SKIPNODE_BENCH_SCALE   smoke (default) | paper — shrunk vs full protocol
+//   SKIPNODE_BENCH_GUARD   run every cell under the health guardrails (§8)
+//   SKIPNODE_BENCH_TRACE   print per-epoch loss/accuracy for every cell
+//   SKIPNODE_BENCH_THREADS override the worker-pool thread count
+//   SKIPNODE_BENCH_JSON    append one JSONL record per cell to this path
+//                          (enables telemetry so each record carries a
+//                          per-cell kernel-level snapshot)
+//
+// A binary calls Begin("table3") once, then either goes through RunCell /
+// RunCellTuned (which record their cell automatically) or constructs a
+// CellRecorder by hand for custom metrics.
 
 #ifndef SKIPNODE_BENCH_BENCH_COMMON_H_
 #define SKIPNODE_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/strategies.h"
 #include "graph/datasets.h"
@@ -23,10 +31,23 @@
 
 namespace skipnode::bench {
 
-inline bool PaperScale() {
-  const char* env = std::getenv("SKIPNODE_BENCH_SCALE");
-  return env != nullptr && std::strcmp(env, "paper") == 0;
-}
+enum class Scale { kSmoke, kPaper };
+
+// Everything the bench harness reads from the environment, parsed once.
+struct BenchConfig {
+  Scale scale = Scale::kSmoke;
+  bool guard = false;         // SKIPNODE_BENCH_GUARD
+  bool trace = false;         // SKIPNODE_BENCH_TRACE
+  int threads = 0;            // SKIPNODE_BENCH_THREADS; 0 keeps the default
+  std::string json_path;      // SKIPNODE_BENCH_JSON; empty disables
+
+  static BenchConfig FromEnv();
+};
+
+// The process-wide config, parsed from the environment on first use.
+const BenchConfig& Config();
+
+inline bool PaperScale() { return Config().scale == Scale::kPaper; }
 
 // Picks the smoke or paper value.
 template <typename T>
@@ -34,90 +55,59 @@ T Pick(T smoke, T paper) {
   return PaperScale() ? paper : smoke;
 }
 
-inline void PrintHeader(const char* title) {
-  std::printf("==== %s ====\n", title);
-  std::printf("scale: %s%s\n\n", PaperScale() ? "paper" : "smoke",
-              PaperScale()
-                  ? ""
-                  : " (set SKIPNODE_BENCH_SCALE=paper for the full sweep)");
-}
+// Starts a bench binary: prints the banner, applies the thread override, and
+// when SKIPNODE_BENCH_JSON is set opens the sink and enables telemetry so
+// every cell record carries a kernel-level snapshot. `name` keys the JSONL
+// records ("table3", "fig5", ...).
+void Begin(const char* name);
+
+// The sink opened by Begin, or nullptr when SKIPNODE_BENCH_JSON is unset.
+std::FILE* JsonSink();
+
+// Records one bench cell as a JSONL line:
+//   {"bench":...,"cell":...,"scale":...,"threads":N,"params":{...},
+//    "metric":...,"value":V,"elapsed_ns":E,"telemetry":{...}}
+// Construction resets the telemetry registry (when enabled) and starts the
+// cell clock, so elapsed_ns and the embedded snapshot cover exactly this
+// cell. Everything is a no-op when no sink is open.
+class CellRecorder {
+ public:
+  explicit CellRecorder(std::string cell);
+
+  CellRecorder& Param(const std::string& key, const std::string& value);
+  CellRecorder& Param(const std::string& key, const char* value);
+  CellRecorder& Param(const std::string& key, double value);
+  CellRecorder& Param(const std::string& key, int64_t value);
+  CellRecorder& Param(const std::string& key, int value);
+
+  // Appends one record for `metric`; may be called more than once per cell
+  // (each call re-reads the clock and the telemetry snapshot).
+  void Record(const std::string& metric, double value);
+
+ private:
+  std::string cell_;
+  // Params pre-encoded as (key, raw JSON value) so Record can splice them
+  // into any number of records.
+  std::vector<std::pair<std::string, std::string>> params_;
+  int64_t start_ns_ = 0;
+};
 
 // One node-classification training run: builds the model fresh and returns
-// validation-selected test accuracy (%).
-inline double RunCell(const std::string& backbone, const Graph& graph,
-                      const Split& split, const StrategyConfig& strategy,
-                      int num_layers, int hidden, int epochs, uint64_t seed,
-                      float dropout = 0.5f, float weight_decay = 5e-4f) {
-  ModelConfig config;
-  config.in_dim = graph.feature_dim();
-  config.hidden_dim = hidden;
-  config.out_dim = graph.num_classes();
-  config.num_layers = num_layers;
-  config.dropout = dropout;
-
-  // Benches can watch any cell live by exporting SKIPNODE_BENCH_TRACE=1;
-  // the callback observes only (it never touches the Rng), so tracing does
-  // not change any reported number. SKIPNODE_BENCH_GUARD=1 runs every cell
-  // under the numerical-health guardrails (DESIGN §8) — also a no-op on the
-  // numbers: the scans are pure reads and no fault ever fires in a bench,
-  // so guarded cells are bitwise identical to unguarded ones.
-  TrainRun run;
-  run.options.epochs = epochs;
-  run.options.eval_every = 2;
-  run.options.weight_decay = weight_decay;
-  run.options.seed = seed;
-  if (std::getenv("SKIPNODE_BENCH_TRACE") != nullptr) {
-    run.on_epoch = [](int epoch, double loss, double val, double test) {
-      std::printf("    epoch %4d | loss %.4f | val %.2f%% | test %.2f%%\n",
-                  epoch, loss, 100.0 * val, 100.0 * test);
-    };
-  }
-  if (std::getenv("SKIPNODE_BENCH_GUARD") != nullptr) {
-    run.health.enabled = true;
-  }
-
-  Rng rng(seed * 7919 + 13);
-  auto model = MakeModel(backbone, config, rng);
-  return 100.0 *
-         TrainNodeClassifier(*model, graph, split, strategy, run)
-             .test_accuracy;
-}
+// validation-selected test accuracy (%). Records the cell to the JSONL sink
+// (metric "test_accuracy") when one is open.
+double RunCell(const std::string& backbone, const Graph& graph,
+               const Split& split, const StrategyConfig& strategy,
+               int num_layers, int hidden, int epochs, uint64_t seed,
+               float dropout = 0.5f, float weight_decay = 5e-4f);
 
 // Best accuracy over a small rho grid — the paper tunes the strategy rate on
 // the validation set; we mirror that cheaply with a fixed grid. Returns the
-// test accuracy of the best-validation rho.
-inline double RunCellTuned(const std::string& backbone, const Graph& graph,
-                           const Split& split, StrategyKind kind,
-                           const std::vector<float>& rates, int num_layers,
-                           int hidden, int epochs, uint64_t seed) {
-  double best_val = -1.0, best_test = 0.0;
-  for (const float rate : rates) {
-    StrategyConfig strategy;
-    strategy.kind = kind;
-    strategy.rate = rate;
-
-    ModelConfig config;
-    config.in_dim = graph.feature_dim();
-    config.hidden_dim = hidden;
-    config.out_dim = graph.num_classes();
-    config.num_layers = num_layers;
-
-    TrainRun run;
-    run.options.epochs = epochs;
-    run.options.eval_every = 2;
-    run.options.seed = seed;
-
-    Rng rng(seed * 7919 + 13);
-    auto model = MakeModel(backbone, config, rng);
-    const TrainResult result =
-        TrainNodeClassifier(*model, graph, split, strategy, run);
-    if (result.best_val_accuracy > best_val) {
-      best_val = result.best_val_accuracy;
-      best_test = result.test_accuracy;
-    }
-  }
-  return 100.0 * best_test;
-}
+// test accuracy of the best-validation rho and records it (params include
+// the winning rate).
+double RunCellTuned(const std::string& backbone, const Graph& graph,
+                    const Split& split, StrategyKind kind,
+                    const std::vector<float>& rates, int num_layers,
+                    int hidden, int epochs, uint64_t seed);
 
 }  // namespace skipnode::bench
 

@@ -18,7 +18,7 @@ namespace skipnode {
 namespace {
 
 void Main() {
-  bench::PrintHeader("Figure 2: three issues on a 9-layer GCN (Cora-like)");
+  bench::Begin("fig2");
 
   Graph graph = BuildDatasetByName(
       "cora_like", bench::Pick(0.25, 1.0), /*seed=*/1);
@@ -59,10 +59,18 @@ void Main() {
   options.seed = 7;
 
   for (Row& row : rows) {
+    bench::CellRecorder recorder(row.label);
+    recorder.Param("strategy", StrategyName(row.strategy.kind))
+        .Param("rate", static_cast<double>(row.strategy.rate))
+        .Param("layers", config.num_layers)
+        .Param("epochs", epochs);
     Rng rng(7);
     auto model = MakeModel("GCN", config, rng);
     row.record =
         TrainWithDynamics(*model, graph, split, row.strategy, options);
+    recorder.Record("final_val_accuracy",
+                    100.0 * row.record.val_accuracy.back());
+    recorder.Record("final_mad", row.record.mad.back());
     std::printf("trained %-16s (L=%d) final val acc %.1f%%\n", row.label,
                 config.num_layers,
                 100.0f * row.record.val_accuracy.back());

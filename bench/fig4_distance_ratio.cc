@@ -37,8 +37,7 @@ Matrix SkipNodeLayer(const CsrMatrix& a_hat, const Matrix& x, const Matrix& w,
 }
 
 void Main() {
-  bench::PrintHeader(
-      "Figure 4: log distance ratios to the subspace M (Erdos-Renyi)");
+  bench::Begin("fig4");
 
   const int n = bench::Pick(200, 500);
   const int dim = 16;
@@ -61,6 +60,11 @@ void Main() {
     for (int l = 1; l <= layers; ++l) std::printf(" %8d", l);
     std::printf("\n");
     for (const float rho : rho_values) {
+      bench::CellRecorder recorder("panel_a");
+      recorder.Param("s", static_cast<double>(s))
+          .Param("rho", static_cast<double>(rho))
+          .Param("layers", layers)
+          .Param("runs", runs);
       std::vector<double> log_ratio(layers, 0.0);
       Rng rng(42);
       for (int run = 0; run < runs; ++run) {
@@ -80,6 +84,7 @@ void Main() {
       }
       std::printf("\n");
       std::fflush(stdout);
+      recorder.Record("log_ratio_final_layer", log_ratio[layers - 1] / runs);
     }
   }
 
@@ -92,6 +97,10 @@ void Main() {
   for (float rho = 0.1f; rho <= 0.91f; rho += 0.2f) {
     std::printf("%8.1f", rho);
     for (const float s : grid_s) {
+      bench::CellRecorder recorder("panel_b");
+      recorder.Param("rho", static_cast<double>(rho))
+          .Param("s", static_cast<double>(s))
+          .Param("runs", runs);
       double total = 0.0;
       Rng rng(77);
       for (int run = 0; run < runs; ++run) {
@@ -104,6 +113,7 @@ void Main() {
                           std::max(analyzer.DistanceToM(x1), 1e-30f));
       }
       std::printf(" %7.2f", total / runs);
+      recorder.Record("one_layer_log_ratio", total / runs);
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "base/result_table.h"
+
 #include "bench_common.h"
 #include "core/oversmoothing.h"
 #include "train/trainer.h"
@@ -56,7 +58,7 @@ RhoPoint RunPoint(const Graph& graph, const Split& split,
 }
 
 void Main() {
-  bench::PrintHeader("Figure 5: rho sensitivity of a 32-layer GCN");
+  bench::Begin("fig5");
 
   const std::vector<std::string> datasets = {"cora_like", "citeseer_like",
                                              "pubmed_like"};
@@ -76,21 +78,42 @@ void Main() {
     Split split = PublicSplit(graph, 20, bench::Pick(120, 500),
                               bench::Pick(200, 1000), split_rng);
 
-    const RhoPoint baseline = RunPoint(graph, split, StrategyConfig::None(),
-                                       epochs, hidden, depth);
+    // One cell record per trained point; MAD rides along as a second
+    // metric in the same record stream.
+    const auto run_point = [&](const char* label, const StrategyConfig& s,
+                               float rho) {
+      bench::CellRecorder recorder(label);
+      recorder.Param("dataset", dataset)
+          .Param("strategy", StrategyName(s.kind))
+          .Param("rho", static_cast<double>(rho))
+          .Param("layers", depth)
+          .Param("epochs", epochs);
+      const RhoPoint point = RunPoint(graph, split, s, epochs, hidden, depth);
+      recorder.Record("test_accuracy", point.accuracy);
+      recorder.Record("mad", point.mad);
+      return point;
+    };
+
+    const RhoPoint baseline =
+        run_point("GCN", StrategyConfig::None(), 0.0f);
     std::printf("\n--- %s (chance %.1f%%, L=%d) ---\n", dataset.c_str(),
                 100.0 / graph.num_classes(), depth);
-    std::printf("%-14s %9s %9s\n", "setting", "acc(%)", "MAD");
-    std::printf("%-14s %9.1f %9.4f\n", "GCN (no skip)", baseline.accuracy,
-                baseline.mad);
+    ResultTable table({"setting", "acc(%)", "MAD"});
+    table.StreamTo(stdout);
+    table.AddRow({"GCN (no skip)", ResultTable::Cell(baseline.accuracy),
+                  ResultTable::Cell(baseline.mad, 4)});
+    char label[32];
     for (const float rho : rhos) {
-      const RhoPoint u = RunPoint(graph, split, StrategyConfig::SkipNodeU(rho),
-                                  epochs, hidden, depth);
-      const RhoPoint b = RunPoint(graph, split, StrategyConfig::SkipNodeB(rho),
-                                  epochs, hidden, depth);
-      std::printf("SkipNode-U %.1f %9.1f %9.4f\n", rho, u.accuracy, u.mad);
-      std::printf("SkipNode-B %.1f %9.1f %9.4f\n", rho, b.accuracy, b.mad);
-      std::fflush(stdout);
+      const RhoPoint u =
+          run_point("SkipNode-U", StrategyConfig::SkipNodeU(rho), rho);
+      std::snprintf(label, sizeof(label), "SkipNode-U %.1f", rho);
+      table.AddRow({label, ResultTable::Cell(u.accuracy),
+                    ResultTable::Cell(u.mad, 4)});
+      const RhoPoint b =
+          run_point("SkipNode-B", StrategyConfig::SkipNodeB(rho), rho);
+      std::snprintf(label, sizeof(label), "SkipNode-B %.1f", rho);
+      table.AddRow({label, ResultTable::Cell(b.accuracy),
+                    ResultTable::Cell(b.mad, 4)});
     }
   }
   std::printf(

@@ -6,9 +6,12 @@
 // renormalisation (DropEdge's per-epoch cost), and SkipNode mask sampling
 // (its claimed near-zero overhead).
 
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
 
 #include "base/parallel.h"
+#include "base/telemetry.h"
 #include "core/skipnode.h"
 #include "graph/datasets.h"
 #include "sparse/graph_ops.h"
@@ -157,4 +160,18 @@ BENCHMARK(BM_SpMMThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 }  // namespace
 }  // namespace skipnode
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so a run under SKIPNODE_TELEMETRY=1
+// can dump the aggregated kernel-timer snapshot after the benchmark report —
+// ground truth for how much wall-clock each instrumented kernel really
+// absorbed across the whole run.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (skipnode::TelemetryEnabled()) {
+    std::printf("telemetry: %s\n",
+                skipnode::SnapshotTelemetry().ToJson().c_str());
+  }
+  return 0;
+}

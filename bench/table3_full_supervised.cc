@@ -10,13 +10,15 @@
 #include <string>
 #include <vector>
 
+#include "base/result_table.h"
+
 #include "bench_common.h"
 
 namespace skipnode {
 namespace {
 
 void Main() {
-  bench::PrintHeader("Table 3: full-supervised accuracy (60/20/20 splits)");
+  bench::Begin("table3");
 
   const std::vector<std::string> datasets = {
       "cora_like",    "citeseer_like", "pubmed_like", "chameleon_like",
@@ -56,16 +58,16 @@ void Main() {
     graphs.push_back(BuildDataset(spec, scale, /*seed=*/2));
   }
 
-  std::printf("%-10s %-11s", "backbone", "strategy");
-  for (const std::string& name : datasets) {
-    std::printf(" %9.9s", name.c_str());
-  }
-  std::printf(" %9s\n", "avg.gain");
+  std::vector<std::string> columns = {"backbone", "strategy"};
+  for (const std::string& name : datasets) columns.push_back(name);
+  columns.push_back("avg.gain(%)");
+  ResultTable table(columns);
+  table.StreamTo(stdout);
 
   for (const std::string& backbone : backbones) {
     std::vector<double> vanilla_acc(datasets.size(), 0.0);
     for (const StrategyRow& strategy : strategies) {
-      std::printf("%-10s %-11s", backbone.c_str(), strategy.label);
+      std::vector<std::string> row = {backbone, strategy.label};
       double gain_total = 0.0;
       for (size_t d = 0; d < datasets.size(); ++d) {
         double acc_total = 0.0;
@@ -92,11 +94,11 @@ void Main() {
         }
         gain_total += (acc - vanilla_acc[d]) /
                       std::max(vanilla_acc[d], 1.0) * 100.0;
-        std::printf(" %9.1f", acc);
-        std::fflush(stdout);
+        row.push_back(ResultTable::Cell(acc));
       }
-      std::printf(" %8.1f%%\n",
-                  gain_total / static_cast<double>(datasets.size()));
+      row.push_back(ResultTable::Cell(
+          gain_total / static_cast<double>(datasets.size())));
+      table.AddRow(std::move(row));
     }
   }
   std::printf(

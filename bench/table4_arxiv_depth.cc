@@ -6,7 +6,10 @@
 // decays with depth for every method, but much more slowly for SkipNode,
 // and the SkipNode columns dominate at every depth.
 
+#include <string>
 #include <vector>
+
+#include "base/result_table.h"
 
 #include "bench_common.h"
 
@@ -14,7 +17,7 @@ namespace skipnode {
 namespace {
 
 void Main() {
-  bench::PrintHeader("Table 4: GCN depth sweep on arxiv_like (temporal split)");
+  bench::Begin("table4");
 
   Graph graph =
       BuildDatasetByName("arxiv_like", bench::Pick(0.15, 1.0), /*seed=*/4);
@@ -44,19 +47,19 @@ void Main() {
   const int epochs = bench::Pick(80, 300);
   const int hidden = bench::Pick(48, 128);
 
-  std::printf("%-11s", "strategy");
-  for (const int depth : depths) std::printf("    L=%-4d", depth);
-  std::printf("\n");
+  std::vector<std::string> columns = {"strategy"};
+  for (const int depth : depths) columns.push_back("L=" + std::to_string(depth));
+  ResultTable table(columns);
+  table.StreamTo(stdout);
   for (const StrategyRow& strategy : strategies) {
-    std::printf("%-11s", strategy.label);
+    std::vector<std::string> row = {strategy.label};
     for (const int depth : depths) {
       const double acc =
           bench::RunCell("GCN", graph, split, strategy.config, depth, hidden,
                          epochs, /*seed=*/5, /*dropout=*/0.1f);
-      std::printf(" %9.1f", acc);
-      std::fflush(stdout);
+      row.push_back(ResultTable::Cell(acc));
     }
-    std::printf("\n");
+    table.AddRow(std::move(row));
   }
   std::printf(
       "\nExpected shape (paper Table 4): every row decays with depth; the "

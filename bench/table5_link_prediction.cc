@@ -7,7 +7,10 @@
 // L=6 to L=8 while SkipNode keeps improving (or degrades far less), and
 // SkipNode wins at the deepest setting for every K.
 
+#include <string>
 #include <vector>
+
+#include "base/result_table.h"
 
 #include "bench_common.h"
 #include "nn/gcn.h"
@@ -17,7 +20,7 @@ namespace skipnode {
 namespace {
 
 void Main() {
-  bench::PrintHeader("Table 5: link prediction on ppa_like (Hits@K)");
+  bench::Begin("table5");
 
   Graph graph =
       BuildDatasetByName("ppa_like", bench::Pick(0.15, 1.0), /*seed=*/6);
@@ -46,15 +49,17 @@ void Main() {
   const int epochs = bench::Pick(60, 200);
   const int hidden = bench::Pick(48, 128);
 
-  std::printf("%-9s %-11s", "metric", "strategy");
-  for (const int depth : depths) std::printf("   L=%-4d", depth);
-  std::printf("\n");
-
   // Train one encoder per (strategy, depth) and remember all three metrics.
   std::vector<std::vector<LinkResult>> results(
       strategies.size(), std::vector<LinkResult>(depths.size()));
   for (size_t s = 0; s < strategies.size(); ++s) {
     for (size_t d = 0; d < depths.size(); ++d) {
+      bench::CellRecorder recorder(strategies[s].label);
+      recorder.Param("strategy", StrategyName(strategies[s].config.kind))
+          .Param("rate", static_cast<double>(strategies[s].config.rate))
+          .Param("layers", depths[d])
+          .Param("hidden", hidden)
+          .Param("epochs", epochs);
       ModelConfig config;
       config.in_dim = message_graph.feature_dim();
       config.hidden_dim = hidden;
@@ -71,22 +76,32 @@ void Main() {
       GcnModel encoder(config, rng);
       results[s][d] = TrainLinkPredictor(encoder, message_graph, split,
                                          strategies[s].config, options);
+      recorder.Record("hits10", 100.0 * results[s][d].test_hits10);
+      recorder.Record("hits50", 100.0 * results[s][d].test_hits50);
+      recorder.Record("hits100", 100.0 * results[s][d].test_hits100);
+      std::printf("trained %-11s L=%d\n", strategies[s].label, depths[d]);
+      std::fflush(stdout);
     }
   }
 
-  const auto print_metric = [&](const char* name,
-                                double LinkResult::*member) {
+  std::vector<std::string> columns = {"metric", "strategy"};
+  for (const int depth : depths) columns.push_back("L=" + std::to_string(depth));
+  ResultTable table(columns);
+  const auto add_metric = [&](const char* name,
+                              double LinkResult::*member) {
     for (size_t s = 0; s < strategies.size(); ++s) {
-      std::printf("%-9s %-11s", name, strategies[s].label);
+      std::vector<std::string> row = {name, strategies[s].label};
       for (size_t d = 0; d < depths.size(); ++d) {
-        std::printf(" %8.2f", 100.0 * (results[s][d].*member));
+        row.push_back(ResultTable::Cell(100.0 * (results[s][d].*member), 2));
       }
-      std::printf("\n");
+      table.AddRow(std::move(row));
     }
   };
-  print_metric("Hits@10", &LinkResult::test_hits10);
-  print_metric("Hits@50", &LinkResult::test_hits50);
-  print_metric("Hits@100", &LinkResult::test_hits100);
+  add_metric("Hits@10", &LinkResult::test_hits10);
+  add_metric("Hits@50", &LinkResult::test_hits50);
+  add_metric("Hits@100", &LinkResult::test_hits100);
+  std::printf("\n");
+  table.Emit(TableFormat::kText);
 
   std::printf(
       "\nExpected shape (paper Table 5): at L=8 the vanilla encoder drops "

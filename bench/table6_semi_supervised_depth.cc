@@ -11,13 +11,15 @@
 #include <string>
 #include <vector>
 
+#include "base/result_table.h"
+
 #include "bench_common.h"
 
 namespace skipnode {
 namespace {
 
 void Main() {
-  bench::PrintHeader("Table 6: semi-supervised accuracy vs depth");
+  bench::Begin("table6");
 
   const std::vector<std::string> datasets = {"cora_like", "citeseer_like",
                                              "pubmed_like"};
@@ -42,9 +44,12 @@ void Main() {
                               bench::Pick(200, 1000), split_rng);
     std::printf("\n--- %s (%d nodes, chance %.1f%%) ---\n", dataset.c_str(),
                 graph.num_nodes(), 100.0 / graph.num_classes());
-    std::printf("%-9s %-11s", "backbone", "strategy");
-    for (const int depth : depths) std::printf("   L=%-4d", depth);
-    std::printf("\n");
+    std::vector<std::string> columns = {"backbone", "strategy"};
+    for (const int depth : depths) {
+      columns.push_back("L=" + std::to_string(depth));
+    }
+    ResultTable table(columns);
+    table.StreamTo(stdout);
 
     for (const std::string& backbone : backbones) {
       for (int row = 0; row < 4; ++row) {
@@ -52,7 +57,7 @@ void Main() {
         // cheaply by scaling rho with depth (deeper stacks skip more).
         static const char* const kLabels[] = {"-", "DropEdge", "SkipNode-U",
                                               "SkipNode-B"};
-        std::printf("%-9s %-11s", backbone.c_str(), kLabels[row]);
+        std::vector<std::string> cells = {backbone, kLabels[row]};
         for (const int depth : depths) {
           // Uniform sampling skips each node independently, so it tolerates
           // (and at depth needs) large rho; biased sampling picks *exactly*
@@ -78,10 +83,9 @@ void Main() {
           const double acc = bench::RunCell(
               backbone, graph, split, strategy, depth, hidden, epochs,
               /*seed=*/9, /*dropout=*/0.3f);
-          std::printf(" %8.1f", acc);
-          std::fflush(stdout);
+          cells.push_back(ResultTable::Cell(acc));
         }
-        std::printf("\n");
+        table.AddRow(std::move(cells));
       }
     }
   }

@@ -10,13 +10,15 @@
 #include <string>
 #include <vector>
 
+#include "base/result_table.h"
+
 #include "bench_common.h"
 
 namespace skipnode {
 namespace {
 
 void Main() {
-  bench::PrintHeader("Table 7: strategy comparison on Cora-like");
+  bench::Begin("table7");
 
   Graph graph =
       BuildDatasetByName("cora_like", bench::Pick(0.25, 1.0), /*seed=*/10);
@@ -42,20 +44,22 @@ void Main() {
 
   for (const std::string& backbone : {std::string("GCN"),
                                       std::string("IncepGCN")}) {
-    std::printf("\n--- backbone: %s ---\n%-11s", backbone.c_str(),
-                "strategy");
-    for (const int depth : depths) std::printf("   L=%-4d", depth);
-    std::printf("\n");
+    std::printf("\n--- backbone: %s ---\n", backbone.c_str());
+    std::vector<std::string> columns = {"strategy"};
+    for (const int depth : depths) {
+      columns.push_back("L=" + std::to_string(depth));
+    }
+    ResultTable table(columns);
+    table.StreamTo(stdout);
     for (const StrategyRow& strategy : strategies) {
-      std::printf("%-11s", strategy.label);
+      std::vector<std::string> row = {strategy.label};
       for (const int depth : depths) {
         const double acc = bench::RunCell(
             backbone, graph, split, strategy.config, depth, hidden, epochs,
             /*seed=*/11, /*dropout=*/0.4f);
-        std::printf(" %8.1f", acc);
-        std::fflush(stdout);
+        row.push_back(ResultTable::Cell(acc));
       }
-      std::printf("\n");
+      table.AddRow(std::move(row));
     }
   }
   std::printf(

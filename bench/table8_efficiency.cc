@@ -5,16 +5,35 @@
 // Cora-like at L in {3,5,7,9}. Expected shape: DropEdge and DropNode pay a
 // large premium (they re-normalise the adjacency every epoch — DropNode even
 // per layer); SkipNode costs about as little as PairNorm, close to vanilla.
+//
+// All timing goes through the telemetry layer (base/telemetry.h): each
+// timed region is a ScopedTimer and the per-epoch averages are read back
+// from the aggregated snapshot, so this table uses the same clock and
+// aggregation as every other instrumented kernel — and each cell's JSONL
+// record (SKIPNODE_BENCH_JSON) carries the per-kernel breakdown (GEMM vs
+// SpMM vs adjacency renormalisation) underneath the headline number.
 
-#include <chrono>
+#include <string>
 #include <vector>
 
+#include "base/result_table.h"
+#include "base/telemetry.h"
 #include "bench_common.h"
 #include "core/skipnode.h"
 #include "train/optimizer.h"
 
 namespace skipnode {
 namespace {
+
+// Reads the per-completion average of `metric` (ms) from the current
+// snapshot.
+double SnapshotMillisPerCount(const char* metric) {
+  const TelemetrySnapshot snapshot = SnapshotTelemetry();
+  const MetricStat* stat = snapshot.Find(metric);
+  if (stat == nullptr || stat->count == 0) return 0.0;
+  return static_cast<double>(stat->total_ns) / 1e6 /
+         static_cast<double>(stat->count);
+}
 
 // Isolates the per-epoch *strategy overhead*: adjacency sampling and
 // renormalisation (DropEdge once per epoch, DropNode once per layer) or
@@ -28,8 +47,9 @@ double OverheadMillisPerEpoch(const Graph& graph,
   Rng rng(5);
   // Sink keeps the sampled structures observable so nothing is elided.
   volatile int64_t sink = 0;
-  const auto start = std::chrono::steady_clock::now();
+  ResetTelemetry();
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    const ScopedTimer timer("bench.overhead");
     StrategyContext ctx(graph, strategy, /*training=*/true, rng);
     for (int l = 0; l < num_layers; ++l) {
       auto adjacency = ctx.LayerAdjacency(l);
@@ -48,9 +68,7 @@ double OverheadMillisPerEpoch(const Graph& graph,
       }
     }
   }
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(end - start).count() /
-         epochs;
+  return SnapshotMillisPerCount("bench.overhead");
 }
 
 // Times `epochs` full training steps (forward + backward + update).
@@ -69,7 +87,6 @@ double MillisPerEpoch(const std::string& backbone, const Graph& graph,
   const std::vector<Parameter*> params = model->Parameters();
   Adam optimizer(0.01f, 5e-4f);
 
-  // Warm-up epoch (allocations, adjacency cache) excluded from timing.
   const auto run_epoch = [&]() {
     Tape tape;
     StrategyContext ctx(graph, strategy, /*training=*/true, rng);
@@ -79,17 +96,24 @@ double MillisPerEpoch(const std::string& backbone, const Graph& graph,
     tape.Backward(loss);
     optimizer.Step(params);
   };
+  // Warm-up epoch (allocations, adjacency cache) excluded: the reset wipes
+  // its timings along with whatever model construction recorded.
   run_epoch();
+  ResetTelemetry();
 
-  const auto start = std::chrono::steady_clock::now();
-  for (int epoch = 0; epoch < epochs; ++epoch) run_epoch();
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(end - start).count() /
-         epochs;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const ScopedTimer timer("bench.epoch");
+    run_epoch();
+  }
+  return SnapshotMillisPerCount("bench.epoch");
 }
 
 void Main() {
-  bench::PrintHeader("Table 8: average training time per epoch (ms)");
+  bench::Begin("table8");
+  // This bench *is* the timing instrument, so it runs with telemetry on
+  // regardless of SKIPNODE_BENCH_JSON; the timers are off the numeric path
+  // and this binary reports no accuracies.
+  SetTelemetryEnabled(true);
 
   Graph graph =
       BuildDatasetByName("cora_like", bench::Pick(0.5, 1.0), /*seed=*/12);
@@ -114,33 +138,46 @@ void Main() {
   const int timed_epochs = bench::Pick(20, 100);
   const int hidden = bench::Pick(32, 64);
 
-  std::printf("%-11s", "strategy");
-  for (const int depth : depths) std::printf("    L=%-5d", depth);
-  std::printf("\n");
+  std::vector<std::string> columns = {"strategy"};
+  for (const int depth : depths) {
+    columns.push_back("L=" + std::to_string(depth));
+  }
+
+  ResultTable total_table(columns);
+  total_table.StreamTo(stdout);
   for (const StrategyRow& strategy : strategies) {
-    std::printf("%-11s", strategy.label);
+    std::vector<std::string> row = {strategy.label};
     for (const int depth : depths) {
+      bench::CellRecorder recorder(strategy.label);
+      recorder.Param("strategy", StrategyName(strategy.config.kind))
+          .Param("layers", depth)
+          .Param("hidden", hidden)
+          .Param("epochs", timed_epochs);
       const double ms = MillisPerEpoch("GCN", graph, split, strategy.config,
                                        depth, hidden, timed_epochs);
-      std::printf(" %9.2f", ms);
-      std::fflush(stdout);
+      recorder.Record("ms_per_epoch", ms);
+      row.push_back(ResultTable::Cell(ms, 2));
     }
-    std::printf("\n");
+    total_table.AddRow(std::move(row));
   }
 
   std::printf("\nPer-epoch strategy overhead only (sampling + adjacency "
-              "renormalisation, ms)\n%-11s",
-              "strategy");
-  for (const int depth : depths) std::printf("    L=%-5d", depth);
-  std::printf("\n");
+              "renormalisation, ms)\n");
+  ResultTable overhead_table(columns);
+  overhead_table.StreamTo(stdout);
   for (const StrategyRow& strategy : strategies) {
-    std::printf("%-11s", strategy.label);
+    std::vector<std::string> row = {strategy.label};
     for (const int depth : depths) {
-      std::printf(" %9.3f",
-                  OverheadMillisPerEpoch(graph, strategy.config, depth,
-                                         timed_epochs * 3));
+      bench::CellRecorder recorder(strategy.label);
+      recorder.Param("strategy", StrategyName(strategy.config.kind))
+          .Param("layers", depth)
+          .Param("epochs", timed_epochs * 3);
+      const double ms = OverheadMillisPerEpoch(graph, strategy.config, depth,
+                                               timed_epochs * 3);
+      recorder.Record("overhead_ms_per_epoch", ms);
+      row.push_back(ResultTable::Cell(ms, 3));
     }
-    std::printf("\n");
+    overhead_table.AddRow(std::move(row));
   }
   std::printf(
       "\nExpected shape (paper Table 8): in the overhead panel DropEdge and "

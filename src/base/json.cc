@@ -1,0 +1,109 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "base/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/check.h"
+
+namespace skipnode {
+
+void JsonObject::AppendKey(const std::string& key) {
+  SKIPNODE_CHECK(!finished_);
+  if (out_.size() > 1) out_ += ',';
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+}
+
+JsonObject& JsonObject::Add(const std::string& key, const std::string& value) {
+  AppendKey(key);
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::Add(const std::string& key, const char* value) {
+  return Add(key, std::string(value));
+}
+
+JsonObject& JsonObject::Add(const std::string& key, int64_t value) {
+  AppendKey(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::Add(const std::string& key, int value) {
+  return Add(key, static_cast<int64_t>(value));
+}
+
+JsonObject& JsonObject::Add(const std::string& key, double value) {
+  AppendKey(key);
+  if (!std::isfinite(value)) {
+    out_ += "null";
+  } else {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out_ += buffer;
+  }
+  return *this;
+}
+
+JsonObject& JsonObject::Add(const std::string& key, bool value) {
+  AppendKey(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::AddRaw(const std::string& key,
+                               const std::string& json) {
+  AppendKey(key);
+  out_ += json;
+  return *this;
+}
+
+const std::string& JsonObject::Finish() {
+  SKIPNODE_CHECK(!finished_);
+  finished_ = true;
+  out_ += '}';
+  return out_;
+}
+
+std::string JsonObject::Escape(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+}  // namespace skipnode

@@ -1,0 +1,44 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Minimal JSON object writer for the telemetry / bench JSONL outputs. Emits
+// one flat or nested object per builder; no parsing, no DOM — every sink in
+// this repo only ever appends records line by line.
+
+#ifndef SKIPNODE_BASE_JSON_H_
+#define SKIPNODE_BASE_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+namespace skipnode {
+
+// Builds one JSON object left to right. Keys arrive in call order;
+// Finish() closes the object and returns it. A finished builder must not be
+// added to again.
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, const std::string& value);
+  JsonObject& Add(const std::string& key, const char* value);
+  JsonObject& Add(const std::string& key, int64_t value);
+  JsonObject& Add(const std::string& key, int value);
+  JsonObject& Add(const std::string& key, double value);  // non-finite -> null
+  JsonObject& Add(const std::string& key, bool value);
+  // Splices pre-serialized JSON (an object/array from another builder).
+  JsonObject& AddRaw(const std::string& key, const std::string& json);
+
+  const std::string& Finish();
+
+  // JSON string escaping (quotes, backslash, control characters).
+  static std::string Escape(const std::string& value);
+
+ private:
+  void AppendKey(const std::string& key);
+
+  std::string out_ = "{";
+  bool finished_ = false;
+};
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_BASE_JSON_H_

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "base/check.h"
+#include "base/telemetry.h"
 
 namespace skipnode {
 namespace {
@@ -176,13 +177,39 @@ void ParallelFor(int64_t begin, int64_t end,
   // element. Boundaries depend only on (n, chunks).
   const int64_t base = n / chunks;
   const int64_t extra = n % chunks;
+  const auto chunk_bounds = [&](int chunk, int64_t* lo, int64_t* hi) {
+    *lo = begin + chunk * base + std::min<int64_t>(chunk, extra);
+    *hi = *lo + base + (chunk < extra ? 1 : 0);
+  };
+  if (!TelemetryEnabled()) {
+    ThreadPool::Instance().Run(
+        static_cast<int>(chunks), [&](int chunk) {
+          int64_t lo, hi;
+          chunk_bounds(chunk, &lo, &hi);
+          fn(lo, hi);
+        });
+    return;
+  }
+  // Telemetry path: time each chunk (disjoint slots, so no write races) and
+  // report per-task shard imbalance — the gap between the slowest and
+  // fastest chunk is wall-clock the other threads spent idle at the
+  // barrier. All of it is off the numeric path: chunk boundaries and fn are
+  // identical to the untimed branch.
+  std::vector<int64_t> chunk_ns(static_cast<size_t>(chunks), 0);
+  const int64_t task_start = MonotonicNanos();
   ThreadPool::Instance().Run(
       static_cast<int>(chunks), [&](int chunk) {
-        const int64_t lo =
-            begin + chunk * base + std::min<int64_t>(chunk, extra);
-        const int64_t hi = lo + base + (chunk < extra ? 1 : 0);
+        int64_t lo, hi;
+        chunk_bounds(chunk, &lo, &hi);
+        const int64_t start = MonotonicNanos();
         fn(lo, hi);
+        chunk_ns[chunk] = MonotonicNanos() - start;
       });
+  const int64_t task_ns = MonotonicNanos() - task_start;
+  const auto [min_it, max_it] =
+      std::minmax_element(chunk_ns.begin(), chunk_ns.end());
+  RecordTiming("parallel.task", task_ns, /*items=*/chunks);
+  RecordTiming("parallel.imbalance", *max_it - *min_it, /*items=*/chunks);
 }
 
 }  // namespace skipnode

@@ -4,11 +4,24 @@
 #include "base/result_table.h"
 
 #include <algorithm>
-#include <fstream>
+#include <cstdlib>
 
 #include "base/check.h"
+#include "base/json.h"
 
 namespace skipnode {
+namespace {
+
+// A cell is emitted as a bare JSON number iff the whole string parses as a
+// finite double ("86.1", "-3", "1e-4"); everything else stays a string.
+bool IsNumericCell(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  std::strtod(cell.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
 
 ResultTable::ResultTable(std::vector<std::string> columns)
     : columns_(std::move(columns)) {
@@ -17,6 +30,7 @@ ResultTable::ResultTable(std::vector<std::string> columns)
 
 void ResultTable::AddRow(std::vector<std::string> cells) {
   SKIPNODE_CHECK(cells.size() == columns_.size());
+  if (stream_ != nullptr) PrintStreamRow(cells);
   rows_.push_back(std::move(cells));
 }
 
@@ -26,7 +40,52 @@ std::string ResultTable::Cell(double value, int precision) {
   return buffer;
 }
 
-void ResultTable::Print(std::FILE* out) const {
+void ResultTable::StreamTo(std::FILE* out) {
+  stream_ = out;
+  stream_widths_.clear();
+  for (const std::string& column : columns_) {
+    // Fixed widths chosen up front: wide enough for the header and typical
+    // numeric cells. Oversized cells overflow their column but stay on one
+    // row.
+    stream_widths_.push_back(
+        std::max(static_cast<int>(column.size()), 9));
+  }
+  PrintStreamRow(columns_);
+}
+
+void ResultTable::PrintStreamRow(const std::vector<std::string>& cells) const {
+  for (size_t c = 0; c < cells.size(); ++c) {
+    std::fprintf(stream_, "%s%-*s", c == 0 ? "" : "  ", stream_widths_[c],
+                 cells[c].c_str());
+  }
+  std::fprintf(stream_, "\n");
+  std::fflush(stream_);
+}
+
+void ResultTable::Emit(TableFormat format, std::FILE* out) const {
+  switch (format) {
+    case TableFormat::kText:
+      EmitText(out);
+      return;
+    case TableFormat::kCsv:
+      EmitCsv(out);
+      return;
+    case TableFormat::kJsonl:
+      EmitJsonl(out);
+      return;
+  }
+}
+
+bool ResultTable::EmitToFile(TableFormat format,
+                             const std::string& path) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  Emit(format, out);
+  const bool ok = std::ferror(out) == 0;
+  return std::fclose(out) == 0 && ok;
+}
+
+void ResultTable::EmitText(std::FILE* out) const {
   std::vector<size_t> widths(columns_.size());
   for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
   for (const auto& row : rows_) {
@@ -45,19 +104,31 @@ void ResultTable::Print(std::FILE* out) const {
   for (const auto& row : rows_) print_row(row);
 }
 
-bool ResultTable::SaveCsv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  const auto write_row = [&out](const std::vector<std::string>& cells) {
+void ResultTable::EmitCsv(std::FILE* out) const {
+  const auto write_row = [out](const std::vector<std::string>& cells) {
     for (size_t c = 0; c < cells.size(); ++c) {
-      if (c > 0) out << ',';
-      out << cells[c];
+      if (c > 0) std::fputc(',', out);
+      std::fputs(cells[c].c_str(), out);
     }
-    out << '\n';
+    std::fputc('\n', out);
   };
   write_row(columns_);
   for (const auto& row : rows_) write_row(row);
-  return static_cast<bool>(out);
+}
+
+void ResultTable::EmitJsonl(std::FILE* out) const {
+  for (const auto& row : rows_) {
+    JsonObject object;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (IsNumericCell(row[c])) {
+        object.AddRaw(columns_[c], row[c]);
+      } else {
+        object.Add(columns_[c], row[c]);
+      }
+    }
+    std::fputs(object.Finish().c_str(), out);
+    std::fputc('\n', out);
+  }
 }
 
 }  // namespace skipnode

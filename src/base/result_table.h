@@ -1,9 +1,11 @@
 // Copyright 2026 The SkipNode Authors.
 // Licensed under the Apache License, Version 2.0.
 //
-// Small result-table builder used by the benchmark harness: collects rows of
-// string cells, prints them column-aligned, and exports CSV so experiment
-// results can be post-processed (plotting, diffing against the paper).
+// Result-table builder used by the benchmark harness: collects rows of
+// string cells and emits them in any supported format through one API —
+// column-aligned text for the terminal, CSV for post-processing, and JSONL
+// (one object per row, numeric-looking cells emitted as numbers) for the
+// machine-readable bench trajectory.
 
 #ifndef SKIPNODE_BASE_RESULT_TABLE_H_
 #define SKIPNODE_BASE_RESULT_TABLE_H_
@@ -14,11 +16,18 @@
 
 namespace skipnode {
 
+enum class TableFormat {
+  kText,   // column-aligned, human-readable
+  kCsv,    // header + comma-separated rows
+  kJsonl,  // one JSON object per row keyed by column name
+};
+
 class ResultTable {
  public:
   explicit ResultTable(std::vector<std::string> columns);
 
-  // Appends a row; must have exactly one cell per column.
+  // Appends a row; must have exactly one cell per column. When streaming
+  // (see StreamTo) the row is also printed immediately.
   void AddRow(std::vector<std::string> cells);
 
   // Formats a double with fixed precision (helper for AddRow callers).
@@ -27,15 +36,27 @@ class ResultTable {
   int num_rows() const { return static_cast<int>(rows_.size()); }
   int num_columns() const { return static_cast<int>(columns_.size()); }
 
-  // Column-aligned text output.
-  void Print(std::FILE* out = stdout) const;
+  // Live mode for long-running benches: prints the header now and every
+  // subsequent AddRow as it lands (text format, fixed-width columns), so
+  // progress stays visible without per-bench printf formatting.
+  void StreamTo(std::FILE* out);
 
-  // Comma-separated export (header + rows); returns false on I/O failure.
-  bool SaveCsv(const std::string& path) const;
+  // Writes the whole table in `format` to `out`.
+  void Emit(TableFormat format, std::FILE* out = stdout) const;
+
+  // Writes the whole table in `format` to `path`; false on I/O failure.
+  bool EmitToFile(TableFormat format, const std::string& path) const;
 
  private:
+  void EmitText(std::FILE* out) const;
+  void EmitCsv(std::FILE* out) const;
+  void EmitJsonl(std::FILE* out) const;
+  void PrintStreamRow(const std::vector<std::string>& cells) const;
+
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
+  std::FILE* stream_ = nullptr;
+  std::vector<int> stream_widths_;
 };
 
 }  // namespace skipnode

@@ -1,0 +1,181 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "base/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "base/json.h"
+
+namespace skipnode {
+namespace {
+
+bool ResolveInitialEnabled() {
+  const char* env = std::getenv("SKIPNODE_TELEMETRY");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+std::atomic<bool> g_enabled{ResolveInitialEnabled()};
+
+// Stats owned by one thread. The mutex is uncontended on the hot path (only
+// the owning thread updates); snapshots and resets from other threads take
+// it briefly.
+struct ThreadStats {
+  std::mutex mu;
+  std::unordered_map<std::string, MetricStat> stats;
+};
+
+// Process-wide registry of per-thread stats. Intentionally leaked: thread
+// pool workers run thread_local destructors during static teardown, and a
+// leaked singleton is reachable at any point of that sequence.
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* instance = new Registry();
+    return *instance;
+  }
+
+  std::shared_ptr<ThreadStats> RegisterThread() {
+    auto stats = std::make_shared<ThreadStats>();
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_.push_back(stats);
+    return stats;
+  }
+
+  // Folds a dying thread's stats into the retired pool so they survive the
+  // thread and drops the registry's reference.
+  void RetireThread(const std::shared_ptr<ThreadStats>& stats) {
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+      std::lock_guard<std::mutex> stats_lock(stats->mu);
+      for (const auto& [name, stat] : stats->stats) {
+        retired_[name].Merge(stat);
+      }
+    }
+    threads_.erase(std::remove(threads_.begin(), threads_.end(), stats),
+                   threads_.end());
+  }
+
+  TelemetrySnapshot Snapshot() {
+    // std::map keeps the merged view sorted by name.
+    std::map<std::string, MetricStat> merged;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, stat] : retired_) merged[name].Merge(stat);
+    for (const auto& thread : threads_) {
+      std::lock_guard<std::mutex> stats_lock(thread->mu);
+      for (const auto& [name, stat] : thread->stats) {
+        merged[name].Merge(stat);
+      }
+    }
+    TelemetrySnapshot snapshot;
+    snapshot.metrics.assign(merged.begin(), merged.end());
+    return snapshot;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.clear();
+    for (const auto& thread : threads_) {
+      std::lock_guard<std::mutex> stats_lock(thread->mu);
+      thread->stats.clear();
+    }
+  }
+
+ private:
+  Registry() = default;
+
+  std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadStats>> threads_;
+  std::unordered_map<std::string, MetricStat> retired_;
+};
+
+// Lazily registers this thread's stats block; the handle's destructor
+// retires it when the thread exits.
+ThreadStats& LocalStats() {
+  struct Handle {
+    std::shared_ptr<ThreadStats> stats = Registry::Instance().RegisterThread();
+    ~Handle() { Registry::Instance().RetireThread(stats); }
+  };
+  thread_local Handle handle;
+  return *handle.stats;
+}
+
+void Accumulate(const char* name, int64_t count, int64_t items,
+                int64_t elapsed_ns) {
+  ThreadStats& local = LocalStats();
+  std::lock_guard<std::mutex> lock(local.mu);
+  MetricStat& stat = local.stats[name];
+  stat.count += count;
+  stat.items += items;
+  if (elapsed_ns > 0) {
+    stat.total_ns += elapsed_ns;
+    stat.max_ns = std::max(stat.max_ns, elapsed_ns);
+  }
+}
+
+}  // namespace
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool TelemetryEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTelemetryEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void MetricStat::Merge(const MetricStat& other) {
+  count += other.count;
+  items += other.items;
+  total_ns += other.total_ns;
+  max_ns = std::max(max_ns, other.max_ns);
+}
+
+const MetricStat* TelemetrySnapshot::Find(const std::string& name) const {
+  for (const auto& [metric_name, stat] : metrics) {
+    if (metric_name == name) return &stat;
+  }
+  return nullptr;
+}
+
+std::string TelemetrySnapshot::ToJson() const {
+  JsonObject object;
+  for (const auto& [name, stat] : metrics) {
+    JsonObject entry;
+    entry.Add("count", stat.count);
+    entry.Add("items", stat.items);
+    entry.Add("total_ns", stat.total_ns);
+    entry.Add("max_ns", stat.max_ns);
+    object.AddRaw(name, entry.Finish());
+  }
+  return object.Finish();
+}
+
+TelemetrySnapshot SnapshotTelemetry() { return Registry::Instance().Snapshot(); }
+
+void ResetTelemetry() { Registry::Instance().Reset(); }
+
+void CountMetric(const char* name, int64_t items) {
+  if (!TelemetryEnabled()) return;
+  Accumulate(name, /*count=*/1, items, /*elapsed_ns=*/0);
+}
+
+void RecordTiming(const char* name, int64_t elapsed_ns, int64_t items) {
+  if (!TelemetryEnabled()) return;
+  Accumulate(name, /*count=*/1, items, std::max<int64_t>(elapsed_ns, 0));
+}
+
+}  // namespace skipnode

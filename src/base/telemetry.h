@@ -1,0 +1,103 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Zero-overhead-when-disabled observability layer (DESIGN §9): scoped RAII
+// timers and monotonic counters that accumulate into per-thread stats and
+// aggregate, on demand, into a process-wide TelemetrySnapshot.
+//
+// The contract every instrumentation site obeys:
+//   * Off the numeric path. Telemetry reads the clock and bumps integer
+//     counters — it never touches an Rng, a float, or any kernel input or
+//     output, so every result is bitwise identical with telemetry on or off
+//     at any thread count (asserted by trainer_metrics_test).
+//   * Zero overhead when disabled. TelemetryEnabled() is one relaxed atomic
+//     load; a disabled ScopedTimer reads no clock, takes no lock, and
+//     allocates nothing (asserted by telemetry_test).
+//   * Thread-safe aggregation. Each thread owns its stats map (guarded by a
+//     per-thread mutex that only snapshots contend on); SnapshotTelemetry()
+//     merges live threads plus the stats of threads that have exited.
+//
+// Telemetry starts disabled unless the SKIPNODE_TELEMETRY environment
+// variable is set to a non-empty, non-"0" value.
+
+#ifndef SKIPNODE_BASE_TELEMETRY_H_
+#define SKIPNODE_BASE_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace skipnode {
+
+// Monotonic wall clock in nanoseconds (std::chrono::steady_clock). The one
+// clock every timer in the repo reads — benches included — so all reported
+// timings are comparable.
+int64_t MonotonicNanos();
+
+// Process-wide enable switch.
+bool TelemetryEnabled();
+void SetTelemetryEnabled(bool enabled);
+
+// Accumulated stats of one named metric.
+struct MetricStat {
+  int64_t count = 0;     // timer completions / counter increments
+  int64_t items = 0;     // caller-supplied work units (rows, elements, ...)
+  int64_t total_ns = 0;  // summed elapsed time (timers only)
+  int64_t max_ns = 0;    // worst single scope (timers only)
+
+  void Merge(const MetricStat& other);
+};
+
+// Point-in-time aggregate across all threads, sorted by metric name.
+struct TelemetrySnapshot {
+  std::vector<std::pair<std::string, MetricStat>> metrics;
+
+  // Returns the named metric or nullptr.
+  const MetricStat* Find(const std::string& name) const;
+
+  // {"name":{"count":N,"items":N,"total_ns":N,"max_ns":N},...}
+  std::string ToJson() const;
+};
+
+// Aggregates every thread's stats (live and exited) into one snapshot.
+TelemetrySnapshot SnapshotTelemetry();
+
+// Zeroes all accumulated stats on every thread.
+void ResetTelemetry();
+
+// Bumps the named counter: count += 1, items += items. No-op when disabled.
+void CountMetric(const char* name, int64_t items = 1);
+
+// Records one completed timing against the named metric. No-op when
+// disabled.
+void RecordTiming(const char* name, int64_t elapsed_ns, int64_t items = 0);
+
+// RAII timer for one instrumented scope. When telemetry is disabled at
+// construction the timer is fully inert: no clock read, no lock, no
+// allocation.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name, int64_t items = 0)
+      : name_(TelemetryEnabled() ? name : nullptr),
+        items_(items),
+        start_ns_(name_ != nullptr ? MonotonicNanos() : 0) {}
+
+  ~ScopedTimer() {
+    if (name_ != nullptr) {
+      RecordTiming(name_, MonotonicNanos() - start_ns_, items_);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_;  // nullptr when the timer is inert
+  int64_t items_;
+  int64_t start_ns_;
+};
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_BASE_TELEMETRY_H_

@@ -9,6 +9,7 @@
 
 #include "base/check.h"
 #include "base/parallel.h"
+#include "base/telemetry.h"
 
 namespace skipnode {
 
@@ -56,6 +57,7 @@ CsrMatrix CsrMatrix::Identity(int n) {
 }
 
 void CsrMatrix::MultiplyAccumulate(const Matrix& dense, Matrix& out) const {
+  const ScopedTimer timer("sparse.spmm", /*items=*/rows_);
   SKIPNODE_CHECK(dense.rows() == cols_);
   SKIPNODE_CHECK(out.rows() == rows_ && out.cols() == dense.cols());
   const int d = dense.cols();
@@ -90,6 +92,7 @@ Matrix CsrMatrix::Multiply(const Matrix& dense) const {
 // col_idx_[e], so output rows are not owned by a single input row and a
 // row partition would both race and reorder the accumulation.
 Matrix CsrMatrix::MultiplyTransposed(const Matrix& dense) const {
+  const ScopedTimer timer("sparse.spmm_t", /*items=*/rows_);
   SKIPNODE_CHECK(dense.rows() == rows_);
   Matrix out(cols_, dense.cols());
   const int d = dense.cols();

@@ -8,6 +8,7 @@
 
 #include "base/check.h"
 #include "base/parallel.h"
+#include "base/telemetry.h"
 
 namespace skipnode {
 namespace {
@@ -31,6 +32,7 @@ void SymmetricCoo(const EdgeList& edges, const std::vector<bool>* keep_node,
 CsrMatrix NormalizeImpl(int num_nodes, const EdgeList& edges,
                         bool add_self_loops,
                         const std::vector<bool>* keep_node) {
+  const ScopedTimer timer("sparse.adjacency_normalize", /*items=*/num_nodes);
   std::vector<std::pair<int, int>> coords;
   coords.reserve(edges.size() * 2 + (add_self_loops ? num_nodes : 0));
   SymmetricCoo(edges, keep_node, coords);
@@ -106,6 +108,7 @@ CsrMatrix NormalizedAdjacency(int num_nodes, const EdgeList& edges,
 
 CsrMatrix RandomWalkAdjacency(int num_nodes, const EdgeList& edges,
                               bool add_self_loops) {
+  const ScopedTimer timer("sparse.adjacency_random_walk", /*items=*/num_nodes);
   std::vector<std::pair<int, int>> coords;
   coords.reserve(edges.size() * 2 + (add_self_loops ? num_nodes : 0));
   SymmetricCoo(edges, nullptr, coords);

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "base/parallel.h"
+#include "base/telemetry.h"
 
 namespace skipnode {
 namespace {
@@ -32,6 +33,13 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix& out,
   const int n = options.transpose_b ? b.rows() : b.cols();
   SKIPNODE_CHECK(k == (options.transpose_b ? b.cols() : b.rows()));
   SKIPNODE_CHECK(out.rows() == m && out.cols() == n);
+  // Per-variant names so the backward-pass shapes (dW = X^T dY, dX = dY W^T)
+  // show up separately from the forward GEMM in a snapshot.
+  const char* timer_name =
+      !options.transpose_a
+          ? (!options.transpose_b ? "tensor.gemm" : "tensor.gemm_tb")
+          : (!options.transpose_b ? "tensor.gemm_ta" : "tensor.gemm_tt");
+  const ScopedTimer timer(timer_name, /*items=*/m);
   const int64_t min_rows =
       MinRowsPerThread(2 * static_cast<int64_t>(k) * n);
   const bool accumulate = options.accumulate;
@@ -190,6 +198,7 @@ void AddScaled(const Matrix& a, float s, Matrix& out) {
 }
 
 Matrix Relu(const Matrix& x) {
+  const ScopedTimer timer("tensor.relu", /*items=*/x.rows());
   Matrix out = x;
   float* __restrict od = out.data();
   ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
@@ -199,6 +208,7 @@ Matrix Relu(const Matrix& x) {
 }
 
 Matrix ReluBackward(const Matrix& x, const Matrix& grad) {
+  const ScopedTimer timer("tensor.relu_backward", /*items=*/x.rows());
   SKIPNODE_CHECK(x.SameShape(grad));
   Matrix out = grad;
   const float* __restrict xd = x.data();
@@ -240,6 +250,8 @@ Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
 }
 
 Matrix GatherRows(const Matrix& x, const std::vector<int>& rows) {
+  const ScopedTimer timer("tensor.gather_rows",
+                          /*items=*/static_cast<int64_t>(rows.size()));
   Matrix out(static_cast<int>(rows.size()), x.cols());
   ParallelFor(
       0, static_cast<int64_t>(rows.size()),
@@ -258,6 +270,8 @@ Matrix GatherRows(const Matrix& x, const std::vector<int>& rows) {
 // and a row partition over `src` would race (and reorder the += per target).
 void ScatterAddRows(const Matrix& src, const std::vector<int>& rows,
                     Matrix& out) {
+  const ScopedTimer timer("tensor.scatter_add_rows",
+                          /*items=*/static_cast<int64_t>(rows.size()));
   SKIPNODE_CHECK(src.rows() == static_cast<int>(rows.size()));
   SKIPNODE_CHECK(src.cols() == out.cols());
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -298,6 +312,7 @@ Matrix SubtractRowVector(const Matrix& x, const Matrix& v) {
 }
 
 Matrix RowSoftmax(const Matrix& x) {
+  const ScopedTimer timer("tensor.row_softmax", /*items=*/x.rows());
   Matrix out = x;
   ParallelFor(
       0, out.rows(),
@@ -320,6 +335,7 @@ Matrix RowSoftmax(const Matrix& x) {
 }
 
 Matrix RowLogSoftmax(const Matrix& x) {
+  const ScopedTimer timer("tensor.row_log_softmax", /*items=*/x.rows());
   Matrix out = x;
   ParallelFor(
       0, out.rows(),
@@ -341,6 +357,7 @@ Matrix RowLogSoftmax(const Matrix& x) {
 }
 
 Matrix RowNorms(const Matrix& x) {
+  const ScopedTimer timer("tensor.row_norms", /*items=*/x.rows());
   Matrix out(x.rows(), 1);
   ParallelFor(
       0, x.rows(),
@@ -390,6 +407,7 @@ float CosineSimilarity(const float* a, const float* b, int n) {
 }
 
 std::vector<uint8_t> RowNonFiniteFlags(const Matrix& x) {
+  const ScopedTimer timer("tensor.row_nonfinite_scan", /*items=*/x.rows());
   std::vector<uint8_t> flags(x.rows(), 0);
   ParallelFor(
       0, x.rows(),

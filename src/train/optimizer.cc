@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "base/parallel.h"
+#include "base/telemetry.h"
 
 namespace skipnode {
 namespace {
@@ -21,6 +22,9 @@ void Optimizer::ZeroGrad(const std::vector<Parameter*>& parameters) {
 }
 
 void Sgd::Step(const std::vector<Parameter*>& parameters) {
+  int64_t total_elements = 0;
+  for (const Parameter* p : parameters) total_elements += p->value.size();
+  const ScopedTimer timer("train.sgd_step", /*items=*/total_elements);
   for (Parameter* p : parameters) {
     float* value = p->value.data();
     const float* grad = p->grad.data();
@@ -38,6 +42,9 @@ void Sgd::Step(const std::vector<Parameter*>& parameters) {
 }
 
 void Adam::Step(const std::vector<Parameter*>& parameters) {
+  int64_t total_elements = 0;
+  for (const Parameter* p : parameters) total_elements += p->value.size();
+  const ScopedTimer timer("train.adam_step", /*items=*/total_elements);
   ++step_count_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));

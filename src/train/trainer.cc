@@ -9,6 +9,7 @@
 
 #include "autograd/health.h"
 #include "base/check.h"
+#include "base/telemetry.h"
 #include "train/metrics.h"
 #include "train/optimizer.h"
 
@@ -116,6 +117,14 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
     return true;
   };
 
+  // Phase timing for the current epoch. Clock reads sit between phases only
+  // (never inside a kernel), so enabling them cannot perturb a single weight
+  // bit. `now` collapses to a constant when nobody is listening, keeping the
+  // untimed path free of clock syscalls.
+  const bool timed = run.collect_metrics || TelemetryEnabled();
+  EpochMetrics phase;
+  const auto now = [timed]() { return timed ? MonotonicNanos() : 0; };
+
   const auto maybe_inject = [&](FaultSite site, int epoch, float* data,
                                 int64_t size) {
     if (!injector.ShouldFire(site, epoch)) return;
@@ -132,6 +141,7 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
     const bool scan_epoch =
         health.enabled &&
         (epoch % health.check_every == 0 || epoch == options.epochs - 1);
+    const int64_t forward_start = now();
     Tape tape;
     StrategyContext ctx(graph, strategy, /*training=*/true, rng);
     Var logits = model.Forward(tape, graph, ctx, /*training=*/true, rng);
@@ -144,12 +154,14 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
     const Var aux = model.AuxiliaryLoss(tape);
     if (aux.valid()) loss = tape.Add(loss, aux);
     const double loss_value = loss.value()(0, 0);
+    phase.forward_ns = now() - forward_start;
     result.final_train_loss = loss_value;
     if (health.enabled && !std::isfinite(loss_value)) {
       log_event(HealthEventKind::kNonFiniteLoss, epoch,
                 FormatDetail("loss = %g", loss_value));
       return rollback(epoch) ? StepStatus::kRolledBack : StepStatus::kHalt;
     }
+    const int64_t backward_start = now();
     Optimizer::ZeroGrad(parameters);
     tape.Backward(loss);
     if (injector.ShouldFire(FaultSite::kGradient, epoch)) {
@@ -158,7 +170,9 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
       maybe_inject(FaultSite::kGradient, epoch, target->grad.data(),
                    target->grad.size());
     }
+    phase.backward_ns = now() - backward_start;
     if (scan_epoch || (health.enabled && health.grad_clip_norm > 0.0f)) {
+      const int64_t probe_start = now();
       const GradientHealth grads = ProbeGradients(parameters);
       if (!grads.finite) {
         log_event(HealthEventKind::kNonFiniteGradient, epoch,
@@ -174,7 +188,9 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
                   FormatDetail("norm %g > %g", grads.global_norm,
                                health.grad_clip_norm));
       }
+      phase.health_ns += now() - probe_start;
     }
+    const int64_t step_start = now();
     optimizer.Step(parameters);
     if (injector.ShouldFire(FaultSite::kUpdate, epoch)) {
       Parameter* target =
@@ -182,33 +198,62 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
       maybe_inject(FaultSite::kUpdate, epoch, target->value.data(),
                    target->value.size());
     }
+    phase.step_ns = now() - step_start;
     if (scan_epoch) {
+      const int64_t scan_start = now();
       std::string first_bad;
       if (!ParametersFinite(parameters, &first_bad)) {
         log_event(HealthEventKind::kNonFiniteParameter, epoch, first_bad);
         return rollback(epoch) ? StepStatus::kRolledBack : StepStatus::kHalt;
       }
       take_snapshot(epoch);
+      phase.health_ns += now() - scan_start;
     }
     return StepStatus::kOk;
+  };
+
+  // Flushes the epoch's phase timings: into the process-wide telemetry
+  // registry (no-ops when telemetry is off) and into the result when the
+  // caller asked for per-epoch metrics. Called on every loop exit path.
+  const auto finish_epoch = [&]() {
+    if (timed) {
+      RecordTiming("train.forward", phase.forward_ns);
+      RecordTiming("train.backward", phase.backward_ns);
+      RecordTiming("train.step", phase.step_ns);
+      if (phase.health_ns > 0) RecordTiming("train.health", phase.health_ns);
+      if (phase.eval_ns > 0) RecordTiming("train.eval", phase.eval_ns);
+    }
+    if (run.collect_metrics) result.epoch_metrics.push_back(phase);
   };
 
   if (health.enabled) take_snapshot(-1);
 
   int epochs_since_best = 0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    phase = EpochMetrics{};
+    phase.epoch = epoch;
     const StepStatus status = train_step(epoch);
     result.epochs_run = epoch + 1;
-    if (status == StepStatus::kHalt) break;
+    phase.train_loss = result.final_train_loss;
+    if (status == StepStatus::kHalt) {
+      finish_epoch();
+      break;
+    }
     // A rolled-back epoch re-evaluates nothing: the parameters are an older,
     // already-evaluated state.
-    if (status == StepStatus::kRolledBack) continue;
+    if (status == StepStatus::kRolledBack) {
+      finish_epoch();
+      continue;
+    }
 
     // --- Periodic evaluation ----------------------------------------------
     if (epoch % options.eval_every != 0 && epoch != options.epochs - 1) {
+      finish_epoch();
       continue;
     }
+    bool out_of_patience = false;
     {
+      const int64_t eval_start = now();
       Tape tape;
       StrategyContext ctx(graph, strategy, /*training=*/false, rng);
       Var logits = model.Forward(tape, graph, ctx, /*training=*/false, rng);
@@ -216,6 +261,7 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
           Accuracy(logits.value(), graph.labels(), split.val);
       const double test_acc =
           Accuracy(logits.value(), graph.labels(), split.test);
+      phase.eval_ns = now() - eval_start;
       if (run.on_epoch) {
         run.on_epoch(epoch, result.final_train_loss, val_acc, test_acc);
       }
@@ -226,11 +272,12 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
         epochs_since_best = 0;
       } else {
         epochs_since_best += options.eval_every;
-        if (options.patience > 0 && epochs_since_best >= options.patience) {
-          break;
-        }
+        out_of_patience =
+            options.patience > 0 && epochs_since_best >= options.patience;
       }
     }
+    finish_epoch();
+    if (out_of_patience) break;
   }
   return result;
 }

@@ -8,6 +8,7 @@
 #ifndef SKIPNODE_TRAIN_TRAINER_H_
 #define SKIPNODE_TRAIN_TRAINER_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -76,6 +77,22 @@ struct HealthEvent {
 // Stable name for logs and CLI output.
 const char* HealthEventKindName(HealthEventKind kind);
 
+// Wall-clock split of one training epoch, in nanoseconds. Collected off the
+// numeric path: the clock reads happen between phases, never inside a kernel,
+// so collecting metrics cannot change any trained weight. `eval_ns` is zero
+// on epochs where evaluation was skipped (TrainOptions::eval_every);
+// `health_ns` covers the gradient probe/clip and the post-step parameter
+// scan + snapshot, and is zero when the guardrails are off.
+struct EpochMetrics {
+  int epoch = 0;
+  int64_t forward_ns = 0;
+  int64_t backward_ns = 0;
+  int64_t step_ns = 0;
+  int64_t health_ns = 0;
+  int64_t eval_ns = 0;
+  double train_loss = 0.0;
+};
+
 struct TrainResult {
   double best_val_accuracy = 0.0;
   // Test accuracy at the best-validation epoch.
@@ -90,6 +107,9 @@ struct TrainResult {
   // Learning rate at the end of the run (== options.learning_rate unless a
   // rollback decayed it).
   float final_learning_rate = 0.0f;
+  // One entry per epoch run, populated only when TrainRun::collect_metrics
+  // is set (empty otherwise).
+  std::vector<EpochMetrics> epoch_metrics;
 };
 
 // Observes training progress on evaluated epochs. The callback never sees
@@ -118,6 +138,9 @@ struct TrainRun {
   // Optional external sink: when set, every HealthEvent is appended here as
   // it happens, in addition to TrainResult::health_log.
   std::vector<HealthEvent>* health_log = nullptr;
+  // Collect per-epoch phase timings into TrainResult::epoch_metrics. Off the
+  // numeric path: the trained weights are bitwise identical either way.
+  bool collect_metrics = false;
 };
 
 // Trains `model` on `graph` under `strategy` and returns validation-selected

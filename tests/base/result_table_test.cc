@@ -11,6 +11,13 @@
 namespace skipnode {
 namespace {
 
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
 TEST(ResultTableTest, TracksShape) {
   ResultTable table({"name", "acc"});
   EXPECT_EQ(table.num_columns(), 2);
@@ -26,14 +33,11 @@ TEST(ResultTableTest, CellFormatsPrecision) {
   EXPECT_EQ(ResultTable::Cell(-0.5, 2), "-0.50");
 }
 
-TEST(ResultTableTest, PrintAlignsColumns) {
+TEST(ResultTableTest, EmitTextAlignsColumns) {
   ResultTable table({"a", "long_column"});
   table.AddRow({"wide_cell", "1"});
-  const std::string path = ::testing::TempDir() + "/table_print.txt";
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  ASSERT_NE(out, nullptr);
-  table.Print(out);
-  std::fclose(out);
+  const std::string path = ::testing::TempDir() + "/table_text.txt";
+  ASSERT_TRUE(table.EmitToFile(TableFormat::kText, path));
 
   std::ifstream in(path);
   std::string header, row;
@@ -43,22 +47,50 @@ TEST(ResultTableTest, PrintAlignsColumns) {
   EXPECT_EQ(header.find("long_column"), row.find("1"));
 }
 
-TEST(ResultTableTest, SaveCsvRoundTrip) {
+TEST(ResultTableTest, EmitCsvRoundTrip) {
   ResultTable table({"x", "y"});
   table.AddRow({"1", "2"});
   table.AddRow({"3", "4.5"});
   const std::string path = ::testing::TempDir() + "/table.csv";
-  ASSERT_TRUE(table.SaveCsv(path));
-
-  std::ifstream in(path);
-  std::stringstream contents;
-  contents << in.rdbuf();
-  EXPECT_EQ(contents.str(), "x,y\n1,2\n3,4.5\n");
+  ASSERT_TRUE(table.EmitToFile(TableFormat::kCsv, path));
+  EXPECT_EQ(ReadFile(path), "x,y\n1,2\n3,4.5\n");
 }
 
-TEST(ResultTableTest, SaveCsvFailsOnBadPath) {
+TEST(ResultTableTest, EmitJsonlTypesCells) {
+  ResultTable table({"model", "acc", "note"});
+  table.AddRow({"GCN", "86.1", "2 layers"});
+  table.AddRow({"SkipNode", "-3e-1", ""});
+  const std::string path = ::testing::TempDir() + "/table.jsonl";
+  ASSERT_TRUE(table.EmitToFile(TableFormat::kJsonl, path));
+  // Numeric-looking cells are bare numbers, everything else is a string
+  // ("2 layers" starts with a digit but does not fully parse as one).
+  EXPECT_EQ(ReadFile(path),
+            "{\"model\":\"GCN\",\"acc\":86.1,\"note\":\"2 layers\"}\n"
+            "{\"model\":\"SkipNode\",\"acc\":-3e-1,\"note\":\"\"}\n");
+}
+
+TEST(ResultTableTest, EmitToFileFailsOnBadPath) {
   ResultTable table({"x"});
-  EXPECT_FALSE(table.SaveCsv("/nonexistent/dir/table.csv"));
+  EXPECT_FALSE(table.EmitToFile(TableFormat::kCsv,
+                                "/nonexistent/dir/table.csv"));
+}
+
+TEST(ResultTableTest, StreamToPrintsHeaderAndRowsImmediately) {
+  const std::string path = ::testing::TempDir() + "/table_stream.txt";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  ResultTable table({"name", "acc"});
+  table.StreamTo(out);
+  // Header lands before any row exists; each AddRow appends a line.
+  EXPECT_EQ(ReadFile(path), "name       acc      \n");
+  table.AddRow({"GCN", "86.1"});
+  std::fclose(out);
+
+  std::ifstream in(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_EQ(row.find("86.1"), header.find("acc"));
 }
 
 }  // namespace

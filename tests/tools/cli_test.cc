@@ -97,6 +97,34 @@ TEST(CliTest, TrainsOnUserFilesAndSavesCheckpoint) {
   EXPECT_TRUE(manifest.good());
 }
 
+TEST(CliTest, MetricsOutWritesEpochAndSummaryRecords) {
+  const std::string path = ::testing::TempDir() + "/cli_metrics.jsonl";
+  std::remove(path.c_str());
+  const CliResult result =
+      RunTool({"--dataset", "cornell_like", "--model", "GCN", "--layers", "2",
+           "--hidden", "16", "--epochs", "6", "--split", "random",
+           "--metrics-out", path});
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  // One record per epoch run plus the trailing summary (early stopping may
+  // end the run before the epoch budget).
+  ASSERT_GE(lines.size(), 2u);
+  ASSERT_LE(lines.size(), 7u);
+  for (size_t i = 0; i + 1 < lines.size(); ++i) {
+    EXPECT_NE(lines[i].find("\"type\":\"epoch\""), std::string::npos);
+    EXPECT_NE(lines[i].find("\"forward_ns\":"), std::string::npos);
+    EXPECT_NE(lines[i].find("\"backward_ns\":"), std::string::npos);
+    EXPECT_NE(lines[i].find("\"step_ns\":"), std::string::npos);
+  }
+  EXPECT_NE(lines.back().find("\"type\":\"summary\""), std::string::npos);
+  EXPECT_NE(lines.back().find("\"telemetry\":{"), std::string::npos);
+  EXPECT_NE(lines.back().find("tensor.gemm"), std::string::npos);
+}
+
 TEST(CliTest, RejectsBadScaleAndLayers) {
   EXPECT_EQ(RunTool({"--dataset", "cornell_like", "--scale", "0"}).exit_code, 1);
   EXPECT_EQ(RunTool({"--dataset", "cornell_like", "--layers", "1", "--epochs",

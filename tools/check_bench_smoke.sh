@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs every paper bench at smoke scale with JSONL output enabled and
+# validates the emitted records: every line must be a JSON object carrying
+# the full per-cell schema (bench/cell/scale/threads/params/metric/value/
+# elapsed_ns/telemetry) and table8 must report per-kernel telemetry
+# (tensor.gemm, sparse.spmm) plus positive per-epoch timings.
+#
+# Usage: tools/check_bench_smoke.sh [build_dir]
+#   BENCHES="fig2_three_issues table8_efficiency" overrides the bench list.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found; build first" >&2
+  exit 1
+fi
+
+DEFAULT_BENCHES="ablation_skipnode fig2_three_issues fig4_distance_ratio \
+fig5_rho_sensitivity table3_full_supervised table4_arxiv_depth \
+table5_link_prediction table6_semi_supervised_depth \
+table7_strategy_comparison table8_efficiency"
+BENCHES="${BENCHES:-$DEFAULT_BENCHES}"
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+export SKIPNODE_BENCH_SCALE=smoke
+
+for bench in $BENCHES; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: missing bench binary $bin" >&2
+    exit 1
+  fi
+  jsonl="$OUT_DIR/$bench.jsonl"
+  echo "== $bench"
+  SKIPNODE_BENCH_JSON="$jsonl" "$bin" >"$OUT_DIR/$bench.log" 2>&1 || {
+    echo "error: $bench failed; last lines of log:" >&2
+    tail -20 "$OUT_DIR/$bench.log" >&2
+    exit 1
+  }
+  # Each bench registers itself under the short paper name (table8, fig2...),
+  # the first token of the binary name.
+  python3 tools/validate_bench_jsonl.py "${bench%%_*}" "$jsonl"
+done
+
+echo "bench smoke: all benches ran and emitted valid JSONL."

@@ -12,15 +12,15 @@ BUILD_DIR=build-tsan
 cmake -B "$BUILD_DIR" -DSKIPNODE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-  parallel_test tensor_ops_test csr_matrix_test graph_ops_test \
-  optimizer_test trainer_test
+  parallel_test telemetry_test tensor_ops_test csr_matrix_test \
+  graph_ops_test optimizer_test trainer_test trainer_metrics_test
 
 # Force multi-threaded execution even on single-core hosts so the pool's
 # synchronisation actually gets exercised.
 export SKIPNODE_NUM_THREADS=4
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R \
-  '^(parallel_test|tensor_ops_test|csr_matrix_test|graph_ops_test|optimizer_test|trainer_test)$' \
+  '^(parallel_test|telemetry_test|tensor_ops_test|csr_matrix_test|graph_ops_test|optimizer_test|trainer_test|trainer_metrics_test)$' \
   "$@"
 
 echo "TSan: no data races detected."

@@ -9,6 +9,8 @@
 #include <memory>
 #include <string>
 
+#include "base/json.h"
+#include "base/telemetry.h"
 #include "core/oversmoothing.h"
 #include "graph/datasets.h"
 #include "graph/io.h"
@@ -46,6 +48,10 @@ Options:
   --weight-decay F      L2 coefficient                          (default 5e-4)
   --log-every N         print loss/val/test every N evaluated
                         epochs (0 = silent)                     (default 0)
+  --metrics-out FILE    write training telemetry as JSONL: one "epoch" record
+                        per epoch (forward/backward/step/health/eval ns) and
+                        a final "summary" record with accuracies and the
+                        aggregated kernel-timer snapshot
   --split NAME          public | random                         (default public)
   --save-dir DIR        checkpoint the trained model into DIR (created if
                         missing; saves are atomic)
@@ -79,6 +85,7 @@ struct CliOptions {
   float learning_rate = 0.01f;
   float weight_decay = 5e-4f;
   int log_every = 0;
+  std::string metrics_out;
   std::string split = "public";
   std::string save_dir;
   std::string load_dir;
@@ -146,6 +153,8 @@ bool ParseFlags(int argc, const char* const* argv, CliOptions* options,
       options->weight_decay = static_cast<float>(std::atof(value));
     } else if (flag == "--log-every") {
       options->log_every = std::atoi(value);
+    } else if (flag == "--metrics-out") {
+      options->metrics_out = value;
     } else if (flag == "--split") {
       options->split = value;
     } else if (flag == "--save-dir") {
@@ -203,6 +212,39 @@ bool KnownModel(const std::string& name) {
     if (known == name) return true;
   }
   return false;
+}
+
+// Writes the per-epoch phase timings and a final summary (with the
+// aggregated telemetry snapshot) as JSONL; false on I/O failure.
+bool WriteMetricsJsonl(const std::string& path, const TrainResult& result) {
+  std::FILE* sink = std::fopen(path.c_str(), "w");
+  if (sink == nullptr) return false;
+  for (const EpochMetrics& epoch : result.epoch_metrics) {
+    JsonObject record;
+    record.Add("type", "epoch")
+        .Add("epoch", epoch.epoch)
+        .Add("forward_ns", epoch.forward_ns)
+        .Add("backward_ns", epoch.backward_ns)
+        .Add("step_ns", epoch.step_ns)
+        .Add("health_ns", epoch.health_ns)
+        .Add("eval_ns", epoch.eval_ns)
+        .Add("train_loss", epoch.train_loss);
+    std::fputs(record.Finish().c_str(), sink);
+    std::fputc('\n', sink);
+  }
+  JsonObject summary;
+  summary.Add("type", "summary")
+      .Add("epochs_run", result.epochs_run)
+      .Add("best_epoch", result.best_epoch)
+      .Add("best_val_accuracy", result.best_val_accuracy)
+      .Add("test_accuracy", result.test_accuracy)
+      .Add("final_train_loss", result.final_train_loss)
+      .Add("rollbacks", result.rollbacks)
+      .AddRaw("telemetry", SnapshotTelemetry().ToJson());
+  std::fputs(summary.Finish().c_str(), sink);
+  std::fputc('\n', sink);
+  const bool ok = std::ferror(sink) == 0;
+  return std::fclose(sink) == 0 && ok;
 }
 
 bool KnownDataset(const std::string& name) {
@@ -341,11 +383,25 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
                    epoch, train_loss, 100.0 * val_acc, 100.0 * test_acc);
     };
   }
+  if (!options.metrics_out.empty()) {
+    // Per-epoch metrics plus kernel-level timers; both stay off the numeric
+    // path, so the trained model is bitwise identical to an uninstrumented
+    // run (tests/train/trainer_metrics_test.cc asserts this).
+    train_run.collect_metrics = true;
+    SetTelemetryEnabled(true);
+    ResetTelemetry();
+  }
   std::fprintf(out, "training %s (L=%d, hidden=%d) + %s for %d epochs\n",
                options.model.c_str(), options.layers, options.hidden,
                StrategyName(strategy.kind), options.epochs);
   const TrainResult result =
       TrainNodeClassifier(*model, *graph, split, strategy, train_run);
+  if (!options.metrics_out.empty() &&
+      !WriteMetricsJsonl(options.metrics_out, result)) {
+    std::fprintf(out, "error: could not write metrics to '%s'\n",
+                 options.metrics_out.c_str());
+    return 1;
+  }
   for (const HealthEvent& event : result.health_log) {
     std::fprintf(out, "health: epoch %4d | %-20s | %s\n", event.epoch,
                  HealthEventKindName(event.kind), event.detail.c_str());

@@ -6,7 +6,7 @@
 // synthetic dataset or user-supplied files, reports metrics, and optionally
 // checkpoints the model.
 //
-//   skipnode_train --dataset cora_like --model GCN --layers 8 \
+//   skipnode_train --dataset cora_like --model GCN --layers 8
 //       --strategy skipnode-u --rate 0.5 --epochs 200
 //   skipnode_train --edges g.txt --features f.csv --labels y.txt ...
 //

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validates a bench JSONL file produced via SKIPNODE_BENCH_JSON.
+
+Usage: validate_bench_jsonl.py BENCH_NAME FILE.jsonl
+
+Checks every line parses as a JSON object with the per-cell schema from
+DESIGN.md section 9, and bench-specific invariants: table8 records must carry
+per-kernel telemetry (tensor.gemm and sparse.spmm with positive counts) and a
+positive ms_per_epoch headline value.
+"""
+import json
+import sys
+
+REQUIRED_KEYS = (
+    "bench", "cell", "scale", "threads", "params", "metric", "value",
+    "elapsed_ns", "telemetry",
+)
+
+
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} BENCH_NAME FILE.jsonl")
+    bench_name, path = sys.argv[1], sys.argv[2]
+
+    records = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: invalid JSON: {e}")
+            if not isinstance(record, dict):
+                fail(f"{path}:{lineno}: record is not an object")
+            for key in REQUIRED_KEYS:
+                if key not in record:
+                    fail(f"{path}:{lineno}: missing key {key!r}")
+            if record["bench"] != bench_name:
+                fail(f"{path}:{lineno}: bench={record['bench']!r}, "
+                     f"expected {bench_name!r}")
+            if not isinstance(record["params"], dict):
+                fail(f"{path}:{lineno}: params is not an object")
+            if not isinstance(record["telemetry"], dict):
+                fail(f"{path}:{lineno}: telemetry is not an object")
+            if not isinstance(record["value"], (int, float)):
+                fail(f"{path}:{lineno}: value is not numeric")
+            if not isinstance(record["elapsed_ns"], int) or \
+                    record["elapsed_ns"] < 0:
+                fail(f"{path}:{lineno}: elapsed_ns is not a non-negative int")
+            for name, stat in record["telemetry"].items():
+                for field in ("count", "items", "total_ns", "max_ns"):
+                    if field not in stat:
+                        fail(f"{path}:{lineno}: telemetry[{name!r}] "
+                             f"missing {field!r}")
+            records.append(record)
+
+    if not records:
+        fail(f"{path}: no records emitted")
+
+    if bench_name == "table8":
+        epochs = [r for r in records if r["metric"] == "ms_per_epoch"]
+        if not epochs:
+            fail(f"{path}: table8 emitted no ms_per_epoch records")
+        for r in epochs:
+            if r["value"] <= 0:
+                fail(f"{path}: ms_per_epoch not positive in cell "
+                     f"{r['cell']!r}")
+            for kernel in ("tensor.gemm", "sparse.spmm"):
+                stat = r["telemetry"].get(kernel)
+                if stat is None or stat["count"] <= 0:
+                    fail(f"{path}: cell {r['cell']!r} missing per-kernel "
+                         f"telemetry for {kernel}")
+
+    print(f"   {len(records)} records ok")
+
+
+if __name__ == "__main__":
+    main()
