@@ -2,16 +2,24 @@
 // Licensed under the Apache License, Version 2.0.
 //
 // Engineering micro-benchmarks (not a paper table): throughput of the hot
-// kernels behind every experiment — dense GEMM, sparse SpMM, adjacency
-// renormalisation (DropEdge's per-epoch cost), and SkipNode mask sampling
-// (its claimed near-zero overhead).
+// kernels behind every experiment — dense GEMM, sparse SpMM (full and
+// masked), adjacency renormalisation (DropEdge's per-epoch cost), and
+// SkipNode mask sampling (its claimed near-zero overhead). After the
+// google-benchmark report, a fused-vs-naive rho sweep prints the speedup of
+// the fused SkipNode propagation (DESIGN §10) and records one JSONL cell per
+// (path, rho) when SKIPNODE_BENCH_JSON is set.
 
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "base/parallel.h"
 #include "base/telemetry.h"
+#include "bench_common.h"
 #include "core/skipnode.h"
 #include "graph/datasets.h"
 #include "sparse/graph_ops.h"
@@ -55,6 +63,26 @@ void BM_SpMM(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * a_hat->nnz() * cols);
 }
 BENCHMARK(BM_SpMM)->Arg(16)->Arg(64);
+
+void BM_SpMMMasked(benchmark::State& state) {
+  // Masked SpMM at rho = range/100: only (1-rho) of the output rows are
+  // computed, so throughput should rise roughly linearly with rho.
+  const float rho = static_cast<float>(state.range(0)) / 100.0f;
+  Graph graph = BuildDatasetByName("cora_like", 1.0, 1);
+  const auto a_hat = graph.normalized_adjacency();
+  Rng rng(2);
+  Matrix x = Matrix::Random(graph.num_nodes(), 64, rng);
+  Rng mask_rng(7);
+  const auto mask = SampleSkipMaskUniform(graph.num_nodes(), rho, mask_rng);
+  Matrix y(graph.num_nodes(), 64);
+  for (auto _ : state) {
+    a_hat->MultiplyAccumulateMasked(x, mask, y);
+    benchmark::DoNotOptimize(y.data());
+    y.SetZero();
+  }
+  state.SetItemsProcessed(state.iterations() * a_hat->nnz() * 64);
+}
+BENCHMARK(BM_SpMMMasked)->Arg(0)->Arg(50)->Arg(100);
 
 void BM_DropEdgeRenormalize(benchmark::State& state) {
   // The per-epoch cost DropEdge pays and SkipNode avoids (Table 8's story).
@@ -157,18 +185,102 @@ void BM_SpMMThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_SpMMThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+// --- Fused SkipNode propagation sweep ---------------------------------------
+// Forward cost of one middle-layer SkipNode propagation, naive vs fused
+// (DESIGN §10), over rho. Naive pays the full SpMM and then overwrites the
+// skipped rows; fused copies the skipped rows and convolves only the rest,
+// so its time should fall as rho grows while naive stays flat. Each timing
+// is also recorded as a JSONL cell (cells "spmm_naive" / "spmm_fused",
+// metric ns_per_op) whose telemetry snapshot carries spmm.rows_skipped —
+// the acceptance signal that the fused kernel really skipped work.
+
+int64_t TimeReps(int reps, const std::function<void()>& op) {
+  const int64_t start = MonotonicNanos();
+  for (int r = 0; r < reps; ++r) op();
+  return (MonotonicNanos() - start) / reps;
+}
+
+void FusedSweep() {
+  Graph graph = BuildDatasetByName("cora_like", 1.0, 1);
+  const auto a_hat = graph.normalized_adjacency();
+  const int n = graph.num_nodes(), d = 64;
+  Rng rng(2);
+  const Matrix x = Matrix::Random(n, d, rng);
+  const Matrix pre = Matrix::Random(n, d, rng);
+  const int reps = bench::Pick(20, 200);
+
+  std::printf("\nFused SkipNode propagation, %d nodes x %d cols, %d reps "
+              "(ns/op)\n", n, d, reps);
+  std::printf("%6s %12s %12s %9s %14s\n", "rho", "naive", "fused", "speedup",
+              "rows_skipped");
+  for (const float rho : {0.0f, 0.25f, 0.5f, 0.75f, 1.0f}) {
+    Rng mask_rng(7);
+    const auto mask = SampleSkipMaskUniform(n, rho, mask_rng);
+    const int skipped = CountSkipped(mask);
+
+    bench::CellRecorder naive_cell("spmm_naive");
+    naive_cell.Param("rho", static_cast<double>(rho))
+        .Param("cols", d)
+        .Param("reps", reps);
+    const int64_t naive_ns = TimeReps(reps, [&]() {
+      Matrix y = a_hat->Multiply(x);
+      CopyRowsWhere(pre, mask, y);
+      benchmark::DoNotOptimize(y.data());
+    });
+    naive_cell.Record("ns_per_op", static_cast<double>(naive_ns));
+
+    bench::CellRecorder fused_cell("spmm_fused");
+    fused_cell.Param("rho", static_cast<double>(rho))
+        .Param("cols", d)
+        .Param("reps", reps);
+    const int64_t fused_ns = TimeReps(reps, [&]() {
+      Matrix y(n, d);
+      CopyRowsWhere(pre, mask, y);
+      a_hat->MultiplyAccumulateMasked(x, mask, y);
+      benchmark::DoNotOptimize(y.data());
+    });
+    fused_cell.Record("ns_per_op", static_cast<double>(fused_ns));
+
+    std::printf("%6.2f %12lld %12lld %8.2fx %14d\n", rho,
+                static_cast<long long>(naive_ns),
+                static_cast<long long>(fused_ns),
+                static_cast<double>(naive_ns) /
+                    static_cast<double>(fused_ns > 0 ? fused_ns : 1),
+                skipped);
+  }
+}
+
 }  // namespace
 }  // namespace skipnode
 
-// Custom main instead of BENCHMARK_MAIN so a run under SKIPNODE_TELEMETRY=1
-// can dump the aggregated kernel-timer snapshot after the benchmark report —
-// ground truth for how much wall-clock each instrumented kernel really
-// absorbed across the whole run.
+// Custom main instead of BENCHMARK_MAIN so the binary joins the bench
+// harness (banner, SKIPNODE_BENCH_* knobs, JSONL cells for the fused sweep)
+// and a run under SKIPNODE_TELEMETRY=1 can dump the aggregated kernel-timer
+// snapshot after the report — ground truth for how much wall-clock each
+// instrumented kernel really absorbed across the whole run.
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  skipnode::bench::Begin("micro");
+  // At smoke scale cap google-benchmark's per-benchmark budget so the whole
+  // binary stays CI-sized; an explicit flag still wins.
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.01";
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
+      has_min_time = true;
+    }
+  }
+  if (!skipnode::bench::PaperScale() && !has_min_time) {
+    args.push_back(min_time.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  skipnode::FusedSweep();
   if (skipnode::TelemetryEnabled()) {
     std::printf("telemetry: %s\n",
                 skipnode::SnapshotTelemetry().ToJson().c_str());

@@ -17,7 +17,9 @@ namespace skipnode {
 
 Var Tape::MatMul(Var a, Var b) {
   SKIPNODE_CHECK(a.tape_ == this && b.tape_ == this);
-  Var out = Emplace(skipnode::MatMul(a.value(), b.value()));
+  Matrix value = AcquireOutput(a.rows(), b.cols());
+  Gemm(a.value(), b.value(), value);
+  Var out = Emplace(std::move(value));
   Tape* tape = this;
   const int oi = out.index_, ai = a.index_, bi = b.index_;
   node(oi).backward = [tape, oi, ai, bi]() {
@@ -34,13 +36,45 @@ Var Tape::MatMul(Var a, Var b) {
 Var Tape::SpMM(std::shared_ptr<const CsrMatrix> a, Var x) {
   SKIPNODE_CHECK(a != nullptr);
   SKIPNODE_CHECK(x.tape_ == this);
-  Var out = Emplace(a->Multiply(x.value()));
+  Matrix value = AcquireOutput(a->rows(), x.cols());
+  a->MultiplyAccumulate(x.value(), value);
+  Var out = Emplace(std::move(value));
   Tape* tape = this;
   const int oi = out.index_, xi = x.index_;
   node(oi).backward = [tape, oi, xi, a = std::move(a)]() {
     const Matrix& g = tape->node(oi).grad;
     Matrix gx = a->MultiplyTransposed(g);
     AddScaled(gx, 1.0f, tape->EnsureGrad(xi));
+  };
+  return out;
+}
+
+Var Tape::SpMMRowSelect(std::shared_ptr<const CsrMatrix> a, Var x, Var pre,
+                        std::vector<uint8_t> skip_mask) {
+  SKIPNODE_CHECK(a != nullptr);
+  SKIPNODE_CHECK(x.tape_ == this && pre.tape_ == this);
+  SKIPNODE_CHECK(pre.rows() == a->rows() && pre.cols() == x.cols());
+  SKIPNODE_CHECK(static_cast<int>(skip_mask.size()) == a->rows());
+  // Skipped rows copy through from `pre`; only the kept rows pay for the
+  // convolution. Disjoint row sets, so the order of the two kernels is
+  // irrelevant.
+  Matrix value = AcquireOutput(a->rows(), x.cols());
+  CopyRowsWhere(pre.value(), skip_mask, value);
+  a->MultiplyAccumulateMasked(x.value(), skip_mask, value);
+  Var out = Emplace(std::move(value));
+  Tape* tape = this;
+  const int oi = out.index_, xi = x.index_, pi = pre.index_;
+  node(oi).backward = [tape, oi, xi, pi, a = std::move(a),
+                       mask = std::move(skip_mask)]() {
+    const Matrix& g = tape->node(oi).grad;
+    // dX += A^T * (g with skipped rows zeroed): the masked transpose never
+    // reads the skipped rows, matching the zero rows RowSelect's backward
+    // would have left in the convolution gradient.
+    Matrix gx = a->MultiplyTransposedMasked(g, mask);
+    AddScaled(gx, 1.0f, tape->EnsureGrad(xi));
+    // Skipped rows bypass the convolution entirely — SkipNode's gradient
+    // highway (Eq. 4).
+    AddRowsWhere(g, mask, tape->EnsureGrad(pi));
   };
   return out;
 }

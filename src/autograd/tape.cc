@@ -3,10 +3,23 @@
 
 #include "autograd/tape.h"
 
+#include <utility>
+
 #include "base/check.h"
 #include "tensor/ops.h"
+#include "tensor/pool.h"
 
 namespace skipnode {
+
+// Every buffer the tape owns goes back to the pool; the next step's tape
+// (same model, same graph) re-acquires the identical shapes.
+Tape::~Tape() {
+  MatrixPool& pool = GlobalMatrixPool();
+  for (auto& node : nodes_) {
+    pool.Release(std::move(node->value));
+    if (node->grad_ready) pool.Release(std::move(node->grad));
+  }
+}
 
 const Matrix& Var::value() const {
   SKIPNODE_CHECK(tape_ != nullptr);
@@ -30,10 +43,14 @@ Var Tape::Emplace(Matrix value) {
 Matrix& Tape::EnsureGrad(int index) {
   Node& n = node(index);
   if (!n.grad_ready) {
-    n.grad = Matrix(n.value.rows(), n.value.cols());
+    n.grad = GlobalMatrixPool().Acquire(n.value.rows(), n.value.cols());
     n.grad_ready = true;
   }
   return n.grad;
+}
+
+Matrix Tape::AcquireOutput(int rows, int cols) {
+  return GlobalMatrixPool().Acquire(rows, cols);
 }
 
 Var Tape::Leaf(Parameter& parameter) {

@@ -72,9 +72,17 @@ class Var {
 
 // Records a forward pass and differentiates it. Not reusable after
 // Backward(); build a fresh Tape per step.
+//
+// Node value and gradient buffers are drawn from the global MatrixPool
+// (tensor/pool.h) where the op computes into a fresh buffer, and every
+// buffer is returned to the pool when the tape dies — the per-step
+// allocation churn of the one-Tape-per-step design becomes pool hits after
+// the first step. Pooling is invisible to results: recycled buffers are
+// re-zeroed, so they are indistinguishable from fresh ones.
 class Tape {
  public:
   Tape() = default;
+  ~Tape();
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
@@ -91,6 +99,17 @@ class Tape {
   Var MatMul(Var a, Var b);
   // Sparse (adjacency) times dense. Gradient flows to `x` only.
   Var SpMM(std::shared_ptr<const CsrMatrix> a, Var x);
+  // Fused SpMM + RowSelect (DESIGN §10): row r of the output is
+  //   skip_mask[r] ? pre.row(r) : (a * x).row(r)          (Eq. 4)
+  // and skipped rows of a*x are never computed — the work SkipNode's
+  // sampling is supposed to save. Backward: dX += a^T * (g with skipped
+  // rows zeroed), and skipped rows of g pass straight through to `pre`.
+  // Bitwise identical, forward and backward, to
+  //   RowSelect(skip_mask, pre, SpMM(a, x))
+  // at any thread count and any mask (each computed row runs in the same
+  // serial order as the full kernel).
+  Var SpMMRowSelect(std::shared_ptr<const CsrMatrix> a, Var x, Var pre,
+                    std::vector<uint8_t> skip_mask);
   Var Add(Var a, Var b);
   Var Sub(Var a, Var b);
   // x + bias broadcast over rows; bias is 1 x cols.
@@ -176,6 +195,8 @@ class Tape {
   Var Emplace(Matrix value);
   // Ensures `grad` is allocated (zeroed) and returns it.
   Matrix& EnsureGrad(int index);
+  // Zeroed rows x cols output buffer, drawn from the workspace pool.
+  Matrix AcquireOutput(int rows, int cols);
 
   std::vector<std::unique_ptr<Node>> nodes_;
   bool backward_done_ = false;

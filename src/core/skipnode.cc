@@ -21,11 +21,17 @@ std::vector<uint8_t> SampleSkipMaskUniform(int num_nodes, float rho,
 
 std::vector<uint8_t> SampleSkipMaskBiased(const std::vector<int>& degrees,
                                           float rho, Rng& rng) {
-  SKIPNODE_CHECK(rho >= 0.0f && rho <= 1.0f);
   const int n = static_cast<int>(degrees.size());
-  const int k = static_cast<int>(std::lround(rho * n));
   std::vector<double> weights(n);
   for (int i = 0; i < n; ++i) weights[i] = static_cast<double>(degrees[i]);
+  return SampleSkipMaskBiased(weights, rho, rng);
+}
+
+std::vector<uint8_t> SampleSkipMaskBiased(const std::vector<double>& weights,
+                                          float rho, Rng& rng) {
+  SKIPNODE_CHECK(rho >= 0.0f && rho <= 1.0f);
+  const int n = static_cast<int>(weights.size());
+  const int k = static_cast<int>(std::lround(rho * n));
   std::vector<uint8_t> mask(n, 0);
   for (const int i : rng.WeightedSampleWithoutReplacement(weights, k)) {
     mask[i] = 1;

@@ -30,6 +30,13 @@ std::vector<uint8_t> SampleSkipMaskUniform(int num_nodes, float rho, Rng& rng);
 std::vector<uint8_t> SampleSkipMaskBiased(const std::vector<int>& degrees,
                                           float rho, Rng& rng);
 
+// Same sampler over precomputed weights (Graph::degree_weights() caches the
+// degree conversion once per graph instead of rebuilding the double vector
+// at every middle layer of every epoch). Draw-for-draw identical to the
+// degrees overload when weights[i] == degrees[i].
+std::vector<uint8_t> SampleSkipMaskBiased(const std::vector<double>& weights,
+                                          float rho, Rng& rng);
+
 // Number of skipped (mask = 1) nodes.
 int CountSkipped(const std::vector<uint8_t>& mask);
 

@@ -64,23 +64,27 @@ float ClampRate(float rate) {
 
 }  // namespace
 
+float StrategyContext::ScheduledRho(int middle_index) const {
+  // Constant when rho_growth is 0.
+  return ClampRate(config_.rate +
+                   config_.rho_growth * static_cast<float>(middle_index));
+}
+
+std::vector<uint8_t> StrategyContext::SampleMask(float rho) {
+  if (config_.kind == StrategyKind::kSkipNodeBiased) {
+    return SampleSkipMaskBiased(graph_.degree_weights(), rho, rng_);
+  }
+  return SampleSkipMaskUniform(graph_.num_nodes(), rho, rng_);
+}
+
 Var StrategyContext::TransformMiddle(Tape& tape, Var pre, Var conv) {
   const int middle_index = middle_calls_++;
-  // Scheduled rho for this middle layer (constant when rho_growth is 0).
-  const float rho = ClampRate(
-      config_.rate + config_.rho_growth * static_cast<float>(middle_index));
+  const float rho = ScheduledRho(middle_index);
   switch (config_.kind) {
-    case StrategyKind::kSkipNodeUniform: {
-      if (!training_ || rho <= 0.0f) return conv;
-      const std::vector<uint8_t> mask =
-          SampleSkipMaskUniform(graph_.num_nodes(), rho, rng_);
-      return tape.RowSelect(mask, pre, conv);
-    }
+    case StrategyKind::kSkipNodeUniform:
     case StrategyKind::kSkipNodeBiased: {
       if (!training_ || rho <= 0.0f) return conv;
-      const std::vector<uint8_t> mask =
-          SampleSkipMaskBiased(graph_.degrees(), rho, rng_);
-      return tape.RowSelect(mask, pre, conv);
+      return tape.RowSelect(SampleMask(rho), pre, conv);
     }
     case StrategyKind::kSkipConnection:
       return tape.Add(conv, pre);
@@ -92,6 +96,21 @@ Var StrategyContext::TransformMiddle(Tape& tape, Var pre, Var conv) {
       return conv;
   }
   return conv;
+}
+
+Var StrategyContext::PropagateMiddle(Tape& tape, int layer, Var pre, Var h) {
+  std::shared_ptr<const CsrMatrix> adjacency = LayerAdjacency(layer);
+  const bool skipnode = config_.kind == StrategyKind::kSkipNodeUniform ||
+                        config_.kind == StrategyKind::kSkipNodeBiased;
+  if (!skipnode || !training_ || !config_.fuse_propagation) {
+    return TransformMiddle(tape, pre, tape.SpMM(std::move(adjacency), h));
+  }
+  const int middle_index = middle_calls_++;
+  const float rho = ScheduledRho(middle_index);
+  // rho == 0 skips nothing; match TransformMiddle, which returns the bare
+  // convolution without sampling a mask.
+  if (rho <= 0.0f) return tape.SpMM(std::move(adjacency), h);
+  return tape.SpMMRowSelect(std::move(adjacency), h, pre, SampleMask(rho));
 }
 
 Var StrategyContext::TransformBoundary(Tape& tape, Var conv) {

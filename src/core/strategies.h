@@ -54,6 +54,13 @@ struct StrategyConfig {
   // stacks want larger rho; a positive growth lets early layers convolve
   // more while deep layers skip more. 0 reproduces the paper's constant rho.
   float rho_growth = 0.0f;
+  // When true (the default), backbones that hand their propagation to
+  // PropagateMiddle get the fused masked kernel (Tape::SpMMRowSelect) for
+  // SkipNode: skipped rows never pay for the convolution. The fused path is
+  // bitwise identical to the naive SpMM + RowSelect one (asserted by
+  // fused_train_test); false keeps the naive path, for A/B timing and the
+  // bitwise-equivalence tests.
+  bool fuse_propagation = true;
 
   static StrategyConfig None() { return {}; }
   static StrategyConfig SkipNodeU(float rho) {
@@ -102,6 +109,19 @@ class StrategyContext {
   //   others:          conv
   Var TransformMiddle(Tape& tape, Var pre, Var conv);
 
+  // Propagate-and-combine for a middle layer whose combine input is the raw
+  // convolution: equivalent to
+  //   TransformMiddle(tape, pre, tape.SpMM(LayerAdjacency(layer), h))
+  // but for a training-time SkipNode pass it fuses the two into
+  // Tape::SpMMRowSelect, so the rho-fraction of skipped rows never computes
+  // its convolution (DESIGN §10). Backbones whose combine input is not the
+  // raw SpMM (residual adds, GCNII/APPNP mixes, GAT attention) keep calling
+  // SpMM + TransformMiddle. Bitwise identical to the unfused form at any
+  // thread count, rho, and mask kind; shares the middle-layer counter and
+  // draws the mask from the same Rng stream, so fused and naive passes
+  // consume identical randomness.
+  Var PropagateMiddle(Tape& tape, int layer, Var pre, Var h);
+
   // Post-convolution hook for layers whose width changed (first/last):
   // only PairNorm applies; everything else is identity.
   Var TransformBoundary(Tape& tape, Var conv);
@@ -113,6 +133,12 @@ class StrategyContext {
   int middle_calls() const { return middle_calls_; }
 
  private:
+  // Scheduled rho for the middle layer with the given index.
+  float ScheduledRho(int middle_index) const;
+  // Samples the SkipNode mask for the configured kind (uniform or biased —
+  // biased reuses the graph's cached degree-weight vector).
+  std::vector<uint8_t> SampleMask(float rho);
+
   const Graph& graph_;
   StrategyConfig config_;
   bool training_;

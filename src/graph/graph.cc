@@ -45,6 +45,14 @@ std::shared_ptr<const CsrMatrix> Graph::normalized_adjacency() const {
   return normalized_adjacency_;
 }
 
+const std::vector<double>& Graph::degree_weights() const {
+  if (!degree_weights_computed_) {
+    degree_weights_.assign(degrees_.begin(), degrees_.end());
+    degree_weights_computed_ = true;
+  }
+  return degree_weights_;
+}
+
 const std::vector<int>& Graph::components() const {
   if (!components_computed_) {
     components_ = ConnectedComponents(num_nodes_, edges_);

@@ -45,6 +45,11 @@ class Graph {
   // Simple-graph degrees (no self-loops).
   const std::vector<int>& degrees() const { return degrees_; }
 
+  // degrees() as doubles, cached: the weight vector SkipNode-B feeds the
+  // weighted sampler, built once per graph instead of once per middle layer
+  // of every epoch.
+  const std::vector<double>& degree_weights() const;
+
   // Cached A_hat = (D+I)^{-1/2}(A+I)(D+I)^{-1/2} as a shared_ptr so sampled
   // per-epoch variants and the cached one flow through the same SpMM API.
   std::shared_ptr<const CsrMatrix> normalized_adjacency() const;
@@ -66,6 +71,8 @@ class Graph {
   std::vector<int> years_;
   std::vector<int> degrees_;
   mutable std::shared_ptr<const CsrMatrix> normalized_adjacency_;
+  mutable std::vector<double> degree_weights_;
+  mutable bool degree_weights_computed_ = false;
   mutable std::vector<int> components_;
   mutable bool components_computed_ = false;
 };

@@ -31,14 +31,23 @@ Var GcnModel::Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
     Var h = tape.Dropout(x, config_.dropout, training, rng);
     // A_hat (X W): multiplying by W first keeps the SpMM at the narrow width.
     h = layers_[l]->Apply(tape, h);
-    Var conv = tape.SpMM(ctx.LayerAdjacency(l), h);
 
     const bool middle = l > 0 && l < num_layers - 1;
-    if (middle) {
-      if (residual_) conv = tape.Add(conv, pre);
-      conv = ctx.TransformMiddle(tape, pre, conv);
-    } else if (l == 0) {
-      conv = ctx.TransformBoundary(tape, conv);
+    Var conv;
+    if (middle && !residual_) {
+      // Combine input is the raw convolution: eligible for the fused
+      // masked-SpMM path.
+      conv = ctx.PropagateMiddle(tape, l, pre, h);
+    } else {
+      conv = tape.SpMM(ctx.LayerAdjacency(l), h);
+      if (middle) {
+        // The residual add sits between the SpMM and the combine, so ResGCN
+        // keeps the unfused path.
+        conv = tape.Add(conv, pre);
+        conv = ctx.TransformMiddle(tape, pre, conv);
+      } else if (l == 0) {
+        conv = ctx.TransformBoundary(tape, conv);
+      }
     }
     if (l == num_layers - 1) {
       x = conv;

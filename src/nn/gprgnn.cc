@@ -27,8 +27,7 @@ Var GprGnnModel::Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
   Var z = h;
   for (int k = 0; k < config_.num_layers; ++k) {
     const Var pre = z;
-    Var step = tape.SpMM(ctx.LayerAdjacency(k), z);
-    z = ctx.TransformMiddle(tape, pre, step);
+    z = ctx.PropagateMiddle(tape, k, pre, z);
     hops.push_back(z);
   }
   Var out = tape.LinearCombination(hops, tape.Leaf(*gammas_));

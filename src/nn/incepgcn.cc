@@ -48,9 +48,8 @@ Var IncepGcnModel::Forward(Tape& tape, const Graph& graph,
     for (auto& conv_layer : branch) {
       const Var pre = h;
       Var h_dropped = tape.Dropout(h, config_.dropout, training, rng);
-      Var conv = tape.SpMM(ctx.LayerAdjacency(layer_index++),
-                           conv_layer->Apply(tape, h_dropped));
-      conv = ctx.TransformMiddle(tape, pre, conv);
+      Var conv = ctx.PropagateMiddle(tape, layer_index++, pre,
+                                     conv_layer->Apply(tape, h_dropped));
       h = tape.Relu(conv);
     }
     branch_outputs.push_back(h);

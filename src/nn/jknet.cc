@@ -28,13 +28,14 @@ Var JkNetModel::Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
     const Var pre = x;
     Var h = tape.Dropout(x, config_.dropout, training, rng);
     h = convs_[l]->Apply(tape, h);
-    Var conv = tape.SpMM(ctx.LayerAdjacency(l), h);
     // Every conv after the first keeps the hidden width, so the strategy's
-    // middle combine applies to all of them (the JK head is the classifier).
+    // middle combine applies to all of them (the JK head is the classifier)
+    // — and the combine input is the raw SpMM, so it fuses.
+    Var conv;
     if (l > 0) {
-      conv = ctx.TransformMiddle(tape, pre, conv);
+      conv = ctx.PropagateMiddle(tape, l, pre, h);
     } else {
-      conv = ctx.TransformBoundary(tape, conv);
+      conv = ctx.TransformBoundary(tape, tape.SpMM(ctx.LayerAdjacency(l), h));
     }
     x = tape.Relu(conv);
     layer_outputs.push_back(x);

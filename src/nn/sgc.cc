@@ -21,8 +21,7 @@ Var SgcModel::Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
   Var x = tape.Constant(graph.features());
   for (int k = 0; k < config_.num_layers; ++k) {
     const Var pre = x;
-    Var step = tape.SpMM(ctx.LayerAdjacency(k), x);
-    x = ctx.TransformMiddle(tape, pre, step);
+    x = ctx.PropagateMiddle(tape, k, pre, x);
   }
   penultimate_ = x;
   x = tape.Dropout(x, config_.dropout, training, rng);

@@ -88,6 +88,39 @@ Matrix CsrMatrix::Multiply(const Matrix& dense) const {
   return out;
 }
 
+void CsrMatrix::MultiplyAccumulateMasked(const Matrix& dense,
+                                         const std::vector<uint8_t>& skip_rows,
+                                         Matrix& out) const {
+  const ScopedTimer timer("sparse.spmm_masked", /*items=*/rows_);
+  SKIPNODE_CHECK(dense.rows() == cols_);
+  SKIPNODE_CHECK(out.rows() == rows_ && out.cols() == dense.cols());
+  SKIPNODE_CHECK(static_cast<int>(skip_rows.size()) == rows_);
+  if (TelemetryEnabled()) {
+    int64_t skipped = 0;
+    for (const uint8_t skip : skip_rows) skipped += skip != 0;
+    CountMetric("spmm.rows_skipped", skipped);
+  }
+  const int d = dense.cols();
+  // Same row-ownership partition as MultiplyAccumulate; a computed row's
+  // neighbour sum never depends on which rows were skipped, so kept rows are
+  // bitwise identical to the full multiply.
+  const int64_t avg_nnz = rows_ > 0 ? nnz() / rows_ + 1 : 1;
+  ParallelFor(
+      0, rows_,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int r = static_cast<int>(row_begin); r < row_end; ++r) {
+          if (skip_rows[r]) continue;
+          float* __restrict or_ = out.row(r);
+          for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+            const float w = values_[e];
+            const float* __restrict src = dense.row(col_idx_[e]);
+            for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+          }
+        }
+      },
+      std::max<int64_t>(1, (1 << 14) / (avg_nnz * d + 1)));
+}
+
 // Serial: the transpose scatters row r of `dense` into output row
 // col_idx_[e], so output rows are not owned by a single input row and a
 // row partition would both race and reorder the accumulation.
@@ -97,6 +130,30 @@ Matrix CsrMatrix::MultiplyTransposed(const Matrix& dense) const {
   Matrix out(cols_, dense.cols());
   const int d = dense.cols();
   for (int r = 0; r < rows_; ++r) {
+    const float* __restrict src = dense.row(r);
+    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const float w = values_[e];
+      float* __restrict dst = out.row(col_idx_[e]);
+      for (int j = 0; j < d; ++j) dst[j] += w * src[j];
+    }
+  }
+  return out;
+}
+
+// Serial for the same reason as MultiplyTransposed. Skipping a source row is
+// bitwise equivalent to multiplying it through as zeros: the scatter adds
+// w * 0.0f = +0.0f, and the accumulators can never hold -0.0 (they start at
+// +0.0 and IEEE round-to-nearest sums of finite values only produce -0.0
+// from two -0.0 addends), so x += +0.0f leaves every accumulator unchanged.
+Matrix CsrMatrix::MultiplyTransposedMasked(
+    const Matrix& dense, const std::vector<uint8_t>& skip_rows) const {
+  const ScopedTimer timer("sparse.spmm_t_masked", /*items=*/rows_);
+  SKIPNODE_CHECK(dense.rows() == rows_);
+  SKIPNODE_CHECK(static_cast<int>(skip_rows.size()) == rows_);
+  Matrix out(cols_, dense.cols());
+  const int d = dense.cols();
+  for (int r = 0; r < rows_; ++r) {
+    if (skip_rows[r]) continue;
     const float* __restrict src = dense.row(r);
     for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
       const float w = values_[e];

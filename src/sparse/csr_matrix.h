@@ -47,8 +47,25 @@ class CsrMatrix {
   // out += this * dense.
   void MultiplyAccumulate(const Matrix& dense, Matrix& out) const;
 
+  // out.row(r) += (this * dense).row(r) for every row with skip_rows[r] == 0;
+  // rows with skip_rows[r] != 0 are not touched at all — the SkipNode fused
+  // forward (DESIGN §10). Computed rows accumulate in exactly the same order
+  // as MultiplyAccumulate, so the kept rows are bitwise identical to a full
+  // multiply at any thread count. Bumps the spmm.rows_skipped counter.
+  void MultiplyAccumulateMasked(const Matrix& dense,
+                                const std::vector<uint8_t>& skip_rows,
+                                Matrix& out) const;
+
   // Returns this^T * dense (no explicit transpose materialised).
   Matrix MultiplyTransposed(const Matrix& dense) const;
+
+  // this^T * dense with rows of `dense` where skip_rows[r] != 0 treated as
+  // zero (they are never read). Bitwise identical to MultiplyTransposed on a
+  // copy of `dense` with those rows zeroed — the SkipNode fused backward,
+  // where the output gradient of a skipped row must not reach the
+  // convolution input.
+  Matrix MultiplyTransposedMasked(const Matrix& dense,
+                                  const std::vector<uint8_t>& skip_rows) const;
 
   // Sum of stored values in each row (rows x 1).
   Matrix RowSums() const;

@@ -98,6 +98,14 @@ class Matrix {
   // Debug-printable summary such as "Matrix(3x4)".
   std::string ShapeString() const;
 
+  // Moves the backing storage out, leaving a 0x0 matrix. Only the workspace
+  // pool (tensor/pool.h) should need this.
+  std::vector<float> TakeStorage() && {
+    rows_ = 0;
+    cols_ = 0;
+    return std::move(data_);
+  }
+
  private:
   int rows_;
   int cols_;

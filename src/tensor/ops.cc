@@ -23,6 +23,14 @@ int64_t MinRowsPerThread(int64_t flops_per_row) {
                                                       1, flops_per_row));
 }
 
+// Column-block width of the i-p-j Gemm kernel: for wide outputs the k x jb
+// panel of B (at most 1 KB per row of the panel) stays cache-resident across
+// a thread's whole row block instead of being streamed once per output row.
+// Blocking only reorders whole (p, j-block) passes; for any fixed output
+// element the p-accumulation order is unchanged, so results stay bitwise
+// identical to the unblocked kernel (and across block widths).
+constexpr int kGemmColumnBlock = 256;
+
 }  // namespace
 
 void Gemm(const Matrix& a, const Matrix& b, Matrix& out,
@@ -47,18 +55,25 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix& out,
   if (!options.transpose_a && !options.transpose_b) {
     // i-p-j loop order keeps the inner loop contiguous in both B and out so
     // the compiler can vectorise it; this is the library's hottest kernel.
+    // Columns are processed in kGemmColumnBlock-wide panels (outermost per
+    // thread) so the touched slice of B fits in cache for the whole row
+    // block; per-element sums still run in ascending p order regardless of
+    // the block width, keeping the bitwise contract.
     ParallelFor(
         0, m,
         [&](int64_t row_begin, int64_t row_end) {
-          for (int i = static_cast<int>(row_begin); i < row_end; ++i) {
-            const float* __restrict ai = a.row(i);
-            float* __restrict oi = out.row(i);
-            if (!accumulate) std::fill(oi, oi + n, 0.0f);
-            for (int p = 0; p < k; ++p) {
-              const float aip = ai[p];
-              if (aip == 0.0f) continue;
-              const float* __restrict bp = b.row(p);
-              for (int j = 0; j < n; ++j) oi[j] += aip * bp[j];
+          for (int jb = 0; jb < n; jb += kGemmColumnBlock) {
+            const int je = std::min(n, jb + kGemmColumnBlock);
+            for (int i = static_cast<int>(row_begin); i < row_end; ++i) {
+              const float* __restrict ai = a.row(i);
+              float* __restrict oi = out.row(i);
+              if (!accumulate) std::fill(oi + jb, oi + je, 0.0f);
+              for (int p = 0; p < k; ++p) {
+                const float aip = ai[p];
+                if (aip == 0.0f) continue;
+                const float* __restrict bp = b.row(p);
+                for (int j = jb; j < je; ++j) oi[j] += aip * bp[j];
+              }
             }
           }
         },
@@ -280,6 +295,40 @@ void ScatterAddRows(const Matrix& src, const std::vector<int>& rows,
     float* oi = out.row(rows[i]);
     for (int j = 0; j < out.cols(); ++j) oi[j] += si[j];
   }
+}
+
+void CopyRowsWhere(const Matrix& src, const std::vector<uint8_t>& mask,
+                   Matrix& out) {
+  const ScopedTimer timer("tensor.copy_rows_where", /*items=*/src.rows());
+  SKIPNODE_CHECK(src.SameShape(out));
+  SKIPNODE_CHECK(static_cast<int>(mask.size()) == src.rows());
+  ParallelFor(
+      0, src.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int r = static_cast<int>(lo); r < hi; ++r) {
+          if (!mask[r]) continue;
+          std::copy(src.row(r), src.row(r) + src.cols(), out.row(r));
+        }
+      },
+      MinRowsPerThread(src.cols()));
+}
+
+void AddRowsWhere(const Matrix& src, const std::vector<uint8_t>& mask,
+                  Matrix& out) {
+  const ScopedTimer timer("tensor.add_rows_where", /*items=*/src.rows());
+  SKIPNODE_CHECK(src.SameShape(out));
+  SKIPNODE_CHECK(static_cast<int>(mask.size()) == src.rows());
+  ParallelFor(
+      0, src.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int r = static_cast<int>(lo); r < hi; ++r) {
+          if (!mask[r]) continue;
+          const float* __restrict sr = src.row(r);
+          float* __restrict or_ = out.row(r);
+          for (int j = 0; j < src.cols(); ++j) or_[j] += sr[j];
+        }
+      },
+      MinRowsPerThread(src.cols()));
 }
 
 // Serial: a cross-row reduction — splitting rows across threads would

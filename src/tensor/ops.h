@@ -99,6 +99,17 @@ Matrix GatherRows(const Matrix& x, const std::vector<int>& rows);
 void ScatterAddRows(const Matrix& src, const std::vector<int>& rows,
                     Matrix& out);
 
+// out.row(r) = src.row(r) for every row with mask[r] != 0; other rows are
+// untouched. The skipped-row copy of the fused SkipNode forward.
+void CopyRowsWhere(const Matrix& src, const std::vector<uint8_t>& mask,
+                   Matrix& out);
+
+// out.row(r) += src.row(r) for every row with mask[r] != 0. The skipped-row
+// gradient passthrough of the fused SkipNode backward. Row-parallel: each
+// output row is owned by one thread and written at most once.
+void AddRowsWhere(const Matrix& src, const std::vector<uint8_t>& mask,
+                  Matrix& out);
+
 // --- Row-wise / reduction helpers -------------------------------------------
 
 // Mean of each column (1 x cols).

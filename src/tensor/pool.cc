@@ -1,0 +1,80 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tensor/pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/check.h"
+#include "base/telemetry.h"
+
+namespace skipnode {
+
+namespace {
+
+std::atomic<bool> g_pool_enabled{[]() {
+  const char* env = std::getenv("SKIPNODE_POOL");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}()};
+
+}  // namespace
+
+bool MatrixPoolEnabled() {
+  return g_pool_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMatrixPoolEnabled(bool enabled) {
+  g_pool_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Matrix MatrixPool::Acquire(int rows, int cols) {
+  SKIPNODE_CHECK(rows >= 0 && cols >= 0);
+  const int64_t size = static_cast<int64_t>(rows) * cols;
+  if (MatrixPoolEnabled() && size > 0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = buckets_.find({rows, cols});
+    if (it != buckets_.end() && !it->second.empty()) {
+      std::vector<float> storage = std::move(it->second.back());
+      it->second.pop_back();
+      lock.unlock();
+      CountMetric("pool.hit", size);
+      // Zeroing keeps Acquire bit-for-bit equivalent to Matrix(rows, cols).
+      std::fill(storage.begin(), storage.end(), 0.0f);
+      return Matrix(rows, cols, std::move(storage));
+    }
+  }
+  CountMetric("pool.miss", size);
+  return Matrix(rows, cols);
+}
+
+void MatrixPool::Release(Matrix m) {
+  if (!MatrixPoolEnabled() || m.size() == 0) return;
+  const std::pair<int, int> key{m.rows(), m.cols()};
+  std::vector<float> storage = std::move(m).TakeStorage();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::vector<float>>& bucket = buckets_[key];
+  if (static_cast<int>(bucket.size()) < kMaxBuffersPerBucket) {
+    bucket.push_back(std::move(storage));
+  }
+}
+
+void MatrixPool::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buckets_.clear();
+}
+
+int MatrixPool::BucketSize(int rows, int cols) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = buckets_.find({rows, cols});
+  return it == buckets_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+MatrixPool& GlobalMatrixPool() {
+  static MatrixPool* pool = new MatrixPool();
+  return *pool;
+}
+
+}  // namespace skipnode

@@ -1,0 +1,73 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Shape-bucketed workspace pool for node-sized Matrix buffers. The
+// one-Tape-per-step design allocates and frees the same N x d value and
+// gradient matrices every training step; the pool recycles that storage
+// across steps instead (DESIGN §10).
+//
+// Contract:
+//   * Acquire(rows, cols) returns a matrix that is bit-for-bit identical to
+//     a freshly constructed Matrix(rows, cols): recycled storage is zeroed
+//     before it is handed out, so pooling can never perturb a result.
+//   * Release(m) returns m's storage to the bucket for its exact shape
+//     (bounded per bucket; overflow storage is simply freed).
+//   * The pool is only touched from the thread that builds and destroys
+//     Tapes; a mutex makes it safe anyway (snapshots, tests).
+//
+// Telemetry: every Acquire bumps pool.hit (recycled storage) or pool.miss
+// (fresh allocation); items carries the buffer element count. Disable the
+// pool entirely with SetMatrixPoolEnabled(false) or SKIPNODE_POOL=0 —
+// Acquire then always allocates and Release frees, reproducing the
+// pre-pool behaviour exactly.
+
+#ifndef SKIPNODE_TENSOR_POOL_H_
+#define SKIPNODE_TENSOR_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace skipnode {
+
+// Process-wide enable switch. Defaults to on unless the SKIPNODE_POOL
+// environment variable is set to "0".
+bool MatrixPoolEnabled();
+void SetMatrixPoolEnabled(bool enabled);
+
+class MatrixPool {
+ public:
+  // At most this many recycled buffers are kept per (rows, cols) bucket;
+  // releases beyond the cap free their storage. Deep tapes release a few
+  // hundred same-shaped buffers per step, so the cap is sized to hold one
+  // full step of a deep stack.
+  static constexpr int kMaxBuffersPerBucket = 512;
+
+  // Zero-filled rows x cols matrix, recycled when the bucket has storage.
+  Matrix Acquire(int rows, int cols);
+
+  // Returns the matrix's storage to its shape bucket (or frees it when the
+  // bucket is full or the pool is disabled). The moved-from matrix is 0x0.
+  void Release(Matrix m);
+
+  // Frees every pooled buffer (tests, memory pressure).
+  void Clear();
+
+  // Number of buffers currently pooled for the given shape.
+  int BucketSize(int rows, int cols) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<int, int>, std::vector<std::vector<float>>> buckets_;
+};
+
+// The pool every Tape draws from.
+MatrixPool& GlobalMatrixPool();
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_TENSOR_POOL_H_

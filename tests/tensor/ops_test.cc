@@ -184,6 +184,44 @@ TEST(OpsTest, CosineSimilarityBasics) {
   EXPECT_EQ(CosineSimilarity(a, zero, 2), 0.0f);
 }
 
+TEST(OpsTest, GemmColumnBlockingIsBitwiseExact) {
+  // The untransposed kernel walks the output in 256-column panels for
+  // locality; its contract is that each element is still accumulated in
+  // plain p-ascending float order. Cross several panel boundaries and
+  // check every element against that exact serial recurrence.
+  Rng rng(31);
+  const Matrix a = Matrix::Random(5, 37, rng);
+  const Matrix b = Matrix::Random(37, 600, rng);
+
+  Matrix out(5, 600);
+  Gemm(a, b, out);
+  Matrix accumulated = Matrix::Ones(5, 600);
+  Gemm(a, b, accumulated, {.accumulate = true});
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 600; ++j) {
+      float acc = 0.0f;
+      float acc_from_one = 1.0f;
+      for (int p = 0; p < 37; ++p) {
+        acc += a(i, p) * b(p, j);
+        acc_from_one += a(i, p) * b(p, j);
+      }
+      EXPECT_EQ(out(i, j), acc) << i << "," << j;
+      EXPECT_EQ(accumulated(i, j), acc_from_one) << i << "," << j;
+    }
+  }
+
+  // And the panels must not interact with row sharding: 4 threads bitwise
+  // match 1 thread on a panel-crossing width.
+  SetParallelThreadCount(1);
+  Matrix serial(5, 600);
+  Gemm(a, b, serial);
+  SetParallelThreadCount(4);
+  Matrix threaded(5, 600);
+  Gemm(a, b, threaded);
+  SetParallelThreadCount(0);
+  EXPECT_EQ(MaxAbsDiff(serial, threaded), 0.0f);
+}
+
 TEST(OpsTest, GemmBothTransposesMatchesExplicitTransposes) {
   Rng rng(11);
   Matrix a = Matrix::Random(6, 4, rng);   // op(A) = A^T is 4 x 6.

@@ -1,0 +1,110 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tensor/pool.h"
+
+#include <gtest/gtest.h>
+
+#include "base/telemetry.h"
+
+namespace skipnode {
+namespace {
+
+TEST(MatrixPoolTest, AcquireReturnsZeroedMatrixOfRequestedShape) {
+  MatrixPool pool;
+  Matrix m = pool.Acquire(3, 5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 5);
+  for (int64_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(MatrixPoolTest, ReleaseThenAcquireRecyclesAndRezeroes) {
+  MatrixPool pool;
+  Matrix m = pool.Acquire(4, 4);
+  m(0, 0) = 7.0f;
+  m(3, 3) = -2.5f;
+  pool.Release(std::move(m));
+  EXPECT_EQ(pool.BucketSize(4, 4), 1);
+
+  Matrix recycled = pool.Acquire(4, 4);
+  EXPECT_EQ(pool.BucketSize(4, 4), 0);
+  // The recycled buffer must be indistinguishable from a fresh Matrix(4, 4).
+  for (int64_t i = 0; i < recycled.size(); ++i) {
+    EXPECT_EQ(recycled.data()[i], 0.0f);
+  }
+}
+
+TEST(MatrixPoolTest, BucketsAreShapeExact) {
+  MatrixPool pool;
+  pool.Release(pool.Acquire(2, 6));
+  // Same element count, different shape: no recycling across buckets.
+  EXPECT_EQ(pool.BucketSize(2, 6), 1);
+  Matrix other = pool.Acquire(3, 4);
+  EXPECT_EQ(pool.BucketSize(2, 6), 1);
+  EXPECT_EQ(pool.BucketSize(3, 4), 0);
+  pool.Release(std::move(other));
+  EXPECT_EQ(pool.BucketSize(3, 4), 1);
+}
+
+TEST(MatrixPoolTest, ClearFreesEverything) {
+  MatrixPool pool;
+  pool.Release(pool.Acquire(2, 2));
+  pool.Release(pool.Acquire(5, 1));
+  pool.Clear();
+  EXPECT_EQ(pool.BucketSize(2, 2), 0);
+  EXPECT_EQ(pool.BucketSize(5, 1), 0);
+}
+
+TEST(MatrixPoolTest, EmptyMatricesAreNeverPooled) {
+  MatrixPool pool;
+  pool.Release(pool.Acquire(0, 3));
+  EXPECT_EQ(pool.BucketSize(0, 3), 0);
+}
+
+TEST(MatrixPoolTest, BucketIsCapped) {
+  MatrixPool pool;
+  for (int i = 0; i < MatrixPool::kMaxBuffersPerBucket + 10; ++i) {
+    pool.Release(Matrix(1, 3));
+  }
+  EXPECT_EQ(pool.BucketSize(1, 3), MatrixPool::kMaxBuffersPerBucket);
+}
+
+TEST(MatrixPoolTest, DisabledPoolAllocatesAndFrees) {
+  MatrixPool pool;
+  SetMatrixPoolEnabled(false);
+  pool.Release(pool.Acquire(2, 2));
+  EXPECT_EQ(pool.BucketSize(2, 2), 0);
+
+  // A buffer pooled while enabled is not handed out while disabled.
+  SetMatrixPoolEnabled(true);
+  pool.Release(pool.Acquire(2, 2));
+  EXPECT_EQ(pool.BucketSize(2, 2), 1);
+  SetMatrixPoolEnabled(false);
+  Matrix fresh = pool.Acquire(2, 2);
+  EXPECT_EQ(fresh.rows(), 2);
+  EXPECT_EQ(pool.BucketSize(2, 2), 1);
+  SetMatrixPoolEnabled(true);
+}
+
+TEST(MatrixPoolTest, TelemetryCountsHitsAndMisses) {
+  MatrixPool pool;
+  SetTelemetryEnabled(true);
+  ResetTelemetry();
+  Matrix m = pool.Acquire(2, 3);            // miss
+  pool.Release(std::move(m));
+  Matrix again = pool.Acquire(2, 3);        // hit
+  const TelemetrySnapshot snapshot = SnapshotTelemetry();
+  SetTelemetryEnabled(false);
+
+  const MetricStat* hit = snapshot.Find("pool.hit");
+  const MetricStat* miss = snapshot.Find("pool.miss");
+  ASSERT_NE(hit, nullptr);
+  ASSERT_NE(miss, nullptr);
+  EXPECT_EQ(hit->count, 1);
+  EXPECT_EQ(miss->count, 1);
+  // items carries the buffer element count (2 x 3).
+  EXPECT_EQ(hit->items, 6);
+}
+
+}  // namespace
+}  // namespace skipnode

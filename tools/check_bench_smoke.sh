@@ -2,8 +2,13 @@
 # Runs every paper bench at smoke scale with JSONL output enabled and
 # validates the emitted records: every line must be a JSON object carrying
 # the full per-cell schema (bench/cell/scale/threads/params/metric/value/
-# elapsed_ns/telemetry) and table8 must report per-kernel telemetry
-# (tensor.gemm, sparse.spmm) plus positive per-epoch timings.
+# elapsed_ns/telemetry), table8 must report per-kernel telemetry
+# (tensor.gemm, sparse.spmm) plus positive per-epoch timings, and micro must
+# show the fused SkipNode propagation beating the naive path at rho=0.5.
+# When tools/BENCH_baseline.jsonl exists each run is also diffed against it:
+# missing (cell, metric) pairs fail (schema drift), slow cells only warn.
+# Refresh the baseline by re-running this script with
+# BENCH_BASELINE_REFRESH=1 (writes the merged smoke JSONL back to the file).
 #
 # Usage: tools/check_bench_smoke.sh [build_dir]
 #   BENCHES="fig2_three_issues table8_efficiency" overrides the bench list.
@@ -18,10 +23,11 @@ if [[ ! -d "$BUILD_DIR/bench" ]]; then
 fi
 
 DEFAULT_BENCHES="ablation_skipnode fig2_three_issues fig4_distance_ratio \
-fig5_rho_sensitivity table3_full_supervised table4_arxiv_depth \
+fig5_rho_sensitivity micro_kernels table3_full_supervised table4_arxiv_depth \
 table5_link_prediction table6_semi_supervised_depth \
 table7_strategy_comparison table8_efficiency"
 BENCHES="${BENCHES:-$DEFAULT_BENCHES}"
+BASELINE="tools/BENCH_baseline.jsonl"
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -43,7 +49,17 @@ for bench in $BENCHES; do
   }
   # Each bench registers itself under the short paper name (table8, fig2...),
   # the first token of the binary name.
-  python3 tools/validate_bench_jsonl.py "${bench%%_*}" "$jsonl"
+  if [[ -f "$BASELINE" && -z "${BENCH_BASELINE_REFRESH:-}" ]]; then
+    python3 tools/validate_bench_jsonl.py "${bench%%_*}" "$jsonl" \
+        --baseline "$BASELINE"
+  else
+    python3 tools/validate_bench_jsonl.py "${bench%%_*}" "$jsonl"
+  fi
 done
+
+if [[ -n "${BENCH_BASELINE_REFRESH:-}" ]]; then
+  cat "$OUT_DIR"/*.jsonl > "$BASELINE"
+  echo "bench smoke: baseline refreshed ($BASELINE, $(wc -l < "$BASELINE") records)."
+fi
 
 echo "bench smoke: all benches ran and emitted valid JSONL."

@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
 """Validates a bench JSONL file produced via SKIPNODE_BENCH_JSON.
 
-Usage: validate_bench_jsonl.py BENCH_NAME FILE.jsonl
+Usage: validate_bench_jsonl.py BENCH_NAME FILE.jsonl [--baseline FILE.jsonl]
 
 Checks every line parses as a JSON object with the per-cell schema from
-DESIGN.md section 9, and bench-specific invariants: table8 records must carry
-per-kernel telemetry (tensor.gemm and sparse.spmm with positive counts) and a
-positive ms_per_epoch headline value.
+DESIGN.md section 9, plus bench-specific invariants:
+  * table8 records must carry per-kernel telemetry (tensor.gemm and
+    sparse.spmm with positive counts) and a positive ms_per_epoch headline.
+  * micro must show the fused SkipNode propagation beating the naive
+    SpMM + RowSelect at rho=0.5 with spmm.rows_skipped > 0 in the fused
+    cell's telemetry (the DESIGN section 10 acceptance signal).
+
+With --baseline, diffs the run against a committed baseline (filtered to
+BENCH_NAME): a (cell, metric) pair present in the baseline but missing from
+the run is schema drift and fails; a cell that got much slower than the
+baseline elapsed_ns only warns (timing noise is expected across machines).
 """
 import json
 import sys
@@ -16,17 +24,22 @@ REQUIRED_KEYS = (
     "elapsed_ns", "telemetry",
 )
 
+# A run must be this many times slower than the baseline before the
+# regression warning fires; smoke cells are tiny and noisy.
+ELAPSED_WARN_FACTOR = 5.0
+
 
 def fail(msg):
     print(f"error: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) != 3:
-        fail(f"usage: {sys.argv[0]} BENCH_NAME FILE.jsonl")
-    bench_name, path = sys.argv[1], sys.argv[2]
+def load_records(path, bench_name=None, validate=False):
+    """Parses a JSONL file; optionally schema-validates every record.
 
+    When bench_name is given, records for other benches are dropped (the
+    committed baseline holds every bench in one file).
+    """
     records = []
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
@@ -39,44 +52,131 @@ def main():
                 fail(f"{path}:{lineno}: invalid JSON: {e}")
             if not isinstance(record, dict):
                 fail(f"{path}:{lineno}: record is not an object")
-            for key in REQUIRED_KEYS:
-                if key not in record:
-                    fail(f"{path}:{lineno}: missing key {key!r}")
-            if record["bench"] != bench_name:
-                fail(f"{path}:{lineno}: bench={record['bench']!r}, "
-                     f"expected {bench_name!r}")
-            if not isinstance(record["params"], dict):
-                fail(f"{path}:{lineno}: params is not an object")
-            if not isinstance(record["telemetry"], dict):
-                fail(f"{path}:{lineno}: telemetry is not an object")
-            if not isinstance(record["value"], (int, float)):
-                fail(f"{path}:{lineno}: value is not numeric")
-            if not isinstance(record["elapsed_ns"], int) or \
-                    record["elapsed_ns"] < 0:
-                fail(f"{path}:{lineno}: elapsed_ns is not a non-negative int")
-            for name, stat in record["telemetry"].items():
-                for field in ("count", "items", "total_ns", "max_ns"):
-                    if field not in stat:
-                        fail(f"{path}:{lineno}: telemetry[{name!r}] "
-                             f"missing {field!r}")
+            if validate:
+                for key in REQUIRED_KEYS:
+                    if key not in record:
+                        fail(f"{path}:{lineno}: missing key {key!r}")
+                if record["bench"] != bench_name:
+                    fail(f"{path}:{lineno}: bench={record['bench']!r}, "
+                         f"expected {bench_name!r}")
+                if not isinstance(record["params"], dict):
+                    fail(f"{path}:{lineno}: params is not an object")
+                if not isinstance(record["telemetry"], dict):
+                    fail(f"{path}:{lineno}: telemetry is not an object")
+                if not isinstance(record["value"], (int, float)):
+                    fail(f"{path}:{lineno}: value is not numeric")
+                if not isinstance(record["elapsed_ns"], int) or \
+                        record["elapsed_ns"] < 0:
+                    fail(f"{path}:{lineno}: elapsed_ns is not a "
+                         f"non-negative int")
+                for name, stat in record["telemetry"].items():
+                    for field in ("count", "items", "total_ns", "max_ns"):
+                        if field not in stat:
+                            fail(f"{path}:{lineno}: telemetry[{name!r}] "
+                                 f"missing {field!r}")
+            if bench_name is not None and record.get("bench") != bench_name:
+                continue
             records.append(record)
+    return records
 
+
+def check_table8(path, records):
+    epochs = [r for r in records if r["metric"] == "ms_per_epoch"]
+    if not epochs:
+        fail(f"{path}: table8 emitted no ms_per_epoch records")
+    for r in epochs:
+        if r["value"] <= 0:
+            fail(f"{path}: ms_per_epoch not positive in cell {r['cell']!r}")
+        for kernel in ("tensor.gemm", "sparse.spmm"):
+            stat = r["telemetry"].get(kernel)
+            if stat is None or stat["count"] <= 0:
+                fail(f"{path}: cell {r['cell']!r} missing per-kernel "
+                     f"telemetry for {kernel}")
+
+
+def check_micro(path, records):
+    """The fused-propagation acceptance check (DESIGN section 10)."""
+    def sweep_cell(cell, rho):
+        for r in records:
+            if r["cell"] == cell and r["metric"] == "ns_per_op" and \
+                    r["params"].get("rho") == rho:
+                return r
+        fail(f"{path}: micro emitted no {cell!r} ns_per_op record "
+             f"at rho={rho}")
+
+    naive = sweep_cell("spmm_naive", 0.5)
+    fused = sweep_cell("spmm_fused", 0.5)
+    if fused["value"] >= naive["value"]:
+        fail(f"{path}: fused propagation ({fused['value']:.0f} ns) did not "
+             f"beat naive ({naive['value']:.0f} ns) at rho=0.5")
+    skipped = fused["telemetry"].get("spmm.rows_skipped")
+    if skipped is None or skipped["items"] <= 0:
+        fail(f"{path}: fused rho=0.5 cell reports no spmm.rows_skipped "
+             f"telemetry")
+
+
+def diff_against_baseline(path, records, baseline_path, bench_name):
+    baseline = load_records(baseline_path, bench_name=bench_name)
+    if not baseline:
+        # The baseline predates this bench; nothing to diff (adding a brand
+        # new bench must not fail until the baseline is refreshed).
+        print(f"   baseline has no {bench_name!r} records; diff skipped")
+        return
+
+    def keyed(recs):
+        by_key = {}
+        for r in recs:
+            by_key.setdefault((r["cell"], r["metric"]), []).append(r)
+        return by_key
+
+    run_keys = keyed(records)
+    base_keys = keyed(baseline)
+
+    missing = sorted(set(base_keys) - set(run_keys))
+    if missing:
+        fail(f"{path}: schema drift vs {baseline_path}: baseline "
+             f"(cell, metric) pairs missing from this run: {missing}")
+
+    warned = 0
+    for key, base_recs in base_keys.items():
+        base_ns = min(r["elapsed_ns"] for r in base_recs)
+        run_ns = min(r["elapsed_ns"] for r in run_keys[key])
+        if base_ns > 0 and run_ns > ELAPSED_WARN_FACTOR * base_ns:
+            print(f"warning: {path}: cell {key[0]!r} metric {key[1]!r} took "
+                  f"{run_ns} ns vs baseline {base_ns} ns "
+                  f"(> {ELAPSED_WARN_FACTOR:.0f}x)", file=sys.stderr)
+            warned += 1
+    extra = sorted(set(run_keys) - set(base_keys))
+    if extra:
+        print(f"   note: cells not in baseline (refresh it): {extra}")
+    print(f"   baseline diff ok ({len(base_keys)} keys, "
+          f"{warned} slow-cell warnings)")
+
+
+def main():
+    args = sys.argv[1:]
+    baseline_path = None
+    if "--baseline" in args:
+        i = args.index("--baseline")
+        if i + 1 >= len(args):
+            fail("--baseline needs a path")
+        baseline_path = args[i + 1]
+        del args[i:i + 2]
+    if len(args) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_NAME FILE.jsonl "
+             f"[--baseline FILE.jsonl]")
+    bench_name, path = args
+
+    records = load_records(path, bench_name=bench_name, validate=True)
     if not records:
         fail(f"{path}: no records emitted")
 
     if bench_name == "table8":
-        epochs = [r for r in records if r["metric"] == "ms_per_epoch"]
-        if not epochs:
-            fail(f"{path}: table8 emitted no ms_per_epoch records")
-        for r in epochs:
-            if r["value"] <= 0:
-                fail(f"{path}: ms_per_epoch not positive in cell "
-                     f"{r['cell']!r}")
-            for kernel in ("tensor.gemm", "sparse.spmm"):
-                stat = r["telemetry"].get(kernel)
-                if stat is None or stat["count"] <= 0:
-                    fail(f"{path}: cell {r['cell']!r} missing per-kernel "
-                         f"telemetry for {kernel}")
+        check_table8(path, records)
+    if bench_name == "micro":
+        check_micro(path, records)
+    if baseline_path is not None:
+        diff_against_baseline(path, records, baseline_path, bench_name)
 
     print(f"   {len(records)} records ok")
 
