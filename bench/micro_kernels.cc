@@ -6,8 +6,9 @@
 // masked), adjacency renormalisation (DropEdge's per-epoch cost), and
 // SkipNode mask sampling (its claimed near-zero overhead). After the
 // google-benchmark report, a fused-vs-naive rho sweep prints the speedup of
-// the fused SkipNode propagation (DESIGN §10) and records one JSONL cell per
-// (path, rho) when SKIPNODE_BENCH_JSON is set.
+// the fused SkipNode propagation (DESIGN §10) and a transposed-SpMM sweep
+// times the backward gather (1-vs-4 threads, masked over rho); both record
+// one JSONL cell per configuration when SKIPNODE_BENCH_JSON is set.
 
 #include <cstdio>
 #include <cstring>
@@ -185,6 +186,24 @@ void BM_SpMMThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_SpMMThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+void BM_SpMMTransposedThreads(benchmark::State& state) {
+  // The backward-pass shape dX += Â^T * g, now a row-parallel gather over
+  // the cached transpose plan instead of a serial scatter.
+  const ThreadCountGuard guard(static_cast<int>(state.range(0)));
+  Graph graph = BuildDatasetByName("arxiv_like", 1.0, 1);
+  const auto a_hat = graph.normalized_adjacency();
+  Rng rng(3);
+  Matrix g = Matrix::Random(graph.num_nodes(), 64, rng);
+  // Warm the plan so the loop times the gather, not the one-off build.
+  (void)a_hat->transpose_plan();
+  for (auto _ : state) {
+    Matrix dx = a_hat->MultiplyTransposed(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a_hat->nnz() * 64);
+}
+BENCHMARK(BM_SpMMTransposedThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 // --- Fused SkipNode propagation sweep ---------------------------------------
 // Forward cost of one middle-layer SkipNode propagation, naive vs fused
 // (DESIGN §10), over rho. Naive pays the full SpMM and then overwrites the
@@ -250,6 +269,60 @@ void FusedSweep() {
   }
 }
 
+// --- Transposed-SpMM sweep ---------------------------------------------------
+// Backward-pass cost Â^T · g over the cached transpose plan: the unmasked
+// gather at a pool width of 1 and 4 (cells "spmm_t"; the ratio is the
+// parallel speedup, flat on a single-core host), then the masked gather over
+// rho (cells "spmm_t_masked"; work drops with the skipped source rows —
+// near-total at rho=1.0, while rho=0.5 pays maximal skip-branch
+// misprediction and wins only modestly on one core). Each cell's telemetry
+// snapshot carries spmm_t.rows_skipped — the acceptance signal that the
+// masked gather really skipped its entries.
+
+void TransposedSweep() {
+  Graph graph = BuildDatasetByName("cora_like", 1.0, 1);
+  const auto a_hat = graph.normalized_adjacency();
+  const int n = graph.num_nodes(), d = 64;
+  Rng rng(2);
+  const Matrix g = Matrix::Random(n, d, rng);
+  const int reps = bench::Pick(20, 200);
+  (void)a_hat->transpose_plan();  // Time the gathers, not the one-off build.
+
+  std::printf("\nTransposed SpMM (backward gather), %d nodes x %d cols, "
+              "%d reps (ns/op)\n", n, d, reps);
+  for (const int threads : {1, 4}) {
+    SetParallelThreadCount(threads);
+    bench::CellRecorder cell("spmm_t");
+    cell.Param("cols", d).Param("reps", reps);
+    const int64_t ns = TimeReps(reps, [&]() {
+      Matrix dx = a_hat->MultiplyTransposed(g);
+      benchmark::DoNotOptimize(dx.data());
+    });
+    cell.Record("ns_per_op", static_cast<double>(ns));
+    std::printf("  unmasked @ %d threads %12lld\n", threads,
+                static_cast<long long>(ns));
+  }
+  SetParallelThreadCount(0);
+
+  std::printf("%6s %12s %14s\n", "rho", "masked", "rows_skipped");
+  for (const float rho : {0.0f, 0.5f, 1.0f}) {
+    Rng mask_rng(7);
+    const auto mask = SampleSkipMaskUniform(n, rho, mask_rng);
+    const int skipped = CountSkipped(mask);
+    bench::CellRecorder cell("spmm_t_masked");
+    cell.Param("rho", static_cast<double>(rho))
+        .Param("cols", d)
+        .Param("reps", reps);
+    const int64_t ns = TimeReps(reps, [&]() {
+      Matrix dx = a_hat->MultiplyTransposedMasked(g, mask);
+      benchmark::DoNotOptimize(dx.data());
+    });
+    cell.Record("ns_per_op", static_cast<double>(ns));
+    std::printf("%6.2f %12lld %14d\n", rho, static_cast<long long>(ns),
+                skipped);
+  }
+}
+
 }  // namespace
 }  // namespace skipnode
 
@@ -281,6 +354,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   skipnode::FusedSweep();
+  skipnode::TransposedSweep();
   if (skipnode::TelemetryEnabled()) {
     std::printf("telemetry: %s\n",
                 skipnode::SnapshotTelemetry().ToJson().c_str());

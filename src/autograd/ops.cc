@@ -11,6 +11,7 @@
 
 #include "autograd/tape.h"
 #include "base/check.h"
+#include "base/telemetry.h"
 #include "tensor/ops.h"
 
 namespace skipnode {
@@ -42,6 +43,9 @@ Var Tape::SpMM(std::shared_ptr<const CsrMatrix> a, Var x) {
   Tape* tape = this;
   const int oi = out.index_, xi = x.index_;
   node(oi).backward = [tape, oi, xi, a = std::move(a)]() {
+    // Labels the whole backward hop (parallel gather + accumulate) so the
+    // per-op cost is separable from the raw sparse.spmm_t kernel timer.
+    const ScopedTimer timer("autograd.spmm_backward", /*items=*/a->cols());
     const Matrix& g = tape->node(oi).grad;
     Matrix gx = a->MultiplyTransposed(g);
     AddScaled(gx, 1.0f, tape->EnsureGrad(xi));
@@ -66,6 +70,8 @@ Var Tape::SpMMRowSelect(std::shared_ptr<const CsrMatrix> a, Var x, Var pre,
   const int oi = out.index_, xi = x.index_, pi = pre.index_;
   node(oi).backward = [tape, oi, xi, pi, a = std::move(a),
                        mask = std::move(skip_mask)]() {
+    const ScopedTimer timer("autograd.spmm_rowselect_backward",
+                            /*items=*/a->cols());
     const Matrix& g = tape->node(oi).grad;
     // dX += A^T * (g with skipped rows zeroed): the masked transpose never
     // reads the skipped rows, matching the zero rows RowSelect's backward

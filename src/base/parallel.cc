@@ -140,6 +140,30 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+// Dispatches `chunks` chunk jobs through the pool. Under telemetry each
+// chunk is timed (disjoint slots, so no write races) and the per-task shard
+// imbalance — the gap between the slowest and fastest chunk, i.e. wall-clock
+// the other threads spent idle at the barrier — is reported. All of it is
+// off the numeric path: run_chunk is invoked identically either way.
+void RunPoolChunks(int chunks, const std::function<void(int)>& run_chunk) {
+  if (!TelemetryEnabled()) {
+    ThreadPool::Instance().Run(chunks, run_chunk);
+    return;
+  }
+  std::vector<int64_t> chunk_ns(static_cast<size_t>(chunks), 0);
+  const int64_t task_start = MonotonicNanos();
+  ThreadPool::Instance().Run(chunks, [&](int chunk) {
+    const int64_t start = MonotonicNanos();
+    run_chunk(chunk);
+    chunk_ns[chunk] = MonotonicNanos() - start;
+  });
+  const int64_t task_ns = MonotonicNanos() - task_start;
+  const auto [min_it, max_it] =
+      std::minmax_element(chunk_ns.begin(), chunk_ns.end());
+  RecordTiming("parallel.task", task_ns, /*items=*/chunks);
+  RecordTiming("parallel.imbalance", *max_it - *min_it, /*items=*/chunks);
+}
+
 }  // namespace
 
 int ParallelThreadCount() {
@@ -177,39 +201,50 @@ void ParallelFor(int64_t begin, int64_t end,
   // element. Boundaries depend only on (n, chunks).
   const int64_t base = n / chunks;
   const int64_t extra = n % chunks;
-  const auto chunk_bounds = [&](int chunk, int64_t* lo, int64_t* hi) {
-    *lo = begin + chunk * base + std::min<int64_t>(chunk, extra);
-    *hi = *lo + base + (chunk < extra ? 1 : 0);
-  };
-  if (!TelemetryEnabled()) {
-    ThreadPool::Instance().Run(
-        static_cast<int>(chunks), [&](int chunk) {
-          int64_t lo, hi;
-          chunk_bounds(chunk, &lo, &hi);
-          fn(lo, hi);
-        });
+  RunPoolChunks(static_cast<int>(chunks), [&](int chunk) {
+    const int64_t lo = begin + chunk * base + std::min<int64_t>(chunk, extra);
+    const int64_t hi = lo + base + (chunk < extra ? 1 : 0);
+    fn(lo, hi);
+  });
+}
+
+void ParallelForBalanced(int64_t n, const int* cost_prefix,
+                         const std::function<void(int64_t, int64_t)>& fn,
+                         int64_t min_cost_per_chunk) {
+  SKIPNODE_CHECK(min_cost_per_chunk >= 1);
+  if (n <= 0) return;
+  SKIPNODE_CHECK(cost_prefix != nullptr);
+  const int64_t total =
+      static_cast<int64_t>(cost_prefix[n]) - cost_prefix[0];
+  const int threads = ParallelThreadCount();
+  int64_t chunks = total / min_cost_per_chunk;
+  if (chunks > threads) chunks = threads;
+  if (chunks > n) chunks = n;
+  if (chunks <= 1 || in_parallel_region) {
+    fn(0, n);
     return;
   }
-  // Telemetry path: time each chunk (disjoint slots, so no write races) and
-  // report per-task shard imbalance — the gap between the slowest and
-  // fastest chunk is wall-clock the other threads spent idle at the
-  // barrier. All of it is off the numeric path: chunk boundaries and fn are
-  // identical to the untimed branch.
-  std::vector<int64_t> chunk_ns(static_cast<size_t>(chunks), 0);
-  const int64_t task_start = MonotonicNanos();
-  ThreadPool::Instance().Run(
-      static_cast<int>(chunks), [&](int chunk) {
-        int64_t lo, hi;
-        chunk_bounds(chunk, &lo, &hi);
-        const int64_t start = MonotonicNanos();
-        fn(lo, hi);
-        chunk_ns[chunk] = MonotonicNanos() - start;
-      });
-  const int64_t task_ns = MonotonicNanos() - task_start;
-  const auto [min_it, max_it] =
-      std::minmax_element(chunk_ns.begin(), chunk_ns.end());
-  RecordTiming("parallel.task", task_ns, /*items=*/chunks);
-  RecordTiming("parallel.imbalance", *max_it - *min_it, /*items=*/chunks);
+  // Chunk k owns [bounds[k], bounds[k+1]): the elements whose cumulative
+  // cost falls in the k-th equal share of the total. Searching from the
+  // previous boundary keeps the bounds monotone when zero-cost elements tie;
+  // boundaries depend only on (prefix, n, chunks), never on timing.
+  std::vector<int64_t> bounds(static_cast<size_t>(chunks) + 1);
+  bounds[0] = 0;
+  bounds[static_cast<size_t>(chunks)] = n;
+  for (int64_t k = 1; k < chunks; ++k) {
+    const int64_t target = cost_prefix[0] + total * k / chunks;
+    bounds[static_cast<size_t>(k)] =
+        std::lower_bound(cost_prefix + bounds[static_cast<size_t>(k - 1)],
+                         cost_prefix + n, static_cast<int>(target)) -
+        cost_prefix;
+  }
+  RunPoolChunks(static_cast<int>(chunks), [&](int chunk) {
+    const int64_t lo = bounds[static_cast<size_t>(chunk)];
+    const int64_t hi = bounds[static_cast<size_t>(chunk) + 1];
+    // A pathologically heavy element can starve its neighbours into empty
+    // chunks; they simply do nothing.
+    if (lo < hi) fn(lo, hi);
+  });
 }
 
 }  // namespace skipnode

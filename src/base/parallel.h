@@ -23,6 +23,7 @@
 #ifndef SKIPNODE_BASE_PARALLEL_H_
 #define SKIPNODE_BASE_PARALLEL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
@@ -45,6 +46,30 @@ void SetParallelThreadCount(int count);
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_per_thread = 1);
+
+// Like ParallelFor over [0, n), but chunk boundaries balance a
+// caller-supplied cost instead of the element count: `cost_prefix` is a
+// non-decreasing array of n + 1 partial sums (a CSR row_ptr qualifies
+// verbatim), and element i costs cost_prefix[i + 1] - cost_prefix[i]. Each
+// chunk receives approximately total_cost / chunks cost, so one heavy
+// element (a hub row) no longer serialises its whole equal-count chunk.
+// `min_cost_per_chunk` caps the fan-out for small problems the way
+// min_per_thread does for ParallelFor. Boundaries depend only on the prefix
+// array, n, and the thread count — never on timing — so element ownership
+// is deterministic and the DESIGN §7 bitwise contract holds unchanged. fn
+// is never invoked on an empty range; nested calls run inline.
+void ParallelForBalanced(int64_t n, const int* cost_prefix,
+                         const std::function<void(int64_t, int64_t)>& fn,
+                         int64_t min_cost_per_chunk = 1);
+
+// Grain for SpMM-shaped kernels partitioned with ParallelForBalanced over a
+// CSR row_ptr: every stored entry costs `cols` inner-loop float ops, and a
+// chunk should amortise roughly 2^14 of them so pool dispatch never
+// dominates skinny matrices. Shared by all four CsrMatrix SpMM variants
+// (it replaces the per-kernel `(1 << 14) / (avg_nnz * d + 1)` row grains).
+inline int64_t SpmmChunkCost(int64_t cols) {
+  return std::max<int64_t>(1, (int64_t{1} << 14) / (cols + 1));
+}
 
 }  // namespace skipnode
 

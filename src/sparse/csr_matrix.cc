@@ -4,7 +4,9 @@
 #include "sparse/csr_matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 
 #include "base/check.h"
@@ -64,11 +66,10 @@ void CsrMatrix::MultiplyAccumulate(const Matrix& dense, Matrix& out) const {
   // Row-parallel: each thread owns a contiguous block of output rows, and a
   // row's neighbours accumulate in CSR order whatever the thread count, so
   // the SpMM is bitwise reproducible across SKIPNODE_NUM_THREADS settings.
-  // Rows are balanced by count, not nnz; adjacency rows are near-uniform
-  // (datasets are degree-corrected SBMs), so static partitioning is fine.
-  const int64_t avg_nnz = rows_ > 0 ? nnz() / rows_ + 1 : 1;
-  ParallelFor(
-      0, rows_,
+  // Chunks are balanced by nnz (row_ptr_ is the cost prefix), so a hub row
+  // cannot serialise its whole chunk on power-law-ish graphs.
+  ParallelForBalanced(
+      rows_, row_ptr_.data(),
       [&](int64_t row_begin, int64_t row_end) {
         for (int r = static_cast<int>(row_begin); r < row_end; ++r) {
           float* __restrict or_ = out.row(r);
@@ -79,7 +80,7 @@ void CsrMatrix::MultiplyAccumulate(const Matrix& dense, Matrix& out) const {
           }
         }
       },
-      std::max<int64_t>(1, (1 << 14) / (avg_nnz * d + 1)));
+      SpmmChunkCost(d));
 }
 
 Matrix CsrMatrix::Multiply(const Matrix& dense) const {
@@ -95,21 +96,23 @@ void CsrMatrix::MultiplyAccumulateMasked(const Matrix& dense,
   SKIPNODE_CHECK(dense.rows() == cols_);
   SKIPNODE_CHECK(out.rows() == rows_ && out.cols() == dense.cols());
   SKIPNODE_CHECK(static_cast<int>(skip_rows.size()) == rows_);
-  if (TelemetryEnabled()) {
-    int64_t skipped = 0;
-    for (const uint8_t skip : skip_rows) skipped += skip != 0;
-    CountMetric("spmm.rows_skipped", skipped);
-  }
   const int d = dense.cols();
   // Same row-ownership partition as MultiplyAccumulate; a computed row's
   // neighbour sum never depends on which rows were skipped, so kept rows are
-  // bitwise identical to the full multiply.
-  const int64_t avg_nnz = rows_ > 0 ? nnz() / rows_ + 1 : 1;
-  ParallelFor(
-      0, rows_,
+  // bitwise identical to the full multiply. Skipped rows are counted inside
+  // the existing row loop (no extra O(rows) telemetry pass); the relaxed
+  // atomic merge is integer-only, so it stays off the numeric path.
+  const bool count_skips = TelemetryEnabled();
+  std::atomic<int64_t> skipped{0};
+  ParallelForBalanced(
+      rows_, row_ptr_.data(),
       [&](int64_t row_begin, int64_t row_end) {
+        int64_t chunk_skipped = 0;
         for (int r = static_cast<int>(row_begin); r < row_end; ++r) {
-          if (skip_rows[r]) continue;
+          if (skip_rows[r]) {
+            ++chunk_skipped;
+            continue;
+          }
           float* __restrict or_ = out.row(r);
           for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
             const float w = values_[e];
@@ -117,50 +120,126 @@ void CsrMatrix::MultiplyAccumulateMasked(const Matrix& dense,
             for (int j = 0; j < d; ++j) or_[j] += w * src[j];
           }
         }
+        if (count_skips) {
+          skipped.fetch_add(chunk_skipped, std::memory_order_relaxed);
+        }
       },
-      std::max<int64_t>(1, (1 << 14) / (avg_nnz * d + 1)));
+      SpmmChunkCost(d));
+  if (count_skips) {
+    CountMetric("spmm.rows_skipped", skipped.load(std::memory_order_relaxed));
+  }
 }
 
-// Serial: the transpose scatters row r of `dense` into output row
-// col_idx_[e], so output rows are not owned by a single input row and a
-// row partition would both race and reorder the accumulation.
+const CsrMatrix::TransposePlan& CsrMatrix::transpose_plan() const {
+  PlanCache* cache = plan_cache_.get();
+  std::call_once(cache->once, [&] { BuildTransposePlan(&cache->plan); });
+  return cache->plan;
+}
+
+void CsrMatrix::BuildTransposePlan(TransposePlan* plan) const {
+  const ScopedTimer timer("sparse.transpose_plan.build", /*items=*/nnz());
+  // Exact symmetry (tolerance 0: float-equal mirrored values) lets the
+  // forward CSR double as the transposed view. Equality must be exact, not
+  // approximate — the gather reads A[c][r] where the scatter read A[r][c],
+  // and only bit-identical weights keep the kernels bitwise interchangeable
+  // (±0.0 compare equal, but a zero weight contributes +0.0 to a +0.0-seeded
+  // accumulator either way).
+  if (rows_ == cols_ && IsSymmetric(/*tolerance=*/0.0f)) {
+    plan->symmetric_alias = true;
+    return;
+  }
+  // Counting sort by column. Walking rows in ascending order fills each
+  // transposed row with its source rows ascending — the order the serial
+  // scatter accumulated them, which the gather kernels rely on.
+  plan->row_ptr.assign(cols_ + 1, 0);
+  plan->src_row.resize(col_idx_.size());
+  plan->value_perm.resize(col_idx_.size());
+  for (const int c : col_idx_) plan->row_ptr[c + 1] += 1;
+  for (int c = 0; c < cols_; ++c) plan->row_ptr[c + 1] += plan->row_ptr[c];
+  std::vector<int> cursor(plan->row_ptr.begin(), plan->row_ptr.end() - 1);
+  for (int r = 0; r < rows_; ++r) {
+    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const int pos = cursor[col_idx_[e]]++;
+      plan->src_row[pos] = r;
+      plan->value_perm[pos] = e;
+    }
+  }
+}
+
 Matrix CsrMatrix::MultiplyTransposed(const Matrix& dense) const {
-  const ScopedTimer timer("sparse.spmm_t", /*items=*/rows_);
+  const ScopedTimer timer("sparse.spmm_t", /*items=*/cols_);
   SKIPNODE_CHECK(dense.rows() == rows_);
   Matrix out(cols_, dense.cols());
   const int d = dense.cols();
-  for (int r = 0; r < rows_; ++r) {
-    const float* __restrict src = dense.row(r);
-    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-      const float w = values_[e];
-      float* __restrict dst = out.row(col_idx_[e]);
-      for (int j = 0; j < d; ++j) dst[j] += w * src[j];
-    }
-  }
+  const TransposePlan& plan = transpose_plan();
+  const int* t_ptr =
+      plan.symmetric_alias ? row_ptr_.data() : plan.row_ptr.data();
+  const int* t_src =
+      plan.symmetric_alias ? col_idx_.data() : plan.src_row.data();
+  const int* t_val = plan.symmetric_alias ? nullptr : plan.value_perm.data();
+  // Row-owned gather over the transpose plan: output row c is written by
+  // exactly one thread and accumulates column c's entries in increasing
+  // source-row order — the order the serial scatter wrote them — so the
+  // result is bitwise identical at any thread count (DESIGN §7).
+  ParallelForBalanced(
+      cols_, t_ptr,
+      [&](int64_t col_begin, int64_t col_end) {
+        for (int c = static_cast<int>(col_begin); c < col_end; ++c) {
+          float* __restrict or_ = out.row(c);
+          for (int e = t_ptr[c]; e < t_ptr[c + 1]; ++e) {
+            const float w = values_[t_val != nullptr ? t_val[e] : e];
+            const float* __restrict src = dense.row(t_src[e]);
+            for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+          }
+        }
+      },
+      SpmmChunkCost(d));
   return out;
 }
 
-// Serial for the same reason as MultiplyTransposed. Skipping a source row is
-// bitwise equivalent to multiplying it through as zeros: the scatter adds
-// w * 0.0f = +0.0f, and the accumulators can never hold -0.0 (they start at
-// +0.0 and IEEE round-to-nearest sums of finite values only produce -0.0
-// from two -0.0 addends), so x += +0.0f leaves every accumulator unchanged.
+// Same gather as MultiplyTransposed, dropping entries whose source row is
+// skipped — those rows of `dense` are never even read. Skipping an entry is
+// bitwise equivalent to multiplying the zeroed row through: the dropped
+// addend would be w * 0.0f = +0.0f, and the accumulators can never hold
+// -0.0 (they start at +0.0 and IEEE round-to-nearest sums of finite values
+// only produce -0.0 from two -0.0 addends), so x += +0.0f leaves every
+// accumulator bit unchanged.
 Matrix CsrMatrix::MultiplyTransposedMasked(
     const Matrix& dense, const std::vector<uint8_t>& skip_rows) const {
-  const ScopedTimer timer("sparse.spmm_t_masked", /*items=*/rows_);
+  const ScopedTimer timer("sparse.spmm_t_masked", /*items=*/cols_);
   SKIPNODE_CHECK(dense.rows() == rows_);
   SKIPNODE_CHECK(static_cast<int>(skip_rows.size()) == rows_);
+  if (TelemetryEnabled()) {
+    // The gather never iterates source rows, so the skipped-row count (items
+    // = rows of `dense` masked off) takes one O(rows) pass — telemetry-gated
+    // and integer-only, off the numeric path.
+    int64_t skipped = 0;
+    for (const uint8_t skip : skip_rows) skipped += skip != 0;
+    CountMetric("spmm_t.rows_skipped", skipped);
+  }
   Matrix out(cols_, dense.cols());
   const int d = dense.cols();
-  for (int r = 0; r < rows_; ++r) {
-    if (skip_rows[r]) continue;
-    const float* __restrict src = dense.row(r);
-    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-      const float w = values_[e];
-      float* __restrict dst = out.row(col_idx_[e]);
-      for (int j = 0; j < d; ++j) dst[j] += w * src[j];
-    }
-  }
+  const TransposePlan& plan = transpose_plan();
+  const int* t_ptr =
+      plan.symmetric_alias ? row_ptr_.data() : plan.row_ptr.data();
+  const int* t_src =
+      plan.symmetric_alias ? col_idx_.data() : plan.src_row.data();
+  const int* t_val = plan.symmetric_alias ? nullptr : plan.value_perm.data();
+  ParallelForBalanced(
+      cols_, t_ptr,
+      [&](int64_t col_begin, int64_t col_end) {
+        for (int c = static_cast<int>(col_begin); c < col_end; ++c) {
+          float* __restrict or_ = out.row(c);
+          for (int e = t_ptr[c]; e < t_ptr[c + 1]; ++e) {
+            const int r = t_src[e];
+            if (skip_rows[r]) continue;
+            const float w = values_[t_val != nullptr ? t_val[e] : e];
+            const float* __restrict src = dense.row(r);
+            for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+          }
+        }
+      },
+      SpmmChunkCost(d));
   return out;
 }
 

@@ -8,6 +8,8 @@
 #define SKIPNODE_SPARSE_CSR_MATRIX_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -15,11 +17,32 @@
 
 namespace skipnode {
 
-// A weighted sparse matrix in CSR layout. Immutable after construction.
+// A weighted sparse matrix in CSR layout. Immutable after construction
+// (copies may share the lazily-built transpose plan below, which is safe
+// precisely because nothing ever mutates a built matrix).
 class CsrMatrix {
  public:
+  // Transposed-CSR view of the matrix: row c of the plan enumerates the
+  // stored entries of column c in increasing source-row order — exactly the
+  // order the serial scatter kernel visits them — which is what lets the
+  // MultiplyTransposed* gathers run row-parallel (DESIGN §7) while staying
+  // bitwise identical to the old serial scatters at any thread count.
+  struct TransposePlan {
+    // True when the matrix is *exactly* symmetric (same sparsity pattern,
+    // float-equal mirrored values): the forward row_ptr()/col_idx()/values()
+    // arrays double as the transposed view, the vectors below stay empty,
+    // and no second index set is materialised. Normalised adjacencies
+    // Â = (D+I)^{-1/2}(A+I)(D+I)^{-1/2} always hit this path.
+    bool symmetric_alias = false;
+    std::vector<int> row_ptr;  // cols() + 1 offsets into the arrays below
+    std::vector<int> src_row;  // source row of each transposed entry
+    std::vector<int> value_perm;  // index of the entry's weight in values()
+  };
+
   // Empty 0x0 matrix.
-  CsrMatrix() : rows_(0), cols_(0), row_ptr_(1, 0) {}
+  CsrMatrix()
+      : rows_(0), cols_(0), row_ptr_(1, 0),
+        plan_cache_(std::make_shared<PlanCache>()) {}
 
   // Builds from coordinate triplets (row, col, value). Duplicate coordinates
   // are summed. Entries with value 0 are kept (callers rarely produce them).
@@ -56,18 +79,30 @@ class CsrMatrix {
                                 const std::vector<uint8_t>& skip_rows,
                                 Matrix& out) const;
 
-  // Returns this^T * dense (no explicit transpose materialised).
+  // Returns this^T * dense, as a row-parallel gather over the cached
+  // transpose plan (no dense transpose materialised). Bitwise identical to
+  // the serial scatter formulation at any thread count: output row c
+  // accumulates its contributions in increasing source-row order either way.
   Matrix MultiplyTransposed(const Matrix& dense) const;
 
   // this^T * dense with rows of `dense` where skip_rows[r] != 0 treated as
-  // zero (they are never read). Bitwise identical to MultiplyTransposed on a
-  // copy of `dense` with those rows zeroed — the SkipNode fused backward,
-  // where the output gradient of a skipped row must not reach the
-  // convolution input.
+  // zero (they are never read — the gather skips their plan entries
+  // outright). Bitwise identical to MultiplyTransposed on a copy of `dense`
+  // with those rows zeroed — the SkipNode fused backward, where the output
+  // gradient of a skipped row must not reach the convolution input. Bumps
+  // the spmm_t.rows_skipped counter.
   Matrix MultiplyTransposedMasked(const Matrix& dense,
                                   const std::vector<uint8_t>& skip_rows) const;
 
-  // Sum of stored values in each row (rows x 1).
+  // The cached transpose plan, built on first use (thread-safe via
+  // std::call_once; one build per matrix, shared by copies).
+  const TransposePlan& transpose_plan() const;
+
+  // Sum of stored values in each row (rows x 1). Contract: each row
+  // accumulates in double and rounds to float once at the end — this feeds
+  // the degree terms of adjacency normalisation, so the extra precision (and
+  // its independence from entry count) is load-bearing for bitwise
+  // reproducibility of every Â downstream. Pinned by csr_matrix_test.
   Matrix RowSums() const;
 
   // Dense copy (tests / tiny matrices only).
@@ -77,11 +112,23 @@ class CsrMatrix {
   bool IsSymmetric(float tolerance = 1e-6f) const;
 
  private:
+  // Heap cell owning the lazily-built transpose plan and its build-once
+  // flag. Held by shared_ptr so the (non-copyable) std::once_flag never
+  // blocks CsrMatrix copies; copies share the cell, which is sound because
+  // they share the index arrays the plan describes.
+  struct PlanCache {
+    std::once_flag once;
+    TransposePlan plan;
+  };
+
+  void BuildTransposePlan(TransposePlan* plan) const;
+
   int rows_;
   int cols_;
   std::vector<int> row_ptr_;
   std::vector<int> col_idx_;
   std::vector<float> values_;
+  std::shared_ptr<PlanCache> plan_cache_;
 };
 
 }  // namespace skipnode

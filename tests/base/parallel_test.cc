@@ -136,6 +136,96 @@ TEST_F(ParallelTest, EnvOverrideIsHonoured) {
   SetParallelThreadCount(0);
 }
 
+TEST_F(ParallelTest, BalancedCoversRangeExactlyOnce) {
+  // Uniform cost: behaves like ParallelFor.
+  std::vector<int> prefix(258);
+  for (int i = 0; i < 258; ++i) prefix[i] = i * 3;
+  for (const int threads : {1, 4, 8}) {
+    SetParallelThreadCount(threads);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    ParallelForBalanced(257, prefix.data(), [&](int64_t lo, int64_t hi) {
+      EXPECT_LT(lo, hi);  // fn is never invoked on an empty range.
+      for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelTest, BalancedSplitsSkewedCostEvenly) {
+  SetParallelThreadCount(2);
+  // One hub element carries ~all the cost (a high-degree CSR row); the
+  // equal-cost-share boundary must isolate it rather than splitting the
+  // element count in half.
+  std::vector<int> prefix = {0, 1000, 1001, 1002, 1003, 1004};
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelForBalanced(5, prefix.data(), [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], (std::pair<int64_t, int64_t>{0, 1}));  // The hub alone.
+  EXPECT_EQ(chunks[1], (std::pair<int64_t, int64_t>{1, 5}));
+}
+
+TEST_F(ParallelTest, BalancedSkipsEmptyChunksFromZeroCostRuns) {
+  SetParallelThreadCount(4);
+  // All cost sits in the last element; every interior boundary collapses
+  // onto it, and fn must only ever see non-empty ranges that tile [0, n).
+  std::vector<int> prefix = {0, 0, 0, 0, 0, 0, 0, 0, 800};
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelForBalanced(8, prefix.data(), [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_LT(lo, hi);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 0);
+  EXPECT_EQ(chunks.back().second, 8);
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+  }
+}
+
+TEST_F(ParallelTest, BalancedEmptyRangeAndMinCostCap) {
+  SetParallelThreadCount(8);
+  std::vector<int> prefix = {0, 10, 20, 30, 40};
+  int calls = 0;
+  ParallelForBalanced(0, nullptr, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Total cost 40 at >= 25 per chunk allows at most one chunk.
+  std::atomic<int> chunk_calls{0};
+  ParallelForBalanced(
+      4, prefix.data(), [&](int64_t, int64_t) { chunk_calls.fetch_add(1); },
+      /*min_cost_per_chunk=*/25);
+  EXPECT_EQ(chunk_calls.load(), 1);
+}
+
+TEST_F(ParallelTest, BalancedBoundariesAreThreadCountDeterministic) {
+  // Same prefix and thread count must always produce identical boundaries —
+  // the DESIGN §7 contract that partitioning never depends on timing.
+  std::vector<int> prefix(101);
+  prefix[0] = 0;
+  for (int i = 1; i <= 100; ++i) prefix[i] = prefix[i - 1] + (i * 7) % 13;
+  SetParallelThreadCount(4);
+  auto collect = [&] {
+    std::mutex mu;
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    ParallelForBalanced(100, prefix.data(), [&](int64_t lo, int64_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(lo, hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto first = collect();
+  for (int round = 0; round < 20; ++round) EXPECT_EQ(collect(), first);
+}
+
 TEST_F(ParallelTest, ManyThreadsOnFewElementsNeverYieldsEmptyChunks) {
   SetParallelThreadCount(8);
   std::mutex mu;

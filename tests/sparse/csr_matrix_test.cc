@@ -90,6 +90,71 @@ TEST(CsrMatrixTest, RowSums) {
   EXPECT_FLOAT_EQ(sums.at(2, 0), 4.0f);
 }
 
+TEST(CsrMatrixTest, RowSumsAccumulateInDouble) {
+  // Pins the header contract: each row sums in double and rounds to float
+  // once at the end. 1e8 + 1 is exactly representable in double but rounds
+  // to 1e8 in float, so a float-order accumulation of {1e8, 1, -1e8} would
+  // return 0 while the double accumulation returns exactly 1.
+  CsrMatrix m = CsrMatrix::FromCoo(1, 3, {{0, 0}, {0, 1}, {0, 2}},
+                                   {1e8f, 1.0f, -1e8f});
+  EXPECT_EQ(m.RowSums().at(0, 0), 1.0f);
+}
+
+TEST(CsrMatrixTest, TransposePlanMatchesFromCooTranspose) {
+  // An asymmetric rectangular matrix, including a duplicate coordinate so
+  // the merged-entry path is covered.
+  CsrMatrix m = CsrMatrix::FromCoo(
+      3, 4, {{0, 2}, {0, 0}, {1, 2}, {2, 3}, {2, 0}, {2, 0}},
+      {5.0f, 1.0f, 2.0f, 7.0f, 3.0f, 4.0f});
+  const CsrMatrix::TransposePlan& plan = m.transpose_plan();
+  ASSERT_FALSE(plan.symmetric_alias);
+
+  // Reference transpose: swap every stored (r, c, v) and rebuild via the
+  // same FromCoo used everywhere else.
+  std::vector<std::pair<int, int>> coords;
+  std::vector<float> values;
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int e = m.row_ptr()[r]; e < m.row_ptr()[r + 1]; ++e) {
+      coords.push_back({m.col_idx()[e], r});
+      values.push_back(m.values()[e]);
+    }
+  }
+  CsrMatrix t = CsrMatrix::FromCoo(m.cols(), m.rows(), std::move(coords),
+                                   std::move(values));
+
+  EXPECT_EQ(plan.row_ptr, t.row_ptr());
+  EXPECT_EQ(plan.src_row, t.col_idx());
+  ASSERT_EQ(plan.value_perm.size(), t.values().size());
+  for (size_t e = 0; e < plan.value_perm.size(); ++e) {
+    EXPECT_EQ(m.values()[static_cast<size_t>(plan.value_perm[e])],
+              t.values()[e])
+        << "entry " << e;
+  }
+}
+
+TEST(CsrMatrixTest, TransposePlanAliasesExactlySymmetricMatrices) {
+  CsrMatrix sym = CsrMatrix::FromCoo(
+      3, 3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 2}},
+      {0.5f, 0.5f, 0.25f, 0.25f, 1.0f});
+  const CsrMatrix::TransposePlan& plan = sym.transpose_plan();
+  EXPECT_TRUE(plan.symmetric_alias);
+  // No second index set materialised.
+  EXPECT_TRUE(plan.row_ptr.empty());
+  EXPECT_TRUE(plan.src_row.empty());
+  EXPECT_TRUE(plan.value_perm.empty());
+  Rng rng(21);
+  Matrix x = Matrix::Random(3, 4, rng);
+  EXPECT_EQ(MaxAbsDiff(sym.Multiply(x), sym.MultiplyTransposed(x)), 0.0f);
+}
+
+TEST(CsrMatrixTest, TransposePlanSharedByCopies) {
+  CsrMatrix m = SmallMatrix();
+  const CsrMatrix::TransposePlan& plan = m.transpose_plan();
+  CsrMatrix copy = m;
+  // Copies share the cache cell, so the plan is built once per matrix.
+  EXPECT_EQ(&copy.transpose_plan(), &plan);
+}
+
 TEST(CsrMatrixTest, SymmetryDetection) {
   EXPECT_FALSE(SmallMatrix().IsSymmetric());
   CsrMatrix sym = CsrMatrix::FromCoo(2, 2, {{0, 1}, {1, 0}, {0, 0}},

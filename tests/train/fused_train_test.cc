@@ -116,6 +116,22 @@ INSTANTIATE_TEST_SUITE_P(
              (info.param.second ? "Biased" : "Uniform");
     });
 
+// The backward pass runs the parallel transposed-SpMM gather on every path,
+// fused or not — training the *naive* path at 1 and 4 threads pins that the
+// cached transpose plan and its thread-count-invariant partitioning leave
+// trained parameters bitwise unchanged end-to-end (DESIGN §7/§10).
+TEST(FusedTrainTest, NaiveTrainingIsThreadCountInvariant) {
+  Fixture setup;
+  const StrategyConfig strategy = StrategyConfig::SkipNodeU(0.5f);
+  const TrainedRun naive_1t =
+      Train(setup, "GCN", strategy, /*fused=*/false, /*pooled=*/false,
+            /*threads=*/1);
+  const TrainedRun naive_4t =
+      Train(setup, "GCN", strategy, /*fused=*/false, /*pooled=*/false,
+            /*threads=*/4);
+  ExpectBitwiseEqual(naive_1t, naive_4t, "naive 1t-vs-4t");
+}
+
 // The fused path must actually help the model learn exactly what the naive
 // path learns — so a naive-vs-naive rerun must also agree with itself (the
 // harness is sound, not vacuously passing on e.g. NaN != NaN).
