@@ -36,24 +36,22 @@ RhoPoint RunPoint(const Graph& graph, const Split& split,
   config.num_layers = depth;
   config.dropout = 0.1f;
 
-  TrainOptions options;
-  options.epochs = epochs;
-  options.eval_every = 4;
-  options.weight_decay = 5e-4f;
-  options.seed = 19;
-
   Rng rng(19);
   auto model = MakeModel("GCN", config, rng);
   RhoPoint point;
-  point.accuracy = 100.0 * TrainNodeClassifier(*model, graph, split,
-                                               strategy, options)
-                               .test_accuracy;
+  point.accuracy =
+      100.0 * TrainNodeClassifier(*model, graph, split, strategy,
+                                  {.options = {.epochs = epochs,
+                                               .weight_decay = 5e-4f,
+                                               .eval_every = 4,
+                                               .seed = 19}})
+                  .test_accuracy;
   // MAD of the trained model's penultimate features (paper Fig. 5b).
   Tape tape;
   Rng eval_rng(20);
   StrategyContext ctx(graph, strategy, /*training=*/false, eval_rng);
   model->Forward(tape, graph, ctx, /*training=*/false, eval_rng);
-  point.mad = MeanAverageDistance(graph, model->Penultimate().value());
+  point.mad = MeanAverageDistance(graph, model->Penultimate());
   return point;
 }
 

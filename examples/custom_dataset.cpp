@@ -59,10 +59,9 @@ int main() {
 
   Rng rng(7);
   auto model = MakeModel("GAT", config, rng);
-  TrainOptions options;
-  options.epochs = 60;
-  const TrainResult result = TrainNodeClassifier(
-      *model, *graph, split, StrategyConfig::SkipNodeU(0.5f), options);
+  const TrainResult result =
+      TrainNodeClassifier(*model, *graph, split, StrategyConfig::SkipNodeU(0.5f),
+                          {.options = {.epochs = 60}});
   Matrix logits = EvaluateLogits(*model, *graph, StrategyConfig::None());
   std::printf("GAT + SkipNode-U: test acc %.1f%%, macro-F1 %.3f\n",
               100.0 * result.test_accuracy,

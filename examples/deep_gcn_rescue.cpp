@@ -43,14 +43,13 @@ int main() {
       config.num_layers = depth;
       config.dropout = 0.3f;
 
-      TrainOptions options;
-      options.epochs = 150;
-      options.eval_every = 2;
+      const TrainRun train_run{
+          .options = {.epochs = 150, .eval_every = 2}};
 
       Rng rng(11);
       auto model = MakeModel("GCN", config, rng);
       const TrainResult result =
-          TrainNodeClassifier(*model, graph, split, strategy, options);
+          TrainNodeClassifier(*model, graph, split, strategy, train_run);
       std::printf(" %12.1f", 100.0 * result.test_accuracy);
       std::fflush(stdout);
     }

@@ -37,8 +37,7 @@ int main() {
   config.out_dim = graph.num_classes();
   config.num_layers = 8;
 
-  TrainOptions options;
-  options.epochs = 150;
+  const TrainRun train_run{.options = {.epochs = 150}};
 
   // 4. Train vanilla vs SkipNode — one line of difference.
   for (const auto& [label, strategy] :
@@ -49,7 +48,7 @@ int main() {
     Rng rng(7);
     auto model = MakeModel("GCN", config, rng);
     const TrainResult result =
-        TrainNodeClassifier(*model, graph, split, strategy, options);
+        TrainNodeClassifier(*model, graph, split, strategy, train_run);
     std::printf("%-28s test accuracy %.1f%% (best val %.1f%% @ epoch %d)\n",
                 label, 100.0 * result.test_accuracy,
                 100.0 * result.best_val_accuracy, result.best_epoch);

@@ -7,6 +7,8 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -127,6 +129,9 @@ bool LoadMatrixCsv(const std::string& path, Matrix* matrix) {
 bool SaveMatrixCsv(const std::string& path, const Matrix& matrix) {
   std::ofstream out(path);
   if (!out) return false;
+  // max_digits10 (9) makes the decimal text round-trip every float exactly,
+  // so a checkpoint save/load is bitwise lossless (frozen_model_test).
+  out << std::setprecision(std::numeric_limits<float>::max_digits10);
   for (int r = 0; r < matrix.rows(); ++r) {
     for (int c = 0; c < matrix.cols(); ++c) {
       if (c > 0) out << ',';

@@ -33,7 +33,7 @@ Var AppnpModel::Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
                           1.0f - config_.alpha, config_.alpha);
     z = ctx.TransformMiddle(tape, pre, step);
   }
-  penultimate_ = z;
+  StashPenultimate(z);
   return z;
 }
 

@@ -102,6 +102,18 @@ void CollectGarbage(const fs::path& directory, const std::string& keep) {
 
 }  // namespace
 
+bool ReadCheckpointManifest(const std::string& directory,
+                            std::vector<CheckpointEntry>* entries) {
+  Manifest manifest;
+  if (!ReadManifest(fs::path(directory), &manifest)) return false;
+  entries->clear();
+  entries->reserve(manifest.shapes.size());
+  for (const auto& [name, shape] : manifest.shapes) {
+    entries->push_back({name, shape.first, shape.second});
+  }
+  return true;
+}
+
 bool SaveModelParameters(Model& model, const std::string& directory) {
   std::error_code ec;
   const fs::path dir(directory);

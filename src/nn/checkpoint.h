@@ -20,10 +20,25 @@
 #define SKIPNODE_NN_CHECKPOINT_H_
 
 #include <string>
+#include <vector>
 
 #include "nn/model.h"
 
 namespace skipnode {
+
+// One manifest line of the live generation: parameter name + shape.
+struct CheckpointEntry {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+};
+
+// Reads `<directory>/manifest.txt` and returns the live generation's
+// parameter list (sorted by name). Returns false when the directory holds
+// no valid checkpoint. Lets callers (serve/frozen_model.cc) validate a
+// checkpoint's architecture before loading it into a model.
+bool ReadCheckpointManifest(const std::string& directory,
+                            std::vector<CheckpointEntry>* entries);
 
 // Writes `<directory>/<param-name>.csv` for every parameter and a
 // `<directory>/manifest.txt` listing `name rows cols` per line. The

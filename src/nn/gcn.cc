@@ -53,7 +53,7 @@ Var GcnModel::Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
       x = conv;
     } else {
       x = tape.Relu(conv);
-      if (l == num_layers - 2) penultimate_ = x;
+      if (l == num_layers - 2) StashPenultimate(x);
     }
   }
   return x;

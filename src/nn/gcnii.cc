@@ -48,7 +48,7 @@ Var GcniiModel::Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
     block = ctx.TransformMiddle(tape, pre, block);
     h = tape.Relu(block);
   }
-  penultimate_ = h;
+  StashPenultimate(h);
   h = tape.Dropout(h, config_.dropout, training, rng);
   return output_proj_->Apply(tape, h);
 }
@@ -59,6 +59,13 @@ std::vector<Parameter*> GcniiModel::Parameters() {
   for (const auto& w : conv_weights_) params.push_back(w.get());
   output_proj_->CollectParameters(params);
   return params;
+}
+
+bool GcniiModel::ExportServingHead(ServingHead* head) {
+  head->weight = output_proj_->weight().value;
+  head->bias =
+      output_proj_->has_bias() ? output_proj_->bias().value : Matrix();
+  return true;
 }
 
 }  // namespace skipnode

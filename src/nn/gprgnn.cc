@@ -31,7 +31,7 @@ Var GprGnnModel::Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
     hops.push_back(z);
   }
   Var out = tape.LinearCombination(hops, tape.Leaf(*gammas_));
-  penultimate_ = out;
+  StashPenultimate(out);
   return out;
 }
 

@@ -54,7 +54,7 @@ Var GrandModel::Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
   for (int s = 0; s < views; ++s) {
     view_logits_.push_back(View(tape, graph, ctx, training, rng));
   }
-  penultimate_ = view_logits_.front();
+  StashPenultimate(view_logits_.front());
   return view_logits_.front();
 }
 

@@ -55,7 +55,7 @@ Var IncepGcnModel::Forward(Tape& tape, const Graph& graph,
     branch_outputs.push_back(h);
   }
   Var merged = tape.ConcatCols(branch_outputs);
-  penultimate_ = merged;
+  StashPenultimate(merged);
   merged = tape.Dropout(merged, config_.dropout, training, rng);
   return head_->Apply(tape, merged);
 }

@@ -41,7 +41,7 @@ Var JkNetModel::Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
     layer_outputs.push_back(x);
   }
   Var jumped = tape.ConcatCols(layer_outputs);
-  penultimate_ = jumped;
+  StashPenultimate(jumped);
   jumped = tape.Dropout(jumped, config_.dropout, training, rng);
   return head_->Apply(tape, jumped);
 }
@@ -51,6 +51,12 @@ std::vector<Parameter*> JkNetModel::Parameters() {
   for (const auto& conv : convs_) conv->CollectParameters(params);
   head_->CollectParameters(params);
   return params;
+}
+
+bool JkNetModel::ExportServingHead(ServingHead* head) {
+  head->weight = head_->weight().value;
+  head->bias = head_->has_bias() ? head_->bias().value : Matrix();
+  return true;
 }
 
 }  // namespace skipnode

@@ -23,7 +23,7 @@ Var SgcModel::Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
     const Var pre = x;
     x = ctx.PropagateMiddle(tape, k, pre, x);
   }
-  penultimate_ = x;
+  StashPenultimate(x);
   x = tape.Dropout(x, config_.dropout, training, rng);
   return classifier_->Apply(tape, x);
 }
@@ -32,6 +32,12 @@ std::vector<Parameter*> SgcModel::Parameters() {
   std::vector<Parameter*> params;
   classifier_->CollectParameters(params);
   return params;
+}
+
+bool SgcModel::ExportServingHead(ServingHead* head) {
+  head->weight = classifier_->weight().value;
+  head->bias = classifier_->has_bias() ? classifier_->bias().value : Matrix();
+  return true;
 }
 
 }  // namespace skipnode

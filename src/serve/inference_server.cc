@@ -1,0 +1,154 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "serve/inference_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "base/check.h"
+#include "base/telemetry.h"
+
+namespace skipnode {
+
+const Matrix& PredictionHandle::logits() const {
+  SKIPNODE_CHECK(slot_ != nullptr);
+  std::unique_lock<std::mutex> lock(slot_->mu);
+  slot_->cv.wait(lock, [this] { return slot_->ready; });
+  return slot_->logits;
+}
+
+const std::vector<int>& PredictionHandle::classes() const {
+  SKIPNODE_CHECK(slot_ != nullptr);
+  std::unique_lock<std::mutex> lock(slot_->mu);
+  slot_->cv.wait(lock, [this] { return slot_->ready; });
+  return slot_->classes;
+}
+
+InferenceServer::InferenceServer(const FrozenModel& model,
+                                 const ServeOptions& options)
+    : model_(model), options_(options) {
+  SKIPNODE_CHECK(options_.workers >= 1);
+  SKIPNODE_CHECK(options_.max_batch_rows >= 1);
+  SKIPNODE_CHECK(options_.batch_window_us >= 0);
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+PredictionHandle InferenceServer::Submit(std::vector<int> node_ids) {
+  for (const int id : node_ids) {
+    SKIPNODE_CHECK_MSG(id >= 0 && id < model_.num_nodes(),
+                       "serve: node id %d out of range [0, %d)", id,
+                       model_.num_nodes());
+  }
+  auto slot = std::make_shared<PredictionHandle::ResultSlot>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SKIPNODE_CHECK_MSG(!stopping_, "serve: Submit() after Shutdown()");
+    queue_.push_back(Request{std::move(node_ids), slot});
+    ++stats_.requests;
+  }
+  CountMetric("serve.requests");
+  cv_.notify_one();
+  return PredictionHandle(std::move(slot));
+}
+
+void InferenceServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void InferenceServer::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    int64_t batch_rows = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      batch_rows = static_cast<int64_t>(batch.back().node_ids.size());
+      if (options_.batch_window_us > 0) {
+        // Hold the batch open until the window closes or the row cap is
+        // reached, coalescing everything that is queued or arrives. The
+        // window bounds added latency; it never changes any logit.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(options_.batch_window_us);
+        while (batch_rows < options_.max_batch_rows) {
+          if (queue_.empty()) {
+            if (stopping_) break;
+            if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+              break;
+            }
+            continue;
+          }
+          batch_rows += static_cast<int64_t>(queue_.front().node_ids.size());
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
+      stats_.batches += 1;
+      stats_.rows += batch_rows;
+    }
+
+    // Compute outside the queue lock: one row-sliced kernel call for the
+    // whole batch, then split per request. Each request's rows are bitwise
+    // what a solo batch would have produced (frozen_model.h).
+    std::vector<int> all_ids;
+    all_ids.reserve(static_cast<size_t>(batch_rows));
+    for (const Request& request : batch) {
+      all_ids.insert(all_ids.end(), request.node_ids.begin(),
+                     request.node_ids.end());
+    }
+    const ScopedTimer timer("serve.batch", /*items=*/batch_rows);
+    CountMetric("serve.batched_requests",
+                static_cast<int64_t>(batch.size()));
+    const Matrix logits = model_.Logits(all_ids);
+    int offset = 0;
+    for (Request& request : batch) {
+      const int rows = static_cast<int>(request.node_ids.size());
+      Matrix part(rows, logits.cols());
+      for (int r = 0; r < rows; ++r) {
+        const float* src = logits.row(offset + r);
+        std::copy(src, src + logits.cols(), part.row(r));
+      }
+      offset += rows;
+      std::vector<int> classes(request.node_ids.size(), 0);
+      for (int r = 0; r < rows; ++r) {
+        const float* row = part.row(r);
+        int best = 0;
+        for (int c = 1; c < part.cols(); ++c) {
+          if (row[c] > row[best]) best = c;
+        }
+        classes[static_cast<size_t>(r)] = best;
+      }
+      {
+        std::lock_guard<std::mutex> guard(request.slot->mu);
+        request.slot->logits = std::move(part);
+        request.slot->classes = std::move(classes);
+        request.slot->ready = true;
+      }
+      request.slot->cv.notify_all();
+    }
+  }
+}
+
+ServeStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace skipnode

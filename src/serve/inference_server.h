@@ -1,0 +1,123 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// InferenceServer: concurrent batched serving over a FrozenModel
+// (DESIGN §11). Clients Submit() node-id requests from any number of
+// threads; worker threads pull them off an MPMC queue, coalesce whatever is
+// queued within a max-latency batching window (plus whatever arrives before
+// it closes) into one row-sliced kernel call, and fulfil each request's
+// PredictionHandle.
+//
+// Determinism: a request's logits are bitwise independent of the batch it
+// lands in, the arrival order, the worker count, and the window setting,
+// because FrozenModel::Logits is row-wise exact (frozen_model.h). Batching
+// only changes latency and kernel-call count, never a number. With
+// batch_window_us == 0 every request is its own batch, so
+// stats().batches == stats().requests exactly.
+
+#ifndef SKIPNODE_SERVE_INFERENCE_SERVER_H_
+#define SKIPNODE_SERVE_INFERENCE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/frozen_model.h"
+#include "tensor/matrix.h"
+
+namespace skipnode {
+
+struct ServeOptions {
+  // Worker threads pulling from the request queue (>= 1).
+  int workers = 1;
+  // Soft cap on coalesced rows per batch: a batch stops growing once it
+  // holds this many rows (the request that crosses the cap still rides).
+  int max_batch_rows = 256;
+  // Max time a worker holds an open batch waiting for more requests.
+  // 0 disables coalescing: one request per batch.
+  int batch_window_us = 0;
+};
+
+// Aggregate counters since construction. Reads are consistent snapshots.
+struct ServeStats {
+  int64_t requests = 0;  // submitted
+  int64_t batches = 0;   // kernel calls issued
+  int64_t rows = 0;      // logit rows computed
+};
+
+// Blocking handle to one submitted request. Copyable; all copies share the
+// result. logits()/classes() block until the server fulfils the request and
+// stay valid after the server is destroyed.
+class PredictionHandle {
+ public:
+  PredictionHandle() = default;
+
+  // One row per requested node id, in request order.
+  const Matrix& logits() const;
+  // Argmax class per requested node id.
+  const std::vector<int>& classes() const;
+  bool valid() const { return slot_ != nullptr; }
+
+ private:
+  friend class InferenceServer;
+
+  struct ResultSlot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    Matrix logits;
+    std::vector<int> classes;
+  };
+
+  explicit PredictionHandle(std::shared_ptr<ResultSlot> slot)
+      : slot_(std::move(slot)) {}
+
+  std::shared_ptr<ResultSlot> slot_;
+};
+
+class InferenceServer {
+ public:
+  // Starts options.workers threads immediately. `model` must outlive the
+  // server.
+  InferenceServer(const FrozenModel& model, const ServeOptions& options);
+  ~InferenceServer();  // Shutdown().
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  // Enqueues a request from any thread. Ids must be in
+  // [0, model.num_nodes()). Must not be called after Shutdown().
+  PredictionHandle Submit(std::vector<int> node_ids);
+
+  // Drains every queued request, then joins the workers. Idempotent.
+  void Shutdown();
+
+  ServeStats stats() const;
+
+ private:
+  struct Request {
+    std::vector<int> node_ids;
+    std::shared_ptr<PredictionHandle::ResultSlot> slot;
+  };
+
+  void WorkerLoop();
+
+  const FrozenModel& model_;
+  const ServeOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  ServeStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_SERVE_INFERENCE_SERVER_H_

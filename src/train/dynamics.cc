@@ -66,9 +66,9 @@ DynamicsRecord TrainWithDynamics(Model& model, const Graph& graph,
       Tape tape;
       StrategyContext ctx(graph, strategy, /*training=*/false, rng);
       Var logits = model.Forward(tape, graph, ctx, /*training=*/false, rng);
-      const Var penultimate = model.Penultimate();
-      SKIPNODE_CHECK(penultimate.valid());
-      record.mad.push_back(MeanAverageDistance(graph, penultimate.value()));
+      const Matrix& penultimate = model.Penultimate();
+      SKIPNODE_CHECK(!penultimate.empty());
+      record.mad.push_back(MeanAverageDistance(graph, penultimate));
       record.val_accuracy.push_back(static_cast<float>(
           Accuracy(logits.value(), graph.labels(), split.val)));
     }

@@ -10,6 +10,7 @@
 #include "autograd/health.h"
 #include "base/check.h"
 #include "base/telemetry.h"
+#include "serve/frozen_model.h"
 #include "train/metrics.h"
 #include "train/optimizer.h"
 
@@ -284,14 +285,10 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
 
 Matrix EvaluateLogits(Model& model, const Graph& graph,
                       const StrategyConfig& strategy) {
-  // Eval-mode forwards never draw from the Rng (dropout is identity and the
-  // sampling strategies are disabled when training=false); this Rng only
-  // satisfies Model::Forward's signature. The value is irrelevant.
-  Rng rng(0);
-  Tape tape;
-  StrategyContext ctx(graph, strategy, /*training=*/false, rng);
-  Var logits = model.Forward(tape, graph, ctx, /*training=*/false, rng);
-  return logits.value();
+  // Routed through the serving layer so there is exactly one eval-mode
+  // forward in the codebase: FrozenModel::Freeze runs the pass this
+  // function used to run inline (frozen_model_test pins the two bitwise).
+  return FrozenModel::Freeze(model, graph, strategy).full_logits();
 }
 
 }  // namespace skipnode

@@ -150,16 +150,6 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
                                 const StrategyConfig& strategy,
                                 const TrainRun& run);
 
-// Thin convenience overload for callers that only carry options.
-inline TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
-                                       const Split& split,
-                                       const StrategyConfig& strategy,
-                                       const TrainOptions& options) {
-  TrainRun run;
-  run.options = options;
-  return TrainNodeClassifier(model, graph, split, strategy, run);
-}
-
 // One evaluation pass (no dropout, strategies in eval mode); returns logits.
 // Takes no seed: in eval mode neither dropout nor any sampling strategy
 // draws from the Rng, so the pass is deterministic by construction. The

@@ -49,12 +49,9 @@ double RunGcn(const Fixture& setup, int layers, const StrategyConfig& strategy,
               uint64_t seed) {
   Rng rng(seed);
   auto model = MakeModel("GCN", DeepConfig(setup.graph, layers), rng);
-  TrainOptions options;
-  options.epochs = 100;
-  options.eval_every = 2;
-  options.seed = seed;
-  return TrainNodeClassifier(*model, setup.graph, setup.split, strategy,
-                             options)
+  return TrainNodeClassifier(
+             *model, setup.graph, setup.split, strategy,
+             {.options = {.epochs = 100, .eval_every = 2, .seed = seed}})
       .test_accuracy;
 }
 
@@ -163,15 +160,12 @@ TEST(PaperClaimsTest, DecoupledModelsBeatGcnOnHeterophilicGraphs) {
   Rng split_rng(31);
   Split split = RandomSplit(graph, 0.6, 0.2, split_rng);
 
-  TrainOptions options;
-  options.epochs = 120;
-  options.seed = 33;
   const auto run = [&](const char* backbone) {
     ModelConfig config = DeepConfig(graph, 4);
     Rng rng(33);
     auto model = MakeModel(backbone, config, rng);
     return TrainNodeClassifier(*model, graph, split, StrategyConfig::None(),
-                               options)
+                               {.options = {.epochs = 120, .seed = 33}})
         .test_accuracy;
   };
   const double gcn = run("GCN");

@@ -66,7 +66,7 @@ TEST_P(ModelStrategyTest, ForwardShapeAndFiniteness) {
       ASSERT_TRUE(std::isfinite(logits.value().data()[i]))
           << param.model << " training=" << training;
     }
-    ASSERT_TRUE(model->Penultimate().valid());
+    ASSERT_FALSE(model->Penultimate().empty());
   }
 }
 

@@ -1,0 +1,90 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tools/serve_cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/cli.h"
+
+namespace skipnode {
+namespace {
+
+struct CliResult {
+  int exit_code;
+  std::string output;
+};
+
+CliResult RunTool(const std::vector<std::string>& args) {
+  std::vector<const char*> argv = {"skipnode_serve"};
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+
+  const std::string path = ::testing::TempDir() + "/serve_cli_output.txt";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  EXPECT_NE(out, nullptr);
+  const int code =
+      RunServeCli(static_cast<int>(argv.size()), argv.data(), out);
+  std::fclose(out);
+
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  return {code, contents.str()};
+}
+
+TEST(ServeCliTest, HelpPrintsUsageAndFails) {
+  const CliResult result = RunTool({"--help"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("--window-us"), std::string::npos);
+}
+
+TEST(ServeCliTest, RejectsUnknownFlagAndModel) {
+  EXPECT_EQ(RunTool({"--bogus", "1"}).exit_code, 1);
+  const CliResult result = RunTool({"--model", "NotANet"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("unknown model"), std::string::npos);
+}
+
+TEST(ServeCliTest, TrainFreezeServeVerifiesBitwise) {
+  const CliResult result = RunTool(
+      {"--dataset", "cornell_like", "--model", "SGC", "--epochs", "3",
+       "--clients", "3", "--requests", "8", "--window-us", "300"});
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("linear-head path"), std::string::npos);
+  EXPECT_NE(result.output.find("verification OK"), std::string::npos);
+}
+
+TEST(ServeCliTest, ServesFromTrainCliCheckpoint) {
+  // End-to-end interop: skipnode_train --save-dir, then skipnode_serve
+  // --load-dir with a matching architecture.
+  const std::string dir = ::testing::TempDir() + "/serve_cli_ckpt";
+  std::vector<const char*> train_argv = {
+      "skipnode_train", "--dataset", "cornell_like", "--model", "GCN",
+      "--layers",       "3",         "--epochs",     "3",       "--save-dir",
+      dir.c_str()};
+  const std::string train_out_path =
+      ::testing::TempDir() + "/serve_cli_train_output.txt";
+  std::FILE* train_out = std::fopen(train_out_path.c_str(), "w");
+  ASSERT_NE(train_out, nullptr);
+  const int train_code = RunCli(static_cast<int>(train_argv.size()),
+                                train_argv.data(), train_out);
+  std::fclose(train_out);
+  ASSERT_EQ(train_code, 0);
+
+  const CliResult result = RunTool(
+      {"--dataset", "cornell_like", "--model", "GCN", "--layers", "3",
+       "--load-dir", dir, "--clients", "2", "--requests", "4"});
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("from checkpoint"), std::string::npos);
+  EXPECT_NE(result.output.find("logit-gather path"), std::string::npos);
+  EXPECT_NE(result.output.find("verification OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skipnode

@@ -59,12 +59,10 @@ TrainedRun Train(const Fixture& setup, const std::string& backbone,
   SetParallelThreadCount(threads);
   Rng rng(12);
   auto model = MakeModel(backbone, ConfigFor(setup.graph, 4), rng);
-  TrainOptions options;
-  options.epochs = 12;
-  options.seed = 31;
   TrainedRun run;
-  run.result = TrainNodeClassifier(*model, setup.graph, setup.split, strategy,
-                                   options);
+  run.result =
+      TrainNodeClassifier(*model, setup.graph, setup.split, strategy,
+                          {.options = {.epochs = 12, .seed = 31}});
   for (Parameter* p : model->Parameters()) run.parameters.push_back(p->value);
   SetParallelThreadCount(0);
   SetMatrixPoolEnabled(true);

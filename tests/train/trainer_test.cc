@@ -41,10 +41,9 @@ TEST(TrainerTest, ShallowGcnBeatsChanceByAWideMargin) {
   Fixture setup(1);
   Rng rng(2);
   auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
-  TrainOptions options;
-  options.epochs = 80;
-  const TrainResult result = TrainNodeClassifier(
-      *model, setup.graph, setup.split, StrategyConfig::None(), options);
+  const TrainResult result =
+      TrainNodeClassifier(*model, setup.graph, setup.split,
+                          StrategyConfig::None(), {.options = {.epochs = 80}});
   const double chance = 1.0 / setup.graph.num_classes();
   EXPECT_GT(result.test_accuracy, chance * 2.5);
   EXPECT_GT(result.best_val_accuracy, chance * 2.5);
@@ -53,15 +52,13 @@ TEST(TrainerTest, ShallowGcnBeatsChanceByAWideMargin) {
 
 TEST(TrainerTest, ResultIsDeterministicForSeed) {
   Fixture setup(3);
-  TrainOptions options;
-  options.epochs = 25;
-  options.seed = 17;
+  const TrainRun run{.options = {.epochs = 25, .seed = 17}};
   double accs[2];
   for (int i = 0; i < 2; ++i) {
     Rng rng(5);
     auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
     accs[i] = TrainNodeClassifier(*model, setup.graph, setup.split,
-                                  StrategyConfig::SkipNodeU(0.5f), options)
+                                  StrategyConfig::SkipNodeU(0.5f), run)
                   .test_accuracy;
   }
   EXPECT_DOUBLE_EQ(accs[0], accs[1]);
@@ -71,11 +68,9 @@ TEST(TrainerTest, EarlyStoppingCutsEpochs) {
   Fixture setup(4);
   Rng rng(6);
   auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
-  TrainOptions options;
-  options.epochs = 300;
-  options.patience = 10;
   const TrainResult result = TrainNodeClassifier(
-      *model, setup.graph, setup.split, StrategyConfig::None(), options);
+      *model, setup.graph, setup.split, StrategyConfig::None(),
+      {.options = {.epochs = 300, .patience = 10}});
   EXPECT_LT(result.epochs_run, 300);
 }
 
@@ -83,11 +78,9 @@ TEST(TrainerTest, EvalEveryReducesEvaluationWithoutBreakingSelection) {
   Fixture setup(5);
   Rng rng(7);
   auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
-  TrainOptions options;
-  options.epochs = 40;
-  options.eval_every = 5;
   const TrainResult result = TrainNodeClassifier(
-      *model, setup.graph, setup.split, StrategyConfig::None(), options);
+      *model, setup.graph, setup.split, StrategyConfig::None(),
+      {.options = {.epochs = 40, .eval_every = 5}});
   EXPECT_GT(result.test_accuracy, 0.0);
   EXPECT_EQ(result.best_epoch % 5 == 0 || result.best_epoch == 39, true);
 }
@@ -130,9 +123,7 @@ TEST(TrainerTest, EpochCallbackObservesEveryEvaluatedEpoch) {
 
 TEST(TrainerTest, CallbackDoesNotPerturbTheResult) {
   Fixture setup(9);
-  TrainOptions options;
-  options.epochs = 20;
-  options.seed = 23;
+  const TrainOptions options{.epochs = 20, .seed = 23};
   TrainResult results[2];
   for (int i = 0; i < 2; ++i) {
     Rng rng(11);
@@ -153,9 +144,7 @@ TEST(TrainerTest, CallbackDoesNotPerturbTheResult) {
 // threads must reproduce the 1-thread result exactly, not approximately.
 TEST(TrainerTest, TrainResultIsIdenticalAcrossThreadCounts) {
   Fixture setup(10);
-  TrainOptions options;
-  options.epochs = 30;
-  options.seed = 31;
+  const TrainRun run{.options = {.epochs = 30, .seed = 31}};
   TrainResult results[2];
   const int thread_counts[2] = {1, 4};
   for (int i = 0; i < 2; ++i) {
@@ -163,7 +152,7 @@ TEST(TrainerTest, TrainResultIsIdenticalAcrossThreadCounts) {
     Rng rng(12);
     auto model = MakeModel("GCN", ConfigFor(setup.graph, 4), rng);
     results[i] = TrainNodeClassifier(*model, setup.graph, setup.split,
-                                     StrategyConfig::SkipNodeU(0.5f), options);
+                                     StrategyConfig::SkipNodeU(0.5f), run);
   }
   SetParallelThreadCount(0);
   EXPECT_EQ(results[0].best_epoch, results[1].best_epoch);
@@ -177,17 +166,13 @@ TEST(TrainerTest, TrainingLossFallsOverTraining) {
   Fixture setup(7);
   Rng rng(9);
   auto model = MakeModel("GCN", ConfigFor(setup.graph, 2), rng);
-  TrainOptions short_run;
-  short_run.epochs = 1;
   const double loss_start =
       TrainNodeClassifier(*model, setup.graph, setup.split,
-                          StrategyConfig::None(), short_run)
+                          StrategyConfig::None(), {.options = {.epochs = 1}})
           .final_train_loss;
-  TrainOptions longer;
-  longer.epochs = 60;
   const double loss_end =
       TrainNodeClassifier(*model, setup.graph, setup.split,
-                          StrategyConfig::None(), longer)
+                          StrategyConfig::None(), {.options = {.epochs = 60}})
           .final_train_loss;
   EXPECT_LT(loss_end, loss_start);
 }

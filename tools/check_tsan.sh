@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds the library under ThreadSanitizer and runs the tests that exercise
-# the thread pool. Any data race in ParallelFor or a parallel kernel aborts
-# the run with a TSan report.
+# the thread pool and the inference server. Any data race in ParallelFor, a
+# parallel kernel, or the serve queue/batching path aborts the run with a
+# TSan report.
 #
 # Usage: tools/check_tsan.sh [extra ctest args...]
 set -euo pipefail
@@ -14,14 +15,15 @@ cmake -B "$BUILD_DIR" -DSKIPNODE_SANITIZE=thread \
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   parallel_test telemetry_test tensor_ops_test csr_matrix_test \
   spmm_transposed_parallel_test spmm_rowselect_test \
-  graph_ops_test optimizer_test trainer_test trainer_metrics_test
+  graph_ops_test optimizer_test trainer_test trainer_metrics_test \
+  frozen_model_test serve_concurrency_test
 
 # Force multi-threaded execution even on single-core hosts so the pool's
 # synchronisation actually gets exercised.
 export SKIPNODE_NUM_THREADS=4
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R \
-  '^(parallel_test|telemetry_test|tensor_ops_test|csr_matrix_test|spmm_transposed_parallel_test|spmm_rowselect_test|graph_ops_test|optimizer_test|trainer_test|trainer_metrics_test)$' \
+  '^(parallel_test|telemetry_test|tensor_ops_test|csr_matrix_test|spmm_transposed_parallel_test|spmm_rowselect_test|graph_ops_test|optimizer_test|trainer_test|trainer_metrics_test|frozen_model_test|serve_concurrency_test)$' \
   "$@"
 
 echo "TSan: no data races detected."

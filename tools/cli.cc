@@ -412,15 +412,9 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
   }
 
   // --- Report -------------------------------------------------------------
-  // The tape must outlive Penultimate()'s Var, so run the evaluation
-  // forward pass here instead of via EvaluateLogits.
-  Rng eval_rng(options.seed + 99);
-  Tape eval_tape;
-  StrategyContext eval_ctx(*graph, strategy, /*training=*/false, eval_rng);
-  const Matrix& logits =
-      model->Forward(eval_tape, *graph, eval_ctx, /*training=*/false,
-                     eval_rng)
-          .value();
+  // Eval mode draws no randomness, so this is deterministic and
+  // Penultimate() is refreshed as an owned copy by the forward inside.
+  const Matrix logits = EvaluateLogits(*model, *graph, strategy);
   std::fprintf(out, "best val accuracy : %.2f%% (epoch %d)\n",
                100.0 * result.best_val_accuracy, result.best_epoch);
   std::fprintf(out, "test accuracy     : %.2f%%\n",
@@ -429,7 +423,7 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
                MacroF1(logits, graph->labels(), split.test,
                        graph->num_classes()));
   std::fprintf(out, "penultimate MAD   : %.4f\n",
-               MeanAverageDistance(*graph, model->Penultimate().value()));
+               MeanAverageDistance(*graph, model->Penultimate()));
 
   if (!options.save_dir.empty()) {
     if (!SaveModelParameters(*model, options.save_dir)) {

@@ -1,0 +1,294 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tools/serve_cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/telemetry.h"
+#include "graph/datasets.h"
+#include "graph/splits.h"
+#include "nn/model_factory.h"
+#include "serve/inference_server.h"
+#include "tensor/ops.h"
+#include "train/trainer.h"
+
+namespace skipnode {
+namespace {
+
+constexpr char kUsage[] = R"(skipnode_serve: frozen-model inference service.
+
+Model source:
+  --load-dir DIR        freeze from a skipnode_train --save-dir checkpoint
+                        (the manifest is validated against --model/--layers/
+                        --hidden before loading)
+  (no --load-dir)       train in-process for --epochs, then freeze
+Model / data:
+  --dataset NAME        built-in synthetic dataset          (default cora_like)
+  --scale F             dataset scale in (0, 1]             (default 1.0)
+  --seed N              RNG seed for data/init/training     (default 1)
+  --model NAME          GCN GAT ResGCN JKNet IncepGCN GCNII APPNP GPRGNN
+                        GRAND SGC                           (default SGC)
+  --layers N            convolution/propagation layers      (default 2)
+  --hidden N            hidden width                        (default 64)
+  --dropout F           training dropout rate               (default 0.5)
+  --strategy NAME       none dropedge dropnode pairnorm skipconn skipnode-u
+                        skipnode-b                          (default none)
+  --rate F              strategy sampling rate rho          (default 0.5)
+  --epochs N            training epochs before freezing     (default 50)
+Traffic:
+  --clients N           concurrent client threads           (default 4)
+  --requests N          requests per client                 (default 64)
+  --batch-ids N         node ids per request                (default 4)
+Server:
+  --workers N           server worker threads               (default 1)
+  --window-us N         batching window in microseconds; 0 disables
+                        coalescing                          (default 500)
+  --batch-rows N        soft cap on coalesced rows          (default 256)
+  --help                print this message
+)";
+
+struct ServeCliOptions {
+  std::string dataset = "cora_like";
+  double scale = 1.0;
+  uint64_t seed = 1;
+  std::string model = "SGC";
+  int layers = 2;
+  int hidden = 64;
+  float dropout = 0.5f;
+  std::string strategy = "none";
+  float rate = 0.5f;
+  int epochs = 50;
+  std::string load_dir;
+  int clients = 4;
+  int requests = 64;
+  int batch_ids = 4;
+  int workers = 1;
+  int window_us = 500;
+  int batch_rows = 256;
+};
+
+bool ParseFlags(int argc, const char* const* argv, ServeCliOptions* options,
+                std::FILE* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help") {
+      std::fputs(kUsage, out);
+      return false;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(out, "error: flag %s needs a value\n", flag.c_str());
+      return false;
+    }
+    const char* value = argv[++i];
+    if (flag == "--dataset") {
+      options->dataset = value;
+    } else if (flag == "--scale") {
+      options->scale = std::atof(value);
+    } else if (flag == "--seed") {
+      options->seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--model") {
+      options->model = value;
+    } else if (flag == "--layers") {
+      options->layers = std::atoi(value);
+    } else if (flag == "--hidden") {
+      options->hidden = std::atoi(value);
+    } else if (flag == "--dropout") {
+      options->dropout = static_cast<float>(std::atof(value));
+    } else if (flag == "--strategy") {
+      options->strategy = value;
+    } else if (flag == "--rate") {
+      options->rate = static_cast<float>(std::atof(value));
+    } else if (flag == "--epochs") {
+      options->epochs = std::atoi(value);
+    } else if (flag == "--load-dir") {
+      options->load_dir = value;
+    } else if (flag == "--clients") {
+      options->clients = std::atoi(value);
+    } else if (flag == "--requests") {
+      options->requests = std::atoi(value);
+    } else if (flag == "--batch-ids") {
+      options->batch_ids = std::atoi(value);
+    } else if (flag == "--workers") {
+      options->workers = std::atoi(value);
+    } else if (flag == "--window-us") {
+      options->window_us = std::atoi(value);
+    } else if (flag == "--batch-rows") {
+      options->batch_rows = std::atoi(value);
+    } else {
+      std::fprintf(out, "error: unknown flag %s (try --help)\n",
+                   flag.c_str());
+      return false;
+    }
+  }
+  if (options->clients < 1 || options->requests < 1 ||
+      options->batch_ids < 1) {
+    std::fprintf(out, "error: --clients/--requests/--batch-ids must be >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+bool MakeStrategy(const std::string& name, float rate,
+                  StrategyConfig* strategy, std::FILE* out) {
+  if (name == "none") {
+    *strategy = StrategyConfig::None();
+  } else if (name == "dropedge") {
+    *strategy = StrategyConfig::DropEdge(rate);
+  } else if (name == "dropnode") {
+    *strategy = StrategyConfig::DropNode(rate);
+  } else if (name == "pairnorm") {
+    *strategy = StrategyConfig::PairNorm();
+  } else if (name == "skipconn") {
+    *strategy = StrategyConfig::SkipConnection();
+  } else if (name == "skipnode-u") {
+    *strategy = StrategyConfig::SkipNodeU(rate);
+  } else if (name == "skipnode-b") {
+    *strategy = StrategyConfig::SkipNodeB(rate);
+  } else {
+    std::fprintf(out, "error: unknown strategy '%s'\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool KnownModel(const std::string& name) {
+  for (const std::string& known : AllModelNames()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+std::vector<int> RequestIds(uint64_t seed, int client, int request, int count,
+                            int num_nodes) {
+  Rng rng(seed * 7919 + 131 * static_cast<uint64_t>(client) + request);
+  std::vector<int> ids(static_cast<size_t>(count));
+  for (int& id : ids) {
+    id = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(num_nodes)));
+  }
+  return ids;
+}
+
+}  // namespace
+
+int RunServeCli(int argc, const char* const* argv, std::FILE* out) {
+  ServeCliOptions options;
+  if (!ParseFlags(argc, argv, &options, out)) return 1;
+  if (!KnownModel(options.model)) {
+    std::fprintf(out, "error: unknown model '%s'\n", options.model.c_str());
+    return 1;
+  }
+  StrategyConfig strategy;
+  if (!MakeStrategy(options.strategy, options.rate, &strategy, out)) return 1;
+
+  const Graph graph =
+      BuildDatasetByName(options.dataset, options.scale, options.seed);
+  ModelConfig config;
+  config.in_dim = graph.feature_dim();
+  config.hidden_dim = options.hidden;
+  config.out_dim = graph.num_classes();
+  config.num_layers = options.layers;
+  config.dropout = options.dropout;
+
+  std::unique_ptr<FrozenModel> frozen;
+  if (!options.load_dir.empty()) {
+    frozen = std::make_unique<FrozenModel>(FrozenModel::FromCheckpoint(
+        options.load_dir, options.model, config, graph, strategy));
+    std::fprintf(out, "frozen %s from checkpoint %s\n",
+                 frozen->model_name().c_str(), options.load_dir.c_str());
+  } else {
+    Rng rng(options.seed);
+    auto model = MakeModel(options.model, config, rng);
+    Rng split_rng(options.seed);
+    const Split split = PublicSplit(
+        graph, 10, std::max(10, graph.num_nodes() / 10),
+        std::max(10, graph.num_nodes() / 10), split_rng);
+    const TrainResult trained = TrainNodeClassifier(
+        *model, graph, split, strategy,
+        {.options = {.epochs = options.epochs, .seed = options.seed}});
+    frozen = std::make_unique<FrozenModel>(
+        FrozenModel::Freeze(*model, graph, strategy));
+    std::fprintf(out, "trained %s for %d epochs (test acc %.1f%%), frozen\n",
+                 frozen->model_name().c_str(), trained.epochs_run,
+                 100.0 * trained.test_accuracy);
+  }
+  std::fprintf(out, "frozen model: %d nodes, %d classes, %s path\n",
+               frozen->num_nodes(), frozen->num_classes(),
+               frozen->has_linear_head() ? "linear-head" : "logit-gather");
+
+  InferenceServer server(*frozen,
+                         {.workers = options.workers,
+                          .max_batch_rows = options.batch_rows,
+                          .batch_window_us = options.window_us});
+  const int total_requests = options.clients * options.requests;
+  std::vector<int64_t> latencies_ns(static_cast<size_t>(total_requests), 0);
+  std::vector<int> mismatches(static_cast<size_t>(options.clients), 0);
+
+  const int64_t start_ns = MonotonicNanos();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(options.clients));
+  for (int c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < options.requests; ++r) {
+        const std::vector<int> ids =
+            RequestIds(options.seed, c, r, options.batch_ids,
+                       frozen->num_nodes());
+        const int64_t submit_ns = MonotonicNanos();
+        PredictionHandle handle = server.Submit(ids);
+        const Matrix& logits = handle.logits();
+        latencies_ns[static_cast<size_t>(c * options.requests + r)] =
+            MonotonicNanos() - submit_ns;
+        // Every served row must be bitwise the direct FrozenModel read.
+        if (MaxAbsDiff(logits, frozen->Logits(ids)) != 0.0f) {
+          ++mismatches[static_cast<size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const int64_t elapsed_ns = MonotonicNanos() - start_ns;
+  server.Shutdown();
+
+  const ServeStats stats = server.stats();
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  const auto percentile = [&](double p) {
+    const size_t index = std::min(
+        latencies_ns.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(latencies_ns.size())));
+    return static_cast<double>(latencies_ns[index]) / 1e3;
+  };
+  std::fprintf(out,
+               "served %lld requests (%lld rows) from %d clients in %.1f ms: "
+               "%.0f req/s\n",
+               static_cast<long long>(stats.requests),
+               static_cast<long long>(stats.rows), options.clients,
+               static_cast<double>(elapsed_ns) / 1e6,
+               1e9 * static_cast<double>(stats.requests) /
+                   static_cast<double>(elapsed_ns));
+  std::fprintf(out, "latency p50 %.0f us | p99 %.0f us\n", percentile(0.5),
+               percentile(0.99));
+  std::fprintf(out, "batches %lld (%.2f requests/batch, window %d us)\n",
+               static_cast<long long>(stats.batches),
+               static_cast<double>(stats.requests) /
+                   static_cast<double>(std::max<int64_t>(stats.batches, 1)),
+               options.window_us);
+
+  int total_mismatches = 0;
+  for (const int m : mismatches) total_mismatches += m;
+  if (total_mismatches > 0) {
+    std::fprintf(out, "verification FAILED: %d mismatched responses\n",
+                 total_mismatches);
+    return 1;
+  }
+  std::fprintf(out, "verification OK: every response bitwise matches the "
+                    "direct frozen-model read\n");
+  return 0;
+}
+
+}  // namespace skipnode

@@ -1,0 +1,30 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The `skipnode_serve` command-line tool, as a library so tests can drive
+// it directly. Freezes a model — either trained in-process or restored from
+// a `skipnode_train --save-dir` checkpoint — and serves deterministic
+// synthetic traffic through the InferenceServer, reporting throughput,
+// latency percentiles, and batching behaviour.
+//
+//   skipnode_serve --dataset cora_like --model SGC --layers 2 --epochs 30
+//       --clients 8 --requests 64 --window-us 500
+//   skipnode_serve --load-dir ckpt --model GCN --layers 4 ...
+//
+// Run with --help for the full flag list.
+
+#ifndef SKIPNODE_TOOLS_SERVE_CLI_H_
+#define SKIPNODE_TOOLS_SERVE_CLI_H_
+
+#include <cstdio>
+
+namespace skipnode {
+
+// Parses argv, runs the serving session, and writes human-readable results
+// to `out`. Returns a process exit code (0 on success, 1 on bad flags or a
+// served result that failed verification).
+int RunServeCli(int argc, const char* const* argv, std::FILE* out = stdout);
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_TOOLS_SERVE_CLI_H_

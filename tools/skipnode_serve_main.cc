@@ -1,0 +1,6 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tools/serve_cli.h"
+
+int main(int argc, char** argv) { return skipnode::RunServeCli(argc, argv); }

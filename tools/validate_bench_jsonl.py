@@ -14,6 +14,9 @@ DESIGN.md section 9, plus bench-specific invariants:
     spmm_t_masked over rho) with the rho=1.0 masked gather beating the
     unmasked one and spmm_t.rows_skipped > 0 at rho=0.5. Thread speedup is
     NOT hard-checked: CI hosts may be single-core.
+  * serve must show batched serving at 8 client threads reaching >= 2x the
+    one-request-at-a-time EvaluateLogits baseline throughput, with p50/p99
+    latency records present (the DESIGN section 11 acceptance signal).
 
 With --baseline, diffs the run against a committed baseline (filtered to
 BENCH_NAME): a (cell, metric) pair present in the baseline but missing from
@@ -150,6 +153,44 @@ def check_micro(path, records):
              f"spmm_t.rows_skipped telemetry")
 
 
+def check_serve(path, records):
+    """The serving-layer acceptance check (DESIGN section 11): batched
+    serving at 8 client threads must beat the one-request-at-a-time
+    EvaluateLogits baseline by >= 2x throughput. The margin is huge by
+    construction (the baseline re-runs the full forward per request, the
+    server reads precomputed tables), so 2x holds on any host."""
+    def throughput(cell, clients):
+        for r in records:
+            if r["cell"] == cell and r["metric"] == "throughput_rps" and \
+                    r["params"].get("clients") == clients:
+                return r["value"]
+        fail(f"{path}: serve emitted no {cell!r} throughput_rps record "
+             f"at clients={clients}")
+
+    baseline = throughput("eval_baseline", 1)
+    batched = throughput("serve", 8)
+    if baseline <= 0:
+        fail(f"{path}: eval_baseline throughput is not positive")
+    if batched < 2.0 * baseline:
+        fail(f"{path}: batched serving at 8 clients ({batched:.0f} req/s) "
+             f"did not reach 2x the EvaluateLogits baseline "
+             f"({baseline:.0f} req/s)")
+    for metric in ("p50_us", "p99_us"):
+        if not any(r["metric"] == metric and r["cell"] == "serve"
+                   for r in records):
+            fail(f"{path}: serve emitted no {metric} records")
+    # The baseline cell must actually be re-running the forward: its
+    # telemetry carries one serve.freeze per request.
+    for r in records:
+        if r["cell"] == "eval_baseline" and \
+                r["metric"] == "throughput_rps":
+            freeze = r["telemetry"].get("serve.freeze")
+            if freeze is None or freeze["count"] < \
+                    r["params"].get("requests", 1):
+                fail(f"{path}: eval_baseline telemetry does not show one "
+                     f"serve.freeze per request")
+
+
 def diff_against_baseline(path, records, baseline_path, bench_name):
     baseline = load_records(baseline_path, bench_name=bench_name)
     if not baseline:
@@ -210,6 +251,8 @@ def main():
         check_table8(path, records)
     if bench_name == "micro":
         check_micro(path, records)
+    if bench_name == "serve":
+        check_serve(path, records)
     if baseline_path is not None:
         diff_against_baseline(path, records, baseline_path, bench_name)
 
