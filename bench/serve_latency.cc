@@ -102,6 +102,95 @@ TrafficResult RunTraffic(const FrozenModel& frozen, int clients,
   return result;
 }
 
+struct OverloadResult {
+  double throughput_rps = 0.0;  // completed (ok) requests per second
+  double p99_us = 0.0;          // over completed requests only
+  double shed_rate = 0.0;       // rejected / submitted
+  double completion_rate = 0.0;
+  int64_t queue_peak = 0;
+};
+
+constexpr int kOverloadIds = 64;  // ids per overload request: service-heavy
+
+// Overload cell: burst open-loop traffic into a bounded queue. Every client
+// submits its whole request list back to back (id vectors precomputed, so
+// submission cost is negligible against the 64-row service cost), then
+// waits on its handles in submission order. Under the shed policies the
+// queue caps at `capacity` and overflow is rejected structurally; under
+// kBlock, Submit itself backpressures. No fault injection here — survivors'
+// latency must reflect the policy, not a planted stall (DESIGN §12).
+OverloadResult RunOverload(const FrozenModel& frozen, int clients,
+                           int requests_per_client, OverloadPolicy policy,
+                           int capacity) {
+  InferenceServer server(frozen, {.workers = 1,
+                                  .max_batch_rows = 256,
+                                  .batch_window_us = 0,
+                                  .max_queue_requests = capacity,
+                                  .overload_policy = policy});
+  const int total = clients * requests_per_client;
+  std::vector<std::vector<std::vector<int>>> ids(
+      static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    ids[static_cast<size_t>(c)].reserve(
+        static_cast<size_t>(requests_per_client));
+    for (int r = 0; r < requests_per_client; ++r) {
+      Rng rng(5077 + 131 * static_cast<uint64_t>(c) + r);
+      std::vector<int> request(kOverloadIds);
+      for (int& id : request) {
+        id = static_cast<int>(
+            rng.UniformInt(static_cast<uint64_t>(frozen.num_nodes())));
+      }
+      ids[static_cast<size_t>(c)].push_back(std::move(request));
+    }
+  }
+
+  std::vector<std::vector<int64_t>> ok_latencies_ns(
+      static_cast<size_t>(clients));
+  const int64_t start_ns = MonotonicNanos();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<PredictionHandle> handles;
+      std::vector<int64_t> submit_ns;
+      handles.reserve(static_cast<size_t>(requests_per_client));
+      submit_ns.reserve(static_cast<size_t>(requests_per_client));
+      for (int r = 0; r < requests_per_client; ++r) {
+        submit_ns.push_back(MonotonicNanos());
+        handles.push_back(
+            server.Submit(ids[static_cast<size_t>(c)][static_cast<size_t>(r)]));
+      }
+      for (int r = 0; r < requests_per_client; ++r) {
+        if (handles[static_cast<size_t>(r)].status() == ServeStatus::kOk) {
+          ok_latencies_ns[static_cast<size_t>(c)].push_back(
+              MonotonicNanos() - submit_ns[static_cast<size_t>(r)]);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const int64_t elapsed_ns = MonotonicNanos() - start_ns;
+  server.Shutdown();
+
+  std::vector<int64_t> completed_ns;
+  for (const auto& client_latencies : ok_latencies_ns) {
+    completed_ns.insert(completed_ns.end(), client_latencies.begin(),
+                        client_latencies.end());
+  }
+  const ServeStats stats = server.stats();
+  OverloadResult result;
+  result.throughput_rps = 1e9 * static_cast<double>(completed_ns.size()) /
+                          static_cast<double>(elapsed_ns);
+  result.p99_us =
+      completed_ns.empty() ? 0.0 : Percentile(completed_ns, 0.99);
+  result.shed_rate = static_cast<double>(stats.rejected) /
+                     static_cast<double>(total);
+  result.completion_rate = static_cast<double>(completed_ns.size()) /
+                           static_cast<double>(total);
+  result.queue_peak = stats.queue_peak;
+  return result;
+}
+
 // The one-request-at-a-time floor: each request re-runs the full eval-mode
 // forward (what every caller did before FrozenModel existed) and gathers
 // its rows from the fresh logits table.
@@ -220,12 +309,54 @@ void Main() {
     add_row("serve_nowindow", clients, 0, r);
   }
 
+  // Overload cells (DESIGN §12): burst traffic into a bounded queue, one
+  // cell per policy at a tight capacity plus one shed cell provisioned
+  // above the total load (the control: no request may shed below capacity).
+  ResultTable overload_table({"cell", "policy", "capacity", "req/s", "p99_us",
+                              "shed_rate", "completed", "queue_peak"});
+  std::printf("\n");
+  overload_table.StreamTo(stdout);
+  const int overload_clients = 8;
+  const int overload_per_client = bench::Pick(32, 128);
+  const int overload_total = overload_clients * overload_per_client;
+  const int tight_cap = 8;
+  const auto run_overload_cell = [&](OverloadPolicy policy, int capacity) {
+    bench::CellRecorder recorder("serve_overload");
+    recorder.Param("policy", OverloadPolicyName(policy))
+        .Param("capacity", capacity)
+        .Param("clients", overload_clients)
+        .Param("requests", overload_total);
+    const OverloadResult r = RunOverload(frozen, overload_clients,
+                                         overload_per_client, policy,
+                                         capacity);
+    recorder.Record("throughput_rps", r.throughput_rps);
+    recorder.Record("p99_us", r.p99_us);
+    recorder.Record("shed_rate", r.shed_rate);
+    recorder.Record("completion_rate", r.completion_rate);
+    recorder.Record("queue_peak", static_cast<double>(r.queue_peak));
+    overload_table.AddRow(
+        {"serve_overload", OverloadPolicyName(policy),
+         std::to_string(capacity), ResultTable::Cell(r.throughput_rps, 0),
+         ResultTable::Cell(r.p99_us, 0), ResultTable::Cell(r.shed_rate, 3),
+         ResultTable::Cell(r.completion_rate, 3),
+         std::to_string(r.queue_peak)});
+  };
+  run_overload_cell(OverloadPolicy::kBlock, tight_cap);
+  run_overload_cell(OverloadPolicy::kShedNewest, tight_cap);
+  run_overload_cell(OverloadPolicy::kShedOldest, tight_cap);
+  run_overload_cell(OverloadPolicy::kShedNewest, overload_total);
+
   std::printf(
       "\nExpected shape: the server amortises the precomputed tables, so "
       "every serve cell beats eval_baseline by orders of magnitude "
       "(baseline re-runs the full forward per request); with the window on "
       "req/batch grows with client pressure while p50 stays around the "
-      "window length.\n");
+      "window length. Overload: at capacity %d the shed policies keep "
+      "queue_peak bounded and reject the overflow (shed_rate > 0) so "
+      "survivors' p99 stays at most the block policy's (which completes "
+      "everything by backpressuring Submit); the above-capacity control "
+      "cell sheds nothing.\n",
+      tight_cap);
 }
 
 }  // namespace

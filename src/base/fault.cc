@@ -83,4 +83,41 @@ const char* FaultKindName(FaultKind kind) {
   return "?";
 }
 
+bool ServeFaultInjector::ShouldFire(ServeFaultSite site, int64_t batch_index) {
+  if (!plan_.enabled) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fired_ || site != plan_.site || batch_index != plan_.batch_index) {
+    return false;
+  }
+  fired_ = true;
+  events_.push_back(ServeFaultEvent{site, batch_index});
+  return true;
+}
+
+std::vector<ServeFaultEvent> ServeFaultInjector::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+bool ParseServeFaultSite(const std::string& name, ServeFaultSite* site) {
+  if (name == "serve-worker-stall" || name == "worker-stall") {
+    *site = ServeFaultSite::kWorkerStall;
+  } else if (name == "serve-batch-drop" || name == "batch-drop") {
+    *site = ServeFaultSite::kBatchDrop;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ServeFaultSiteName(ServeFaultSite site) {
+  switch (site) {
+    case ServeFaultSite::kWorkerStall:
+      return "serve-worker-stall";
+    case ServeFaultSite::kBatchDrop:
+      return "serve-batch-drop";
+  }
+  return "?";
+}
+
 }  // namespace skipnode

@@ -18,6 +18,7 @@
 #define SKIPNODE_BASE_FAULT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,70 @@ bool ParseFaultSite(const std::string& name, FaultSite* site);
 bool ParseFaultKind(const std::string& name, FaultKind* kind);
 const char* FaultSiteName(FaultSite site);
 const char* FaultKindName(FaultKind kind);
+
+// ---------------------------------------------------------------------------
+// Serve-side fault injection (DESIGN §12). The serving counterpart of the
+// training FaultPlan: where the trainer indexes faults by epoch, the server
+// indexes them by the worker's *formed-batch ordinal* (assigned under the
+// queue lock, so it is unique and totally ordered even with many workers).
+// Serve faults never corrupt a float — they exercise the overload and
+// structured-error paths (deadline expiry under a stalled worker, client
+// handling of a failed batch), so every affected request resolves with a
+// ServeStatus error and accepted requests stay bitwise exact.
+
+// Where in the serving path the fault strikes.
+enum class ServeFaultSite {
+  // The worker sleeps stall_us between forming a batch and the batch-close
+  // deadline check, so armed deadlines expire deterministically.
+  kWorkerStall,
+  // The worker fails the batch: every member resolves kRejected, nothing is
+  // computed.
+  kBatchDrop,
+};
+
+// A single scheduled serving fault. Default-constructed plans are disabled.
+struct ServeFaultPlan {
+  bool enabled = false;
+  ServeFaultSite site = ServeFaultSite::kWorkerStall;
+  // 0-based formed-batch ordinal at which the fault fires, once. Ordinals
+  // count every formed batch, including ones later dropped or expired.
+  int64_t batch_index = 0;
+  // kWorkerStall: how long the worker sleeps, in microseconds.
+  int stall_us = 0;
+};
+
+// Record of one fired serving fault.
+struct ServeFaultEvent {
+  ServeFaultSite site;
+  int64_t batch_index = 0;
+};
+
+// Executes a ServeFaultPlan at most once. Thread-safe: the server's worker
+// threads share one injector.
+class ServeFaultInjector {
+ public:
+  explicit ServeFaultInjector(const ServeFaultPlan& plan) : plan_(plan) {}
+
+  const ServeFaultPlan& plan() const { return plan_; }
+
+  // True exactly once, when `site` and `batch_index` match the armed plan;
+  // the fault is consumed by the call that returns true.
+  bool ShouldFire(ServeFaultSite site, int64_t batch_index);
+
+  // Every fault fired so far (at most one under the current plan shape).
+  std::vector<ServeFaultEvent> events() const;
+
+ private:
+  const ServeFaultPlan plan_;
+  mutable std::mutex mu_;
+  bool fired_ = false;
+  std::vector<ServeFaultEvent> events_;
+};
+
+// CLI / logging helpers. The parser accepts the canonical `serve-` prefixed
+// names ("serve-worker-stall", "serve-batch-drop") and the bare forms.
+bool ParseServeFaultSite(const std::string& name, ServeFaultSite* site);
+const char* ServeFaultSiteName(ServeFaultSite site);
 
 }  // namespace skipnode
 

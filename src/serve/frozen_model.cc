@@ -3,7 +3,9 @@
 
 #include "serve/frozen_model.h"
 
+#include <cstdio>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "autograd/tape.h"
@@ -39,15 +41,23 @@ FrozenModel FrozenModel::Freeze(Model& model, const Graph& graph,
   return frozen;
 }
 
-FrozenModel FrozenModel::FromCheckpoint(const std::string& directory,
-                                        const std::string& model_name,
-                                        const ModelConfig& config,
-                                        const Graph& graph,
-                                        const StrategyConfig& strategy) {
+std::unique_ptr<FrozenModel> FrozenModel::TryFromCheckpoint(
+    const std::string& directory, const std::string& model_name,
+    const ModelConfig& config, const Graph& graph,
+    const StrategyConfig& strategy, std::string* error) {
+  char message[512];
+  const auto fail = [&](const char* text) -> std::unique_ptr<FrozenModel> {
+    if (error != nullptr) *error = text;
+    return nullptr;
+  };
+
   std::vector<CheckpointEntry> entries;
-  SKIPNODE_CHECK_MSG(ReadCheckpointManifest(directory, &entries),
-                     "serve: no readable checkpoint manifest under '%s'",
-                     directory.c_str());
+  if (!ReadCheckpointManifest(directory, &entries)) {
+    std::snprintf(message, sizeof(message),
+                  "serve: no readable checkpoint manifest under '%s'",
+                  directory.c_str());
+    return fail(message);
+  }
   std::map<std::string, std::pair<int, int>> shapes;
   for (const CheckpointEntry& entry : entries) {
     shapes.emplace(entry.name, std::make_pair(entry.rows, entry.cols));
@@ -61,33 +71,57 @@ FrozenModel FrozenModel::FromCheckpoint(const std::string& directory,
   // Validate the manifest architecture against the requested ModelConfig
   // before any kernel sees a bad shape.
   const std::vector<Parameter*> parameters = model->Parameters();
-  SKIPNODE_CHECK_MSG(
-      parameters.size() == shapes.size(),
-      "serve: checkpoint '%s' holds %zu parameters but %s(layers=%d, "
-      "hidden=%d) has %zu — the saved model was a different architecture",
-      directory.c_str(), shapes.size(), model_name.c_str(), config.num_layers,
-      config.hidden_dim, parameters.size());
+  if (parameters.size() != shapes.size()) {
+    std::snprintf(
+        message, sizeof(message),
+        "serve: checkpoint '%s' holds %zu parameters but %s(layers=%d, "
+        "hidden=%d) has %zu — the saved model was a different architecture",
+        directory.c_str(), shapes.size(), model_name.c_str(),
+        config.num_layers, config.hidden_dim, parameters.size());
+    return fail(message);
+  }
   for (const Parameter* param : parameters) {
     const auto entry = shapes.find(param->name);
-    SKIPNODE_CHECK_MSG(
-        entry != shapes.end(),
-        "serve: checkpoint '%s' has no parameter '%s' — the saved model was "
-        "a different architecture than %s(layers=%d, hidden=%d)",
-        directory.c_str(), param->name.c_str(), model_name.c_str(),
-        config.num_layers, config.hidden_dim);
-    SKIPNODE_CHECK_MSG(
-        entry->second.first == param->value.rows() &&
-            entry->second.second == param->value.cols(),
-        "serve: checkpoint parameter '%s' is %dx%d but the requested "
-        "ModelConfig needs %dx%d — check --layers/--hidden/feature dims",
-        param->name.c_str(), entry->second.first, entry->second.second,
-        param->value.rows(), param->value.cols());
+    if (entry == shapes.end()) {
+      std::snprintf(
+          message, sizeof(message),
+          "serve: checkpoint '%s' has no parameter '%s' — the saved model "
+          "was a different architecture than %s(layers=%d, hidden=%d)",
+          directory.c_str(), param->name.c_str(), model_name.c_str(),
+          config.num_layers, config.hidden_dim);
+      return fail(message);
+    }
+    if (entry->second.first != param->value.rows() ||
+        entry->second.second != param->value.cols()) {
+      std::snprintf(
+          message, sizeof(message),
+          "serve: checkpoint parameter '%s' is %dx%d but the requested "
+          "ModelConfig needs %dx%d — check --layers/--hidden/feature dims",
+          param->name.c_str(), entry->second.first, entry->second.second,
+          param->value.rows(), param->value.cols());
+      return fail(message);
+    }
   }
-  SKIPNODE_CHECK_MSG(LoadModelParameters(*model, directory),
-                     "serve: checkpoint load from '%s' failed after the "
-                     "manifest validated — missing or corrupt parameter CSV",
-                     directory.c_str());
-  return Freeze(*model, graph, strategy);
+  if (!LoadModelParameters(*model, directory)) {
+    std::snprintf(message, sizeof(message),
+                  "serve: checkpoint load from '%s' failed after the "
+                  "manifest validated — missing or corrupt parameter CSV",
+                  directory.c_str());
+    return fail(message);
+  }
+  return std::make_unique<FrozenModel>(Freeze(*model, graph, strategy));
+}
+
+FrozenModel FrozenModel::FromCheckpoint(const std::string& directory,
+                                        const std::string& model_name,
+                                        const ModelConfig& config,
+                                        const Graph& graph,
+                                        const StrategyConfig& strategy) {
+  std::string error;
+  std::unique_ptr<FrozenModel> frozen = TryFromCheckpoint(
+      directory, model_name, config, graph, strategy, &error);
+  SKIPNODE_CHECK_MSG(frozen != nullptr, "%s", error.c_str());
+  return std::move(*frozen);
 }
 
 Matrix FrozenModel::Logits(const std::vector<int>& node_ids) const {

@@ -21,6 +21,7 @@
 #ifndef SKIPNODE_SERVE_FROZEN_MODEL_H_
 #define SKIPNODE_SERVE_FROZEN_MODEL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,17 @@ class FrozenModel {
                                     const ModelConfig& config,
                                     const Graph& graph,
                                     const StrategyConfig& strategy);
+
+  // Non-aborting FromCheckpoint: returns nullptr and fills *error (when
+  // non-null) instead of aborting when `directory` holds no valid
+  // checkpoint for this architecture — missing/corrupt manifest,
+  // parameter-set or shape mismatch, or a corrupt parameter CSV. This is
+  // the hot-swap candidate-validation path (DESIGN §12): a watcher must
+  // reject a bad checkpoint without disturbing serving.
+  static std::unique_ptr<FrozenModel> TryFromCheckpoint(
+      const std::string& directory, const std::string& model_name,
+      const ModelConfig& config, const Graph& graph,
+      const StrategyConfig& strategy, std::string* error);
 
   // Logits for the requested nodes, one row per id, in request order.
   // Repeated ids are allowed. Ids must be in [0, num_nodes()).

@@ -2,18 +2,31 @@
 // Licensed under the Apache License, Version 2.0.
 //
 // InferenceServer: concurrent batched serving over a FrozenModel
-// (DESIGN §11). Clients Submit() node-id requests from any number of
-// threads; worker threads pull them off an MPMC queue, coalesce whatever is
-// queued within a max-latency batching window (plus whatever arrives before
-// it closes) into one row-sliced kernel call, and fulfil each request's
-// PredictionHandle.
+// (DESIGN §11), hardened for overload (DESIGN §12). Clients Submit()
+// node-id requests from any number of threads; worker threads pull them off
+// an MPMC queue, coalesce whatever is queued within a max-latency batching
+// window (plus whatever arrives before it closes) into one row-sliced
+// kernel call, and fulfil each request's PredictionHandle.
 //
-// Determinism: a request's logits are bitwise independent of the batch it
-// lands in, the arrival order, the worker count, and the window setting,
-// because FrozenModel::Logits is row-wise exact (frozen_model.h). Batching
-// only changes latency and kernel-call count, never a number. With
-// batch_window_us == 0 every request is its own batch, so
-// stats().batches == stats().requests exactly.
+// Robustness contract (DESIGN §12): no input reachable from Submit() can
+// abort the server. Invalid node ids, empty id lists, post-Shutdown
+// submits, queue-full sheds, and expired deadlines all resolve the handle
+// with a structured ServeStatus instead of a SKIPNODE_CHECK failure. The
+// request queue is bounded by ServeOptions::max_queue_requests under a
+// pluggable OverloadPolicy, and per-request deadlines are checked at
+// dequeue and at batch close. SwapModel() retargets serving to a new
+// FrozenModel snapshot with zero downtime: each batch captures the
+// snapshot pointer exactly once, at batch formation under the queue lock
+// (the swap linearization point), so every response is computed entirely
+// from one snapshot and in-flight batches finish on the old model.
+//
+// Determinism: an *accepted* request's logits are bitwise independent of
+// the batch it lands in, the arrival order, the worker count, the window
+// setting, the queue cap, the policy, and any deadline, because
+// FrozenModel::Logits is row-wise exact (frozen_model.h). Admission and
+// expiry decide only *whether* a request is served, never what its numbers
+// are. With batch_window_us == 0 and no failures every request is its own
+// batch, so stats().batches == stats().requests exactly.
 
 #ifndef SKIPNODE_SERVE_INFERENCE_SERVER_H_
 #define SKIPNODE_SERVE_INFERENCE_SERVER_H_
@@ -26,10 +39,34 @@
 #include <thread>
 #include <vector>
 
+#include "base/fault.h"
 #include "serve/frozen_model.h"
 #include "tensor/matrix.h"
 
 namespace skipnode {
+
+// Terminal state of one submitted request (or of the handle itself).
+enum class ServeStatus {
+  kInvalid,           // default-constructed handle; no request behind it
+  kOk,                // served; logits()/classes() carry the result
+  kRejected,          // shed by the overload policy or a dropped batch
+  kDeadlineExceeded,  // expired before its batch was computed
+  kInvalidArgument,   // empty id list or an id outside [0, num_nodes())
+  kShutdown,          // submitted after Shutdown()
+};
+
+const char* ServeStatusName(ServeStatus status);
+
+// What Submit() does when the queue already holds max_queue_requests.
+enum class OverloadPolicy {
+  kBlock,       // backpressure: Submit blocks until space or Shutdown
+  kShedNewest,  // reject the incoming request (kRejected)
+  kShedOldest,  // reject the oldest queued request, admit the new one
+};
+
+// Parses "block" / "shed-newest" / "shed-oldest"; false on unknown names.
+bool ParseOverloadPolicy(const std::string& name, OverloadPolicy* policy);
+const char* OverloadPolicyName(OverloadPolicy policy);
 
 struct ServeOptions {
   // Worker threads pulling from the request queue (>= 1).
@@ -40,25 +77,50 @@ struct ServeOptions {
   // Max time a worker holds an open batch waiting for more requests.
   // 0 disables coalescing: one request per batch.
   int batch_window_us = 0;
+  // Admission control: max requests queued at once; 0 means unbounded.
+  int max_queue_requests = 0;
+  // What Submit does when the queue is full (ignored while unbounded).
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  // Deadline applied to requests submitted without an explicit one, in
+  // microseconds from Submit; 0 means no deadline.
+  int64_t default_deadline_us = 0;
+  // Deterministic serving fault (base/fault.h); disabled by default.
+  ServeFaultPlan fault;
 };
 
 // Aggregate counters since construction. Reads are consistent snapshots.
 struct ServeStats {
-  int64_t requests = 0;  // submitted
-  int64_t batches = 0;   // kernel calls issued
+  int64_t requests = 0;  // Submit() calls, whatever their outcome
+  int64_t batches = 0;   // kernel calls issued (computed batches only)
   int64_t rows = 0;      // logit rows computed
+  // Failure-path accounting. requests == served + rejected +
+  // deadline_exceeded + invalid (+ still-queued/in-flight at read time).
+  int64_t rejected = 0;           // kRejected + kShutdown resolutions
+  int64_t deadline_exceeded = 0;  // kDeadlineExceeded resolutions
+  int64_t invalid = 0;            // kInvalidArgument resolutions
+  int64_t swaps = 0;              // SwapModel() calls
+  int64_t queue_peak = 0;         // high-water mark of queued requests
+  int64_t queue_depth = 0;        // queued requests right now
 };
 
 // Blocking handle to one submitted request. Copyable; all copies share the
-// result. logits()/classes() block until the server fulfils the request and
-// stay valid after the server is destroyed.
+// result. status()/logits()/classes() block until the server resolves the
+// request and stay valid after the server is destroyed. A
+// default-constructed handle reports status() == kInvalid without blocking;
+// calling logits()/classes() on it is a contract violation and aborts.
 class PredictionHandle {
  public:
   PredictionHandle() = default;
 
-  // One row per requested node id, in request order.
+  // Terminal status of the request. kInvalid immediately when !valid();
+  // otherwise blocks until the server resolves the request.
+  ServeStatus status() const;
+  bool ok() const { return status() == ServeStatus::kOk; }
+
+  // One row per requested node id, in request order. Empty (0x0) unless
+  // status() == kOk.
   const Matrix& logits() const;
-  // Argmax class per requested node id.
+  // Argmax class per requested node id. Empty unless status() == kOk.
   const std::vector<int>& classes() const;
   bool valid() const { return slot_ != nullptr; }
 
@@ -69,6 +131,7 @@ class PredictionHandle {
     std::mutex mu;
     std::condition_variable cv;
     bool ready = false;
+    ServeStatus status = ServeStatus::kOk;
     Matrix logits;
     std::vector<int> classes;
   };
@@ -81,37 +144,69 @@ class PredictionHandle {
 
 class InferenceServer {
  public:
-  // Starts options.workers threads immediately. `model` must outlive the
-  // server.
+  // Starts options.workers threads immediately over `model` (never null).
+  explicit InferenceServer(std::shared_ptr<const FrozenModel> model,
+                           const ServeOptions& options);
+  // Non-owning convenience overload: `model` must outlive the server.
   InferenceServer(const FrozenModel& model, const ServeOptions& options);
   ~InferenceServer();  // Shutdown().
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  // Enqueues a request from any thread. Ids must be in
-  // [0, model.num_nodes()). Must not be called after Shutdown().
-  PredictionHandle Submit(std::vector<int> node_ids);
+  // Enqueues a request from any thread and returns a handle that always
+  // resolves — to kOk rows bitwise identical to FrozenModel::Logits, or to
+  // a structured error (see ServeStatus). `deadline_us` bounds how long the
+  // request may wait before its batch is computed (measured from this
+  // call); 0 applies ServeOptions::default_deadline_us. Under the kBlock
+  // policy this call blocks while the queue is full. Safe to call at any
+  // time, including after Shutdown() (resolves kShutdown).
+  PredictionHandle Submit(std::vector<int> node_ids, int64_t deadline_us = 0);
 
-  // Drains every queued request, then joins the workers. Idempotent.
+  // Atomically retargets serving to `model` (never null). Batches formed
+  // after this returns use the new snapshot; in-flight batches finish on
+  // the one they captured at formation. Queued requests whose ids fall
+  // outside the new snapshot resolve kInvalidArgument at compute time.
+  void SwapModel(std::shared_ptr<const FrozenModel> model);
+
+  // The snapshot new batches would use right now.
+  std::shared_ptr<const FrozenModel> model_snapshot() const;
+
+  // Drains every queued request, then joins the workers. Queued requests
+  // are still resolved (kOk, or kDeadlineExceeded once expired); blocked
+  // submitters resolve kShutdown. Idempotent.
   void Shutdown();
 
   ServeStats stats() const;
 
+  // Serving faults fired so far (base/fault.h; at most one per plan).
+  std::vector<ServeFaultEvent> fault_events() const {
+    return fault_.events();
+  }
+
  private:
   struct Request {
     std::vector<int> node_ids;
+    int64_t deadline_ns = 0;  // absolute MonotonicNanos; 0 = none
     std::shared_ptr<PredictionHandle::ResultSlot> slot;
   };
 
+  // Resolves a slot with a terminal error status and wakes its waiters.
+  static void ResolveError(const std::shared_ptr<PredictionHandle::ResultSlot>&
+                               slot,
+                           ServeStatus status);
+
   void WorkerLoop();
 
-  const FrozenModel& model_;
   const ServeOptions options_;
+  ServeFaultInjector fault_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        // queue became non-empty / stopping
+  std::condition_variable space_cv_;  // queue gained space / stopping
+  std::shared_ptr<const FrozenModel> model_;  // current snapshot
   std::deque<Request> queue_;
+  int64_t batches_formed_ = 0;  // fault-injection ordinal
   bool stopping_ = false;
   ServeStats stats_;
 

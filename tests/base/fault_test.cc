@@ -100,5 +100,54 @@ TEST(FaultTest, ParseAndNameRoundTrip) {
   EXPECT_FALSE(ParseFaultKind("zero", &kind));
 }
 
+ServeFaultPlan ArmedServePlan() {
+  ServeFaultPlan plan;
+  plan.enabled = true;
+  plan.site = ServeFaultSite::kBatchDrop;
+  plan.batch_index = 2;
+  return plan;
+}
+
+TEST(ServeFaultTest, DisabledPlanNeverFires) {
+  ServeFaultInjector injector(ServeFaultPlan{});
+  for (int64_t batch = 0; batch < 10; ++batch) {
+    EXPECT_FALSE(injector.ShouldFire(ServeFaultSite::kWorkerStall, batch));
+    EXPECT_FALSE(injector.ShouldFire(ServeFaultSite::kBatchDrop, batch));
+  }
+  EXPECT_TRUE(injector.events().empty());
+}
+
+TEST(ServeFaultTest, FiresOnceAtItsSiteAndBatchOnly) {
+  ServeFaultInjector injector(ArmedServePlan());
+  EXPECT_FALSE(injector.ShouldFire(ServeFaultSite::kBatchDrop, 1));
+  EXPECT_FALSE(injector.ShouldFire(ServeFaultSite::kWorkerStall, 2));
+  EXPECT_TRUE(injector.ShouldFire(ServeFaultSite::kBatchDrop, 2));
+  // One-shot: consumed on the first fire.
+  EXPECT_FALSE(injector.ShouldFire(ServeFaultSite::kBatchDrop, 2));
+  ASSERT_EQ(injector.events().size(), 1u);
+  EXPECT_EQ(injector.events().front().site, ServeFaultSite::kBatchDrop);
+  EXPECT_EQ(injector.events().front().batch_index, 2);
+}
+
+TEST(ServeFaultTest, ParseAcceptsPrefixedAndBareNames) {
+  ServeFaultSite site;
+  ASSERT_TRUE(ParseServeFaultSite("serve-worker-stall", &site));
+  EXPECT_EQ(site, ServeFaultSite::kWorkerStall);
+  ASSERT_TRUE(ParseServeFaultSite("worker-stall", &site));
+  EXPECT_EQ(site, ServeFaultSite::kWorkerStall);
+  ASSERT_TRUE(ParseServeFaultSite("serve-batch-drop", &site));
+  EXPECT_EQ(site, ServeFaultSite::kBatchDrop);
+  ASSERT_TRUE(ParseServeFaultSite("batch-drop", &site));
+  EXPECT_EQ(site, ServeFaultSite::kBatchDrop);
+  EXPECT_FALSE(ParseServeFaultSite("gradient", &site));
+  // Canonical names round-trip through the parser.
+  for (const auto s :
+       {ServeFaultSite::kWorkerStall, ServeFaultSite::kBatchDrop}) {
+    ServeFaultSite parsed;
+    ASSERT_TRUE(ParseServeFaultSite(ServeFaultSiteName(s), &parsed));
+    EXPECT_EQ(parsed, s);
+  }
+}
+
 }  // namespace
 }  // namespace skipnode

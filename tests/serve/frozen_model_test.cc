@@ -164,6 +164,41 @@ TEST(FrozenModelTest, CheckpointRoundTripIsBitwise) {
   EXPECT_EQ(MaxAbsDiff(restored.Logits(ids), live.Logits(ids)), 0.0f);
 }
 
+TEST(FrozenModelTest, TryFromCheckpointLoadsBitwiseAndRejectsWithErrors) {
+  const std::string dir = ::testing::TempDir() + "frozen_try_roundtrip";
+  auto model = TrainedModel("GCN");
+  ASSERT_TRUE(SaveModelParameters(*model, dir));
+  const FrozenModel live =
+      FrozenModel::Freeze(*model, TestGraph(), StrategyConfig::None());
+
+  // Success path: bitwise the FromCheckpoint result, no error written.
+  std::string error = "unchanged";
+  std::unique_ptr<FrozenModel> restored = FrozenModel::TryFromCheckpoint(
+      dir, "GCN", SmallConfig(), TestGraph(), StrategyConfig::None(), &error);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(error, "unchanged");
+  EXPECT_EQ(MaxAbsDiff(restored->full_logits(), live.full_logits()), 0.0f);
+
+  // Failure paths return nullptr + a structured message, never abort.
+  EXPECT_EQ(FrozenModel::TryFromCheckpoint(
+                ::testing::TempDir() + "frozen_try_nowhere", "GCN",
+                SmallConfig(), TestGraph(), StrategyConfig::None(), &error),
+            nullptr);
+  EXPECT_NE(error.find("no readable checkpoint manifest"), std::string::npos);
+
+  ModelConfig deeper = SmallConfig();
+  deeper.num_layers = 5;
+  EXPECT_EQ(FrozenModel::TryFromCheckpoint(dir, "GCN", deeper, TestGraph(),
+                                           StrategyConfig::None(), &error),
+            nullptr);
+  EXPECT_NE(error.find("different architecture"), std::string::npos);
+
+  // A null error sink is allowed on every path.
+  EXPECT_EQ(FrozenModel::TryFromCheckpoint(dir, "GCN", deeper, TestGraph(),
+                                           StrategyConfig::None(), nullptr),
+            nullptr);
+}
+
 TEST(FrozenModelDeathTest, MismatchedArchitectureDiesWithClearMessage) {
   ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   const std::string dir = ::testing::TempDir() + "frozen_arch_mismatch";

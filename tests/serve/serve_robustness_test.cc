@@ -1,0 +1,484 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The serving robustness model (DESIGN §12): admission control under every
+// overload policy, per-request deadlines, structured ServeStatus errors for
+// every bad input, deterministic serve-side fault injection, and
+// zero-downtime hot-swap. The invariants pinned here: no input reachable
+// from Submit() aborts the server, every handle resolves, accepted requests
+// stay bitwise identical to FrozenModel::Logits, and across a SwapModel()
+// every response is attributable to exactly one snapshot. Runs under TSan
+// via tools/check_tsan.sh.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/datasets.h"
+#include "graph/splits.h"
+#include "nn/model_factory.h"
+#include "serve/inference_server.h"
+#include "tensor/ops.h"
+#include "train/trainer.h"
+
+namespace skipnode {
+namespace {
+
+Graph& TestGraph() {
+  static Graph* const kGraph =
+      new Graph(BuildDatasetByName("cornell_like", 1.0, 3));
+  return *kGraph;
+}
+
+// A smaller graph, for swap-shrinks-the-model coverage.
+Graph& SmallGraph() {
+  static Graph* const kGraph =
+      new Graph(BuildDatasetByName("cornell_like", 0.5, 3));
+  return *kGraph;
+}
+
+// Freezes an SGC trained on `graph` with `seed`; different seeds give
+// different logits, which is what snapshot attribution needs.
+std::shared_ptr<const FrozenModel> FreshModel(const Graph& graph,
+                                              uint64_t seed) {
+  ModelConfig config;
+  config.in_dim = graph.feature_dim();
+  config.hidden_dim = 8;
+  config.out_dim = graph.num_classes();
+  config.num_layers = 3;
+  config.dropout = 0.3f;
+  Rng rng(seed);
+  auto model = MakeModel("SGC", config, rng);
+  Rng split_rng(seed);
+  const Split split = RandomSplit(graph, 0.6, 0.2, split_rng);
+  TrainNodeClassifier(*model, graph, split, StrategyConfig::None(),
+                      {.options = {.epochs = 5, .seed = seed}});
+  return std::make_shared<const FrozenModel>(
+      FrozenModel::Freeze(*model, graph, StrategyConfig::None()));
+}
+
+const FrozenModel& TestModel() {
+  static const std::shared_ptr<const FrozenModel> kModel =
+      FreshModel(TestGraph(), 7);
+  return *kModel;
+}
+
+std::vector<int> RequestIds(int client, int request, int num_nodes) {
+  Rng rng(4000 + 17 * static_cast<uint64_t>(client) + request);
+  std::vector<int> ids(1 + static_cast<size_t>(rng.UniformInt(4)));
+  for (int& id : ids) {
+    id = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(num_nodes)));
+  }
+  return ids;
+}
+
+// Spins until the queue is empty — i.e. the single worker has dequeued
+// everything submitted so far (and, with a stall fault armed, is stalling).
+void WaitForDrainedQueue(const InferenceServer& server) {
+  while (server.stats().queue_depth > 0) {
+    std::this_thread::yield();
+  }
+}
+
+ServeFaultPlan StallPlan(int stall_us, int64_t batch_index = 0) {
+  ServeFaultPlan plan;
+  plan.enabled = true;
+  plan.site = ServeFaultSite::kWorkerStall;
+  plan.batch_index = batch_index;
+  plan.stall_us = stall_us;
+  return plan;
+}
+
+TEST(ServeRobustnessTest, DefaultHandleReportsInvalidWithoutBlocking) {
+  PredictionHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_EQ(handle.status(), ServeStatus::kInvalid);
+  EXPECT_FALSE(handle.ok());
+}
+
+TEST(ServeRobustnessDeathTest, DefaultHandleAccessorsAbortWithMessage) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  PredictionHandle handle;
+  EXPECT_DEATH(handle.logits(), "default-constructed");
+  EXPECT_DEATH(handle.classes(), "default-constructed");
+}
+
+TEST(ServeRobustnessTest, SubmitAfterShutdownResolvesShutdownDeterministically) {
+  const FrozenModel& model = TestModel();
+  InferenceServer server(model, {.workers = 2});
+  server.Shutdown();
+  for (int r = 0; r < 3; ++r) {
+    PredictionHandle handle = server.Submit(RequestIds(0, r, model.num_nodes()));
+    EXPECT_TRUE(handle.valid());
+    EXPECT_EQ(handle.status(), ServeStatus::kShutdown);
+    EXPECT_EQ(handle.logits().rows(), 0);
+    EXPECT_TRUE(handle.classes().empty());
+  }
+  EXPECT_EQ(server.stats().rejected, 3);
+}
+
+TEST(ServeRobustnessTest, BadInputsResolveInvalidArgumentAndServerSurvives) {
+  const FrozenModel& model = TestModel();
+  InferenceServer server(model, {.workers = 1});
+  EXPECT_EQ(server.Submit({}).status(), ServeStatus::kInvalidArgument);
+  EXPECT_EQ(server.Submit({-1}).status(), ServeStatus::kInvalidArgument);
+  EXPECT_EQ(server.Submit({0, model.num_nodes()}).status(),
+            ServeStatus::kInvalidArgument);
+  // The server is undisturbed: a good request still serves bitwise.
+  const std::vector<int> ids = RequestIds(1, 0, model.num_nodes());
+  PredictionHandle good = server.Submit(ids);
+  EXPECT_EQ(good.status(), ServeStatus::kOk);
+  EXPECT_EQ(MaxAbsDiff(good.logits(), model.Logits(ids)), 0.0f);
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.invalid, 3);
+  EXPECT_EQ(stats.requests, 4);
+}
+
+TEST(ServeRobustnessTest, ShedNewestBoundsQueueAndRejectsOverflow) {
+  const FrozenModel& model = TestModel();
+  constexpr int kCap = 4, kOverflow = 3;
+  ServeOptions options{.workers = 1,
+                       .max_queue_requests = kCap,
+                       .overload_policy = OverloadPolicy::kShedNewest};
+  options.fault = StallPlan(/*stall_us=*/200'000);
+  InferenceServer server(model, options);
+
+  // First request forms batch 0 and stalls the only worker for 200 ms;
+  // everything below happens well inside the stall.
+  std::vector<std::vector<int>> ids = {RequestIds(0, 0, model.num_nodes())};
+  std::vector<PredictionHandle> handles = {server.Submit(ids[0])};
+  WaitForDrainedQueue(server);
+  for (int r = 1; r <= kCap + kOverflow; ++r) {
+    ids.push_back(RequestIds(0, r, model.num_nodes()));
+    handles.push_back(server.Submit(ids.back()));
+  }
+  // The overflow sheds resolve immediately, newest first.
+  for (int r = kCap + 1; r <= kCap + kOverflow; ++r) {
+    EXPECT_EQ(handles[static_cast<size_t>(r)].status(),
+              ServeStatus::kRejected);
+  }
+  // The stalled request and the queued ones serve bitwise after the stall.
+  for (int r = 0; r <= kCap; ++r) {
+    ASSERT_EQ(handles[static_cast<size_t>(r)].status(), ServeStatus::kOk);
+    EXPECT_EQ(MaxAbsDiff(handles[static_cast<size_t>(r)].logits(),
+                         model.Logits(ids[static_cast<size_t>(r)])),
+              0.0f);
+  }
+  server.Shutdown();
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, kOverflow);
+  EXPECT_EQ(stats.queue_peak, kCap);
+  EXPECT_EQ(stats.deadline_exceeded, 0);
+  ASSERT_EQ(server.fault_events().size(), 1u);
+  EXPECT_EQ(server.fault_events()[0].site, ServeFaultSite::kWorkerStall);
+}
+
+TEST(ServeRobustnessTest, ShedOldestDropsQueueHeadAndAdmitsFreshRequests) {
+  const FrozenModel& model = TestModel();
+  constexpr int kCap = 4;
+  ServeOptions options{.workers = 1,
+                       .max_queue_requests = kCap,
+                       .overload_policy = OverloadPolicy::kShedOldest};
+  options.fault = StallPlan(/*stall_us=*/200'000);
+  InferenceServer server(model, options);
+
+  std::vector<std::vector<int>> ids = {RequestIds(1, 0, model.num_nodes())};
+  std::vector<PredictionHandle> handles = {server.Submit(ids[0])};
+  WaitForDrainedQueue(server);
+  for (int r = 1; r <= kCap + 2; ++r) {
+    ids.push_back(RequestIds(1, r, model.num_nodes()));
+    handles.push_back(server.Submit(ids.back()));
+  }
+  // Requests 1 and 2 were the oldest queued when 5 and 6 arrived.
+  EXPECT_EQ(handles[1].status(), ServeStatus::kRejected);
+  EXPECT_EQ(handles[2].status(), ServeStatus::kRejected);
+  for (const int r : {0, 3, 4, 5, 6}) {
+    ASSERT_EQ(handles[static_cast<size_t>(r)].status(), ServeStatus::kOk)
+        << "request " << r;
+    EXPECT_EQ(MaxAbsDiff(handles[static_cast<size_t>(r)].logits(),
+                         model.Logits(ids[static_cast<size_t>(r)])),
+              0.0f);
+  }
+  server.Shutdown();
+  EXPECT_EQ(server.stats().rejected, 2);
+  EXPECT_EQ(server.stats().queue_peak, kCap);
+}
+
+TEST(ServeRobustnessTest, BlockPolicyBackpressuresAndCompletesEverything) {
+  const FrozenModel& model = TestModel();
+  constexpr int kCap = 2, kRequests = 8;
+  ServeOptions options{.workers = 1,
+                       .max_queue_requests = kCap,
+                       .overload_policy = OverloadPolicy::kBlock};
+  options.fault = StallPlan(/*stall_us=*/100'000);
+  InferenceServer server(model, options);
+
+  std::vector<std::vector<int>> ids;
+  std::vector<PredictionHandle> handles(kRequests);
+  for (int r = 0; r < kRequests; ++r) {
+    ids.push_back(RequestIds(2, r, model.num_nodes()));
+  }
+  // Submit from a helper thread: with the worker stalled, Submit blocks
+  // once the queue holds kCap requests.
+  std::thread submitter([&] {
+    for (int r = 0; r < kRequests; ++r) {
+      handles[static_cast<size_t>(r)] = server.Submit(ids[static_cast<size_t>(r)]);
+    }
+  });
+  submitter.join();
+  for (int r = 0; r < kRequests; ++r) {
+    ASSERT_EQ(handles[static_cast<size_t>(r)].status(), ServeStatus::kOk);
+    EXPECT_EQ(MaxAbsDiff(handles[static_cast<size_t>(r)].logits(),
+                         model.Logits(ids[static_cast<size_t>(r)])),
+              0.0f);
+  }
+  server.Shutdown();
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_LE(stats.queue_peak, kCap);
+  EXPECT_EQ(stats.requests, kRequests);
+}
+
+TEST(ServeRobustnessTest, BlockedSubmitterResolvesShutdownOnShutdown) {
+  const FrozenModel& model = TestModel();
+  ServeOptions options{.workers = 1,
+                       .max_queue_requests = 1,
+                       .overload_policy = OverloadPolicy::kBlock};
+  options.fault = StallPlan(/*stall_us=*/200'000);
+  InferenceServer server(model, options);
+
+  const std::vector<int> ids = RequestIds(3, 0, model.num_nodes());
+  PredictionHandle stalled = server.Submit(ids);
+  WaitForDrainedQueue(server);
+  PredictionHandle queued = server.Submit(ids);  // fills the 1-slot queue
+  PredictionHandle blocked;
+  std::thread submitter([&] { blocked = server.Submit(ids); });
+  // Shutdown wakes the blocked submitter with a structured error; the
+  // stalled and queued requests still drain to kOk.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.Shutdown();
+  submitter.join();
+  EXPECT_EQ(blocked.status(), ServeStatus::kShutdown);
+  EXPECT_EQ(stalled.status(), ServeStatus::kOk);
+  EXPECT_EQ(queued.status(), ServeStatus::kOk);
+}
+
+TEST(ServeRobustnessTest, DeadlinesExpireAtDequeueAndAtBatchClose) {
+  const FrozenModel& model = TestModel();
+  ServeOptions options{.workers = 1};
+  options.fault = StallPlan(/*stall_us=*/100'000);
+  InferenceServer server(model, options);
+
+  // The first request rides batch 0 and expires at batch close (the stall
+  // outlasts its 5 ms deadline); the queued ones expire at dequeue.
+  constexpr int kExpiring = 6;
+  std::vector<PredictionHandle> handles;
+  handles.push_back(
+      server.Submit(RequestIds(4, 0, model.num_nodes()), /*deadline_us=*/5000));
+  WaitForDrainedQueue(server);
+  for (int r = 1; r < kExpiring; ++r) {
+    handles.push_back(server.Submit(RequestIds(4, r, model.num_nodes()),
+                                    /*deadline_us=*/5000));
+  }
+  for (const PredictionHandle& handle : handles) {
+    EXPECT_EQ(handle.status(), ServeStatus::kDeadlineExceeded);
+    EXPECT_EQ(handle.logits().rows(), 0);
+  }
+  // Deadline-free requests submitted afterwards serve normally.
+  const std::vector<int> ids = RequestIds(4, 100, model.num_nodes());
+  PredictionHandle good = server.Submit(ids);
+  EXPECT_EQ(good.status(), ServeStatus::kOk);
+  EXPECT_EQ(MaxAbsDiff(good.logits(), model.Logits(ids)), 0.0f);
+  server.Shutdown();
+  EXPECT_EQ(server.stats().deadline_exceeded, kExpiring);
+}
+
+TEST(ServeRobustnessTest, BatchDropFailsTheBatchStructurally) {
+  const FrozenModel& model = TestModel();
+  ServeOptions options{.workers = 1};
+  options.fault.enabled = true;
+  options.fault.site = ServeFaultSite::kBatchDrop;
+  options.fault.batch_index = 0;
+  InferenceServer server(model, options);
+
+  PredictionHandle dropped =
+      server.Submit(RequestIds(5, 0, model.num_nodes()));
+  EXPECT_EQ(dropped.status(), ServeStatus::kRejected);
+  // One-shot: later batches compute normally.
+  const std::vector<int> ids = RequestIds(5, 1, model.num_nodes());
+  PredictionHandle good = server.Submit(ids);
+  EXPECT_EQ(good.status(), ServeStatus::kOk);
+  EXPECT_EQ(MaxAbsDiff(good.logits(), model.Logits(ids)), 0.0f);
+  server.Shutdown();
+  EXPECT_EQ(server.stats().rejected, 1);
+  ASSERT_EQ(server.fault_events().size(), 1u);
+  EXPECT_EQ(server.fault_events()[0].site, ServeFaultSite::kBatchDrop);
+  EXPECT_EQ(server.fault_events()[0].batch_index, 0);
+}
+
+// Hot swap with a synchronization point: phase-1 traffic fully resolves on
+// snapshot A, then SwapModel(B), then phase-2 traffic — so attribution is
+// exact: phase 1 is bitwise A, phase 2 is bitwise B, at 1/4/8 workers.
+TEST(ServeRobustnessTest, HotSwapPhasesAreBitwisePerSnapshot) {
+  const auto a = FreshModel(TestGraph(), 7);
+  const auto b = FreshModel(TestGraph(), 11);
+  ASSERT_GT(MaxAbsDiff(a->full_logits(), b->full_logits()), 0.0f);
+  for (const int workers : {1, 4, 8}) {
+    InferenceServer server(a, {.workers = workers, .batch_window_us = 200});
+    const auto run_phase = [&](const FrozenModel& expect, int phase) {
+      constexpr int kClients = 4, kPerClient = 6;
+      std::vector<std::thread> threads;
+      std::vector<int> mismatches(kClients, 0);
+      for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+          for (int r = 0; r < kPerClient; ++r) {
+            const std::vector<int> ids =
+                RequestIds(100 * phase + c, r, expect.num_nodes());
+            PredictionHandle handle = server.Submit(ids);
+            if (handle.status() != ServeStatus::kOk ||
+                MaxAbsDiff(handle.logits(), expect.Logits(ids)) != 0.0f) {
+              ++mismatches[static_cast<size_t>(c)];
+            }
+          }
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      for (const int m : mismatches) EXPECT_EQ(m, 0) << workers << " workers";
+    };
+    run_phase(*a, /*phase=*/1);
+    server.SwapModel(b);
+    run_phase(*b, /*phase=*/2);
+    server.Shutdown();
+    EXPECT_EQ(server.stats().swaps, 1);
+  }
+}
+
+// Hot swap racing live traffic: every response must match exactly one of
+// the two snapshots, and per client the snapshot sequence is monotone
+// (batches are formed in submit order and the snapshot only moves forward).
+TEST(ServeRobustnessTest, HotSwapUnderConcurrentTrafficAttributable) {
+  const auto a = FreshModel(TestGraph(), 7);
+  const auto b = FreshModel(TestGraph(), 11);
+  for (const int workers : {1, 4, 8}) {
+    InferenceServer server(a, {.workers = workers, .batch_window_us = 300});
+    constexpr int kClients = 6, kPerClient = 20;
+    std::vector<std::thread> threads;
+    std::vector<int> failures(kClients, 0);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        bool saw_b = false;
+        for (int r = 0; r < kPerClient; ++r) {
+          const std::vector<int> ids = RequestIds(c, r, a->num_nodes());
+          PredictionHandle handle = server.Submit(ids);
+          if (handle.status() != ServeStatus::kOk) {
+            ++failures[static_cast<size_t>(c)];
+            continue;
+          }
+          const bool is_a = MaxAbsDiff(handle.logits(), a->Logits(ids)) == 0.0f;
+          const bool is_b = MaxAbsDiff(handle.logits(), b->Logits(ids)) == 0.0f;
+          if (!is_a && !is_b) ++failures[static_cast<size_t>(c)];
+          if (saw_b && !is_b) ++failures[static_cast<size_t>(c)];
+          if (is_b && !is_a) saw_b = true;
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    server.SwapModel(b);
+    for (std::thread& thread : threads) thread.join();
+    server.Shutdown();
+    for (const int f : failures) EXPECT_EQ(f, 0) << workers << " workers";
+    EXPECT_EQ(server.stats().swaps, 1);
+  }
+}
+
+TEST(ServeRobustnessTest, SwapToSmallerModelInvalidatesStaleIdsStructurally) {
+  const auto big = FreshModel(TestGraph(), 7);
+  const auto small = FreshModel(SmallGraph(), 7);
+  ASSERT_LT(small->num_nodes(), big->num_nodes());
+
+  ServeOptions options{.workers = 1};
+  options.fault = StallPlan(/*stall_us=*/100'000);
+  InferenceServer server(big, options);
+
+  // Batch 0 captures `big` at formation and stalls; the high-id request is
+  // admitted against `big`, but its batch forms after the swap to `small`,
+  // so it resolves kInvalidArgument at compute time instead of aborting.
+  const std::vector<int> first_ids = {0, 1};
+  PredictionHandle first = server.Submit(first_ids);
+  WaitForDrainedQueue(server);
+  const std::vector<int> stale_ids = {big->num_nodes() - 1};
+  PredictionHandle stale = server.Submit(stale_ids);
+  const std::vector<int> fresh_ids = {0};
+  PredictionHandle fresh = server.Submit(fresh_ids);
+  server.SwapModel(small);
+
+  EXPECT_EQ(first.status(), ServeStatus::kOk);
+  EXPECT_EQ(MaxAbsDiff(first.logits(), big->Logits(first_ids)), 0.0f);
+  EXPECT_EQ(stale.status(), ServeStatus::kInvalidArgument);
+  EXPECT_EQ(fresh.status(), ServeStatus::kOk);
+  EXPECT_EQ(MaxAbsDiff(fresh.logits(), small->Logits(fresh_ids)), 0.0f);
+  server.Shutdown();
+  EXPECT_EQ(server.stats().invalid, 1);
+}
+
+// Mixed good/bad traffic at 1/4/8 workers under a shed policy: every handle
+// resolves to some status, ok responses stay bitwise, the accounting
+// balances, and nothing aborts.
+TEST(ServeRobustnessTest, MixedTrafficAccountingBalancesAtManyWorkers) {
+  const FrozenModel& model = TestModel();
+  for (const int workers : {1, 4, 8}) {
+    InferenceServer server(model,
+                           {.workers = workers,
+                            .batch_window_us = 100,
+                            .max_queue_requests = 16,
+                            .overload_policy = OverloadPolicy::kShedNewest});
+    constexpr int kClients = 6, kPerClient = 12;
+    std::vector<std::thread> threads;
+    std::vector<int64_t> ok(kClients, 0), failed(kClients, 0),
+        bitwise_bad(kClients, 0);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int r = 0; r < kPerClient; ++r) {
+          std::vector<int> ids = RequestIds(c, r, model.num_nodes());
+          if (r % 4 == 1) ids = {};                      // invalid
+          if (r % 4 == 3) ids.push_back(-5);             // invalid
+          PredictionHandle handle = server.Submit(ids);
+          const ServeStatus status = handle.status();
+          if (status == ServeStatus::kOk) {
+            ++ok[static_cast<size_t>(c)];
+            if (MaxAbsDiff(handle.logits(), model.Logits(ids)) != 0.0f) {
+              ++bitwise_bad[static_cast<size_t>(c)];
+            }
+          } else {
+            ++failed[static_cast<size_t>(c)];
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    server.Shutdown();
+    int64_t total_ok = 0, total_failed = 0;
+    for (int c = 0; c < kClients; ++c) {
+      total_ok += ok[static_cast<size_t>(c)];
+      total_failed += failed[static_cast<size_t>(c)];
+      EXPECT_EQ(bitwise_bad[static_cast<size_t>(c)], 0);
+    }
+    const ServeStats stats = server.stats();
+    EXPECT_EQ(stats.requests, kClients * kPerClient);
+    EXPECT_EQ(stats.requests, total_ok + total_failed);
+    EXPECT_EQ(total_failed,
+              stats.rejected + stats.deadline_exceeded + stats.invalid);
+    EXPECT_EQ(stats.invalid, kClients * kPerClient / 2);
+    EXPECT_LE(stats.queue_peak, 16);
+  }
+}
+
+}  // namespace
+}  // namespace skipnode

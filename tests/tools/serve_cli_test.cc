@@ -4,9 +4,12 @@
 #include "tools/serve_cli.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -83,6 +86,107 @@ TEST(ServeCliTest, ServesFromTrainCliCheckpoint) {
   EXPECT_EQ(result.exit_code, 0) << result.output;
   EXPECT_NE(result.output.find("from checkpoint"), std::string::npos);
   EXPECT_NE(result.output.find("logit-gather path"), std::string::npos);
+  EXPECT_NE(result.output.find("verification OK"), std::string::npos);
+}
+
+TEST(ServeCliTest, RejectsUnknownPolicyAndFaultSite) {
+  CliResult result = RunTool({"--policy", "drop-everything"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("unknown policy"), std::string::npos);
+  result = RunTool({"--inject", "gradient"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("unknown serve fault site"), std::string::npos);
+}
+
+TEST(ServeCliTest, BurstTrafficUnderShedPolicyReportsStatusLine) {
+  const CliResult result = RunTool(
+      {"--dataset", "cornell_like", "--scale", "0.5", "--model", "SGC",
+       "--epochs", "3", "--clients", "4", "--requests", "8", "--burst",
+       "--queue-cap", "4", "--policy", "shed-newest", "--workers", "1",
+       "--window-us", "0"});
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("policy shed-newest"), std::string::npos);
+  EXPECT_NE(result.output.find("status: ok"), std::string::npos);
+  EXPECT_NE(result.output.find("verification OK"), std::string::npos);
+}
+
+TEST(ServeCliTest, StallInjectionWithDeadlinesExpiresRequests) {
+  const CliResult result = RunTool(
+      {"--dataset", "cornell_like", "--scale", "0.5", "--model", "SGC",
+       "--epochs", "3", "--clients", "2", "--requests", "6", "--workers", "1",
+       "--window-us", "0", "--inject", "serve-worker-stall", "--inject-batch",
+       "0", "--inject-stall-us", "50000", "--deadline-us", "5000"});
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("fault fired: serve-worker-stall at batch 0"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("verification OK"), std::string::npos);
+}
+
+// Trains two checkpoints of the same architecture with different seeds,
+// serves from the first, and hot-swaps to the second mid-traffic. Every ok
+// response must bitwise match one of the two snapshots.
+TEST(ServeCliTest, HotSwapFromCheckpointMidTraffic) {
+  const std::string dir_a = ::testing::TempDir() + "/serve_cli_swap_a";
+  const std::string dir_b = ::testing::TempDir() + "/serve_cli_swap_b";
+  const std::string train_out_path =
+      ::testing::TempDir() + "/serve_cli_swap_train.txt";
+  for (const auto& [dir, seed] :
+       {std::make_pair(dir_a, "1"), std::make_pair(dir_b, "9")}) {
+    std::vector<const char*> train_argv = {
+        "skipnode_train", "--dataset", "cornell_like", "--model",   "GCN",
+        "--layers",       "3",         "--epochs",     "3",         "--seed",
+        seed,             "--save-dir", dir.c_str()};
+    std::FILE* train_out = std::fopen(train_out_path.c_str(), "w");
+    ASSERT_NE(train_out, nullptr);
+    const int train_code = RunCli(static_cast<int>(train_argv.size()),
+                                  train_argv.data(), train_out);
+    std::fclose(train_out);
+    ASSERT_EQ(train_code, 0);
+  }
+
+  const CliResult result = RunTool(
+      {"--dataset", "cornell_like", "--model", "GCN", "--layers", "3",
+       "--load-dir", dir_a, "--swap-dir", dir_b, "--clients", "3",
+       "--requests", "32", "--window-us", "200"});
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("hot-swap: now serving checkpoint"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("swaps 1"), std::string::npos);
+  EXPECT_NE(result.output.find("verification OK"), std::string::npos);
+}
+
+TEST(ServeCliTest, HotSwapRejectsCorruptCandidateWithoutDowntime) {
+  const std::string good = ::testing::TempDir() + "/serve_cli_swap_good";
+  std::vector<const char*> train_argv = {
+      "skipnode_train", "--dataset", "cornell_like", "--model", "GCN",
+      "--layers",       "3",         "--epochs",     "3",       "--save-dir",
+      good.c_str()};
+  const std::string train_out_path =
+      ::testing::TempDir() + "/serve_cli_swap_good_train.txt";
+  std::FILE* train_out = std::fopen(train_out_path.c_str(), "w");
+  ASSERT_NE(train_out, nullptr);
+  ASSERT_EQ(RunCli(static_cast<int>(train_argv.size()), train_argv.data(),
+                   train_out),
+            0);
+  std::fclose(train_out);
+
+  // The candidate directory holds garbage instead of a checkpoint.
+  const std::string corrupt = ::testing::TempDir() + "/serve_cli_swap_corrupt";
+  std::remove((corrupt + "/manifest.txt").c_str());
+  std::ignore = std::system(("mkdir -p " + corrupt).c_str());
+  {
+    std::ofstream manifest(corrupt + "/manifest.txt");
+    manifest << "not a checkpoint\n";
+  }
+
+  const CliResult result = RunTool(
+      {"--dataset", "cornell_like", "--model", "GCN", "--layers", "3",
+       "--load-dir", good, "--swap-dir", corrupt, "--clients", "2",
+       "--requests", "8"});
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("hot-swap rejected:"), std::string::npos)
+      << result.output;
   EXPECT_NE(result.output.find("verification OK"), std::string::npos);
 }
 

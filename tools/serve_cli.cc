@@ -4,6 +4,7 @@
 #include "tools/serve_cli.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -46,11 +47,24 @@ Traffic:
   --clients N           concurrent client threads           (default 4)
   --requests N          requests per client                 (default 64)
   --batch-ids N         node ids per request                (default 4)
+  --burst               open-loop traffic: each client submits all its
+                        requests before waiting on any response
+  --deadline-us N       per-request deadline in microseconds; 0 = none
+                        (default 0)
 Server:
   --workers N           server worker threads               (default 1)
   --window-us N         batching window in microseconds; 0 disables
                         coalescing                          (default 500)
   --batch-rows N        soft cap on coalesced rows          (default 256)
+  --queue-cap N         max queued requests; 0 = unbounded  (default 0)
+  --policy NAME         block shed-newest shed-oldest       (default block)
+Hot swap / fault injection:
+  --swap-dir DIR        after traffic starts, validate the checkpoint at DIR
+                        (same --model/--layers/--hidden) and hot-swap to it;
+                        a corrupt candidate is rejected without downtime
+  --inject SITE         serve-worker-stall | serve-batch-drop
+  --inject-batch N      batch ordinal the fault fires at    (default 0)
+  --inject-stall-us N   stall length for serve-worker-stall (default 10000)
   --help                print this message
 )";
 
@@ -72,6 +86,14 @@ struct ServeCliOptions {
   int workers = 1;
   int window_us = 500;
   int batch_rows = 256;
+  int queue_cap = 0;
+  std::string policy = "block";
+  bool burst = false;
+  int64_t deadline_us = 0;
+  std::string swap_dir;
+  std::string inject_site;
+  int64_t inject_batch = 0;
+  int inject_stall_us = 10000;
 };
 
 bool ParseFlags(int argc, const char* const* argv, ServeCliOptions* options,
@@ -81,6 +103,10 @@ bool ParseFlags(int argc, const char* const* argv, ServeCliOptions* options,
     if (flag == "--help") {
       std::fputs(kUsage, out);
       return false;
+    }
+    if (flag == "--burst") {  // The one boolean flag: no value.
+      options->burst = true;
+      continue;
     }
     if (i + 1 >= argc) {
       std::fprintf(out, "error: flag %s needs a value\n", flag.c_str());
@@ -121,6 +147,20 @@ bool ParseFlags(int argc, const char* const* argv, ServeCliOptions* options,
       options->window_us = std::atoi(value);
     } else if (flag == "--batch-rows") {
       options->batch_rows = std::atoi(value);
+    } else if (flag == "--queue-cap") {
+      options->queue_cap = std::atoi(value);
+    } else if (flag == "--policy") {
+      options->policy = value;
+    } else if (flag == "--deadline-us") {
+      options->deadline_us = std::atoll(value);
+    } else if (flag == "--swap-dir") {
+      options->swap_dir = value;
+    } else if (flag == "--inject") {
+      options->inject_site = value;
+    } else if (flag == "--inject-batch") {
+      options->inject_batch = std::atoll(value);
+    } else if (flag == "--inject-stall-us") {
+      options->inject_stall_us = std::atoi(value);
     } else {
       std::fprintf(out, "error: unknown flag %s (try --help)\n",
                    flag.c_str());
@@ -196,9 +236,26 @@ int RunServeCli(int argc, const char* const* argv, std::FILE* out) {
   config.num_layers = options.layers;
   config.dropout = options.dropout;
 
-  std::unique_ptr<FrozenModel> frozen;
+  OverloadPolicy policy;
+  if (!ParseOverloadPolicy(options.policy, &policy)) {
+    std::fprintf(out, "error: unknown policy '%s'\n", options.policy.c_str());
+    return 1;
+  }
+  ServeFaultPlan fault;
+  if (!options.inject_site.empty()) {
+    fault.enabled = true;
+    if (!ParseServeFaultSite(options.inject_site, &fault.site)) {
+      std::fprintf(out, "error: unknown serve fault site '%s'\n",
+                   options.inject_site.c_str());
+      return 1;
+    }
+    fault.batch_index = options.inject_batch;
+    fault.stall_us = options.inject_stall_us;
+  }
+
+  std::shared_ptr<FrozenModel> frozen;
   if (!options.load_dir.empty()) {
-    frozen = std::make_unique<FrozenModel>(FrozenModel::FromCheckpoint(
+    frozen = std::make_shared<FrozenModel>(FrozenModel::FromCheckpoint(
         options.load_dir, options.model, config, graph, strategy));
     std::fprintf(out, "frozen %s from checkpoint %s\n",
                  frozen->model_name().c_str(), options.load_dir.c_str());
@@ -212,7 +269,7 @@ int RunServeCli(int argc, const char* const* argv, std::FILE* out) {
     const TrainResult trained = TrainNodeClassifier(
         *model, graph, split, strategy,
         {.options = {.epochs = options.epochs, .seed = options.seed}});
-    frozen = std::make_unique<FrozenModel>(
+    frozen = std::make_shared<FrozenModel>(
         FrozenModel::Freeze(*model, graph, strategy));
     std::fprintf(out, "trained %s for %d epochs (test acc %.1f%%), frozen\n",
                  frozen->model_name().c_str(), trained.epochs_run,
@@ -222,46 +279,122 @@ int RunServeCli(int argc, const char* const* argv, std::FILE* out) {
                frozen->num_nodes(), frozen->num_classes(),
                frozen->has_linear_head() ? "linear-head" : "logit-gather");
 
-  InferenceServer server(*frozen,
-                         {.workers = options.workers,
-                          .max_batch_rows = options.batch_rows,
-                          .batch_window_us = options.window_us});
+  ServeOptions serve_options{.workers = options.workers,
+                             .max_batch_rows = options.batch_rows,
+                             .batch_window_us = options.window_us,
+                             .max_queue_requests = options.queue_cap,
+                             .overload_policy = policy,
+                             .default_deadline_us = options.deadline_us};
+  serve_options.fault = fault;
+  InferenceServer server(frozen, serve_options);
+
+  // Hot-swap watcher: once traffic is in flight, validate the candidate
+  // checkpoint and retarget the server. A corrupt/mismatched candidate is
+  // rejected without disturbing serving. The outcome message is printed
+  // after the traffic report (stdio is not synchronised with the clients).
+  std::shared_ptr<FrozenModel> swapped;
+  std::string swap_report;
+  std::thread watcher;
+  if (!options.swap_dir.empty()) {
+    watcher = std::thread([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      std::string error;
+      std::unique_ptr<FrozenModel> candidate = FrozenModel::TryFromCheckpoint(
+          options.swap_dir, options.model, config, graph, strategy, &error);
+      if (candidate == nullptr) {
+        swap_report = "hot-swap rejected: " + error;
+        return;
+      }
+      swapped = std::move(candidate);
+      server.SwapModel(swapped);
+      swap_report = "hot-swap: now serving checkpoint " + options.swap_dir;
+    });
+  }
+
   const int total_requests = options.clients * options.requests;
+  std::vector<PredictionHandle> handles(static_cast<size_t>(total_requests));
   std::vector<int64_t> latencies_ns(static_cast<size_t>(total_requests), 0);
-  std::vector<int> mismatches(static_cast<size_t>(options.clients), 0);
 
   const int64_t start_ns = MonotonicNanos();
   std::vector<std::thread> clients;
   clients.reserve(static_cast<size_t>(options.clients));
   for (int c = 0; c < options.clients; ++c) {
     clients.emplace_back([&, c] {
+      const int base = c * options.requests;
+      std::vector<int64_t> submit_ns(static_cast<size_t>(options.requests));
       for (int r = 0; r < options.requests; ++r) {
         const std::vector<int> ids =
             RequestIds(options.seed, c, r, options.batch_ids,
                        frozen->num_nodes());
-        const int64_t submit_ns = MonotonicNanos();
-        PredictionHandle handle = server.Submit(ids);
-        const Matrix& logits = handle.logits();
-        latencies_ns[static_cast<size_t>(c * options.requests + r)] =
-            MonotonicNanos() - submit_ns;
-        // Every served row must be bitwise the direct FrozenModel read.
-        if (MaxAbsDiff(logits, frozen->Logits(ids)) != 0.0f) {
-          ++mismatches[static_cast<size_t>(c)];
+        submit_ns[static_cast<size_t>(r)] = MonotonicNanos();
+        handles[static_cast<size_t>(base + r)] = server.Submit(ids);
+        if (!options.burst) {
+          handles[static_cast<size_t>(base + r)].status();  // Closed loop.
+          latencies_ns[static_cast<size_t>(base + r)] =
+              MonotonicNanos() - submit_ns[static_cast<size_t>(r)];
+        }
+      }
+      if (options.burst) {
+        for (int r = 0; r < options.requests; ++r) {
+          handles[static_cast<size_t>(base + r)].status();
+          latencies_ns[static_cast<size_t>(base + r)] =
+              MonotonicNanos() - submit_ns[static_cast<size_t>(r)];
         }
       }
     });
   }
   for (std::thread& client : clients) client.join();
   const int64_t elapsed_ns = MonotonicNanos() - start_ns;
+  if (watcher.joinable()) watcher.join();
   server.Shutdown();
 
+  // Post-join verification: every kOk response must bitwise match one of
+  // the snapshots the server ever held (primary, or the swap candidate).
+  int64_t ok = 0, rejected = 0, deadline_exceeded = 0, invalid = 0;
+  int total_mismatches = 0;
+  std::vector<int64_t> ok_latencies_ns;
+  ok_latencies_ns.reserve(static_cast<size_t>(total_requests));
+  for (int c = 0; c < options.clients; ++c) {
+    for (int r = 0; r < options.requests; ++r) {
+      const PredictionHandle& handle =
+          handles[static_cast<size_t>(c * options.requests + r)];
+      switch (handle.status()) {
+        case ServeStatus::kOk: {
+          ++ok;
+          ok_latencies_ns.push_back(
+              latencies_ns[static_cast<size_t>(c * options.requests + r)]);
+          const std::vector<int> ids =
+              RequestIds(options.seed, c, r, options.batch_ids,
+                         frozen->num_nodes());
+          const bool matches_primary =
+              MaxAbsDiff(handle.logits(), frozen->Logits(ids)) == 0.0f;
+          const bool matches_swapped =
+              swapped != nullptr &&
+              MaxAbsDiff(handle.logits(), swapped->Logits(ids)) == 0.0f;
+          if (!matches_primary && !matches_swapped) ++total_mismatches;
+          break;
+        }
+        case ServeStatus::kDeadlineExceeded:
+          ++deadline_exceeded;
+          break;
+        case ServeStatus::kInvalidArgument:
+          ++invalid;
+          break;
+        default:
+          ++rejected;  // kRejected / kShutdown.
+          break;
+      }
+    }
+  }
+
   const ServeStats stats = server.stats();
-  std::sort(latencies_ns.begin(), latencies_ns.end());
+  std::sort(ok_latencies_ns.begin(), ok_latencies_ns.end());
   const auto percentile = [&](double p) {
+    if (ok_latencies_ns.empty()) return 0.0;
     const size_t index = std::min(
-        latencies_ns.size() - 1,
-        static_cast<size_t>(p * static_cast<double>(latencies_ns.size())));
-    return static_cast<double>(latencies_ns[index]) / 1e3;
+        ok_latencies_ns.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(ok_latencies_ns.size())));
+    return static_cast<double>(ok_latencies_ns[index]) / 1e3;
   };
   std::fprintf(out,
                "served %lld requests (%lld rows) from %d clients in %.1f ms: "
@@ -271,23 +404,37 @@ int RunServeCli(int argc, const char* const* argv, std::FILE* out) {
                static_cast<double>(elapsed_ns) / 1e6,
                1e9 * static_cast<double>(stats.requests) /
                    static_cast<double>(elapsed_ns));
-  std::fprintf(out, "latency p50 %.0f us | p99 %.0f us\n", percentile(0.5),
-               percentile(0.99));
+  std::fprintf(out, "latency p50 %.0f us | p99 %.0f us (ok responses)\n",
+               percentile(0.5), percentile(0.99));
   std::fprintf(out, "batches %lld (%.2f requests/batch, window %d us)\n",
                static_cast<long long>(stats.batches),
                static_cast<double>(stats.requests) /
                    static_cast<double>(std::max<int64_t>(stats.batches, 1)),
                options.window_us);
+  std::fprintf(out,
+               "status: ok %lld | rejected %lld | deadline %lld | "
+               "invalid %lld (policy %s, queue cap %d, peak %lld)\n",
+               static_cast<long long>(ok), static_cast<long long>(rejected),
+               static_cast<long long>(deadline_exceeded),
+               static_cast<long long>(invalid), OverloadPolicyName(policy),
+               options.queue_cap, static_cast<long long>(stats.queue_peak));
+  for (const ServeFaultEvent& event : server.fault_events()) {
+    std::fprintf(out, "fault fired: %s at batch %lld\n",
+                 ServeFaultSiteName(event.site),
+                 static_cast<long long>(event.batch_index));
+  }
+  if (!swap_report.empty()) {
+    std::fprintf(out, "%s (swaps %lld)\n", swap_report.c_str(),
+                 static_cast<long long>(stats.swaps));
+  }
 
-  int total_mismatches = 0;
-  for (const int m : mismatches) total_mismatches += m;
   if (total_mismatches > 0) {
     std::fprintf(out, "verification FAILED: %d mismatched responses\n",
                  total_mismatches);
     return 1;
   }
-  std::fprintf(out, "verification OK: every response bitwise matches the "
-                    "direct frozen-model read\n");
+  std::fprintf(out, "verification OK: every ok response bitwise matches a "
+                    "frozen-model snapshot\n");
   return 0;
 }
 

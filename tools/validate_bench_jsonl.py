@@ -17,6 +17,11 @@ DESIGN.md section 9, plus bench-specific invariants:
   * serve must show batched serving at 8 client threads reaching >= 2x the
     one-request-at-a-time EvaluateLogits baseline throughput, with p50/p99
     latency records present (the DESIGN section 11 acceptance signal).
+  * serve must also emit the serve_overload cells (DESIGN section 12): past
+    capacity the shed policies reject structurally (shed_rate > 0) with
+    queue_peak <= capacity and a survivor p99 no worse than the block
+    policy's; block and the above-capacity control cell shed nothing and
+    complete everything.
 
 With --baseline, diffs the run against a committed baseline (filtered to
 BENCH_NAME): a (cell, metric) pair present in the baseline but missing from
@@ -189,6 +194,60 @@ def check_serve(path, records):
                     r["params"].get("requests", 1):
                 fail(f"{path}: eval_baseline telemetry does not show one "
                      f"serve.freeze per request")
+
+    # Overload cells (DESIGN section 12): admission control must actually
+    # bound the queue and shed structurally past capacity, and only there.
+    def overload_cell(policy, tight):
+        by_metric = {}
+        for r in records:
+            if r["cell"] != "serve_overload" or \
+                    r["params"].get("policy") != policy:
+                continue
+            capacity = r["params"].get("capacity", 0)
+            requests = r["params"].get("requests", 0)
+            if tight != (capacity < requests):
+                continue
+            by_metric[r["metric"]] = r
+        if not by_metric:
+            fail(f"{path}: serve emitted no serve_overload cell for "
+                 f"policy={policy!r} ({'tight' if tight else 'ample'} "
+                 f"capacity)")
+        for metric in ("throughput_rps", "p99_us", "shed_rate",
+                       "completion_rate", "queue_peak"):
+            if metric not in by_metric:
+                fail(f"{path}: serve_overload policy={policy!r} cell is "
+                     f"missing metric {metric!r}")
+        capacity = by_metric["shed_rate"]["params"]["capacity"]
+        if by_metric["queue_peak"]["value"] > capacity:
+            fail(f"{path}: serve_overload policy={policy!r} queue_peak "
+                 f"{by_metric['queue_peak']['value']:.0f} exceeds the "
+                 f"capacity {capacity}")
+        return by_metric
+
+    block = overload_cell("block", tight=True)
+    if block["shed_rate"]["value"] != 0.0:
+        fail(f"{path}: the block policy shed requests "
+             f"(shed_rate={block['shed_rate']['value']})")
+    if block["completion_rate"]["value"] != 1.0:
+        fail(f"{path}: the block policy did not complete every request "
+             f"(completion_rate={block['completion_rate']['value']})")
+    shed_p99s = []
+    for policy in ("shed-newest", "shed-oldest"):
+        cell = overload_cell(policy, tight=True)
+        if cell["shed_rate"]["value"] <= 0.0:
+            fail(f"{path}: policy {policy!r} shed nothing past capacity "
+                 f"under burst load")
+        shed_p99s.append(cell["p99_us"]["value"])
+    # The point of shedding: survivors' tail latency is bounded by the
+    # queue cap, so the best shed policy cannot be worse than block's p99.
+    if min(shed_p99s) > block["p99_us"]["value"]:
+        fail(f"{path}: shedding did not bound p99 (best shed "
+             f"{min(shed_p99s):.0f} us vs block "
+             f"{block['p99_us']['value']:.0f} us)")
+    ample = overload_cell("shed-newest", tight=False)
+    if ample["shed_rate"]["value"] != 0.0:
+        fail(f"{path}: requests were shed below capacity "
+             f"(shed_rate={ample['shed_rate']['value']})")
 
 
 def diff_against_baseline(path, records, baseline_path, bench_name):
