@@ -1,0 +1,196 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The true-scale sweep (DESIGN §13): streams DC-SBM graphs straight into
+// CSR at 100k (smoke) / 1M (paper) nodes and trains full-batch GCNs on
+// them, recording wall time, the resident graph footprint, and the process
+// peak RSS. Two panels:
+//
+//   * stream_train — the headline memory cell: a dense high-degree synth
+//     graph is generated (no intermediate COO edge list) and trained for a
+//     few epochs. The first cell records rss_over_footprint =
+//     peak_rss / MemoryFootprintBytes(); the validator's check_scale rule
+//     holds it to <= 2x (the streaming-construction acceptance bound). It
+//     runs FIRST because ru_maxrss is a process-lifetime high-water mark —
+//     later, smaller cells cannot retroactively shrink it.
+//   * depth_sweep — nodes x layers x rho: a mid-sized graph trained at
+//     increasing depth with SkipNode off/on, exposing which kernels stop
+//     scaling first (per-kernel telemetry rides along in each JSONL
+//     record).
+//
+// The workspace pool is trimmed between cells so one cell's buffers don't
+// count against the next cell's budget.
+
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/telemetry.h"
+#include "bench_common.h"
+#include "tensor/pool.h"
+#include "train/optimizer.h"
+
+namespace skipnode {
+namespace {
+
+int64_t PeakRssBytes() {
+  struct rusage usage = {};
+  getrusage(RUSAGE_SELF, &usage);
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;
+}
+
+// Trains a GCN for `epochs` full-batch steps and returns the mean wall
+// time per epoch (ms). Dropout stays 0 at scale: the n x d mask and its
+// Hadamard copy would double the feature-sized working set for no
+// benchmarking value.
+double TrainMsPerEpoch(const Graph& graph, const Split& split,
+                       const StrategyConfig& strategy, int num_layers,
+                       int hidden, int epochs) {
+  ModelConfig config;
+  config.in_dim = graph.feature_dim();
+  config.hidden_dim = hidden;
+  config.out_dim = graph.num_classes();
+  config.num_layers = num_layers;
+  config.dropout = 0.0f;
+
+  Rng rng(3);
+  auto model = MakeModel("GCN", config, rng);
+  const std::vector<Parameter*> params = model->Parameters();
+  Adam optimizer(0.01f, 5e-4f);
+
+  const int64_t start_ns = MonotonicNanos();
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    Tape tape;
+    StrategyContext ctx(graph, strategy, /*training=*/true, rng);
+    Var logits = model->Forward(tape, graph, ctx, /*training=*/true, rng);
+    Var loss = tape.SoftmaxCrossEntropy(logits, graph.labels(), split.train);
+    Optimizer::ZeroGrad(params);
+    tape.Backward(loss);
+    optimizer.Step(params);
+  }
+  return static_cast<double>(MonotonicNanos() - start_ns) / 1e6 /
+         static_cast<double>(epochs);
+}
+
+struct StreamCellResult {
+  int64_t footprint_bytes = 0;
+  int64_t peak_rss_bytes = 0;
+  double ratio = 0.0;
+};
+
+// One generate-then-train cell on the streaming synth DC-SBM.
+StreamCellResult RunStreamTrainCell(int64_t nodes, double avg_degree,
+                                    int num_layers, int hidden, int epochs,
+                                    bool checked) {
+  bench::CellRecorder recorder("stream_train");
+  recorder.Param("nodes", nodes)
+      .Param("avg_degree", avg_degree)
+      .Param("layers", num_layers)
+      .Param("hidden", hidden)
+      .Param("epochs", epochs)
+      .Param("checked", checked ? 1 : 0);
+
+  DatasetRequest request;
+  request.name = "synth";
+  request.seed = 12;
+  request.nodes = nodes;
+  request.avg_degree = avg_degree;
+
+  const int64_t build_start_ns = MonotonicNanos();
+  Graph graph = DatasetRegistry::Global().Build(request);
+  const double build_ms =
+      static_cast<double>(MonotonicNanos() - build_start_ns) / 1e6;
+  recorder.Param("edges", static_cast<int64_t>(graph.num_edges()))
+      .Param("index_width", graph.normalized_adjacency()->index_width());
+  recorder.Record("build_ms", build_ms);
+
+  Rng split_rng(12);
+  Split split = PublicSplit(graph, 20, 300, 500, split_rng);
+  const double ms = TrainMsPerEpoch(graph, split, StrategyConfig::None(),
+                                    num_layers, hidden, epochs);
+  recorder.Record("ms_per_epoch", ms);
+
+  StreamCellResult result;
+  result.footprint_bytes = graph.MemoryFootprintBytes();
+  result.peak_rss_bytes = PeakRssBytes();
+  result.ratio = static_cast<double>(result.peak_rss_bytes) /
+                 static_cast<double>(result.footprint_bytes);
+  recorder.Record("footprint_bytes",
+                  static_cast<double>(result.footprint_bytes));
+  recorder.Record("peak_rss_bytes",
+                  static_cast<double>(result.peak_rss_bytes));
+  if (checked) {
+    // Only the first cell's high-water mark is attributable to one graph.
+    recorder.Record("rss_over_footprint", result.ratio);
+  }
+  return result;
+}
+
+void Main() {
+  bench::Begin("scale");
+
+  // --- Panel 1: the streaming-memory acceptance cell (must run first; see
+  // file comment). Degree is high by design: the budget is relative to the
+  // resident graph, so the adjacency has to outweigh the training
+  // working set (DESIGN §13 derives the bound).
+  const int64_t big_nodes = bench::Pick<int64_t>(100000, 1000000);
+  const double big_degree = bench::Pick(150.0, 100.0);
+  std::printf("stream_train: synth @ %lld nodes, avg degree %.0f\n",
+              static_cast<long long>(big_nodes), big_degree);
+  const StreamCellResult big = RunStreamTrainCell(
+      big_nodes, big_degree, /*num_layers=*/2, /*hidden=*/8,
+      /*epochs=*/bench::Pick(2, 3), /*checked=*/true);
+  std::printf(
+      "  footprint %.1f MB, peak RSS %.1f MB, ratio %.2f (budget 2.00)\n\n",
+      static_cast<double>(big.footprint_bytes) / 1e6,
+      static_cast<double>(big.peak_rss_bytes) / 1e6, big.ratio);
+  GlobalMatrixPool().Trim();
+
+  // --- Panel 2: depth x rho at a mid-sized graph (default degree 10).
+  const int64_t sweep_nodes = bench::Pick<int64_t>(20000, 250000);
+  const std::vector<int> depths =
+      bench::PaperScale() ? std::vector<int>{2, 8, 32}
+                          : std::vector<int>{2, 8, 16};
+  const int hidden = 16;
+  const int epochs = bench::Pick(2, 3);
+
+  DatasetRequest request;
+  request.name = "synth";
+  request.seed = 12;
+  request.nodes = sweep_nodes;
+  Graph graph = DatasetRegistry::Global().Build(request);
+  Rng split_rng(12);
+  Split split = PublicSplit(graph, 20, 300, 500, split_rng);
+  std::printf("depth_sweep: synth @ %lld nodes, layers x rho\n",
+              static_cast<long long>(sweep_nodes));
+
+  for (const int depth : depths) {
+    for (const float rho : {0.0f, 0.5f}) {
+      const StrategyConfig strategy =
+          rho > 0.0f ? StrategyConfig::SkipNodeU(rho) : StrategyConfig::None();
+      bench::CellRecorder recorder("depth_sweep");
+      recorder.Param("nodes", sweep_nodes)
+          .Param("layers", depth)
+          .Param("rho", static_cast<double>(rho))
+          .Param("hidden", hidden)
+          .Param("epochs", epochs);
+      const double ms =
+          TrainMsPerEpoch(graph, split, strategy, depth, hidden, epochs);
+      recorder.Record("ms_per_epoch", ms);
+      recorder.Record("peak_rss_bytes", static_cast<double>(PeakRssBytes()));
+      std::printf("  L=%-3d rho=%.1f  %.1f ms/epoch\n", depth, rho, ms);
+      GlobalMatrixPool().Trim();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skipnode
+
+int main() {
+  skipnode::Main();
+  return 0;
+}

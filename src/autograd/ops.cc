@@ -92,11 +92,13 @@ Var Tape::Sub(Var a, Var b) { return Axpby(a, b, 1.0f, -1.0f); }
 Var Tape::AddRowBroadcast(Var x, Var bias) {
   SKIPNODE_CHECK(x.tape_ == this && bias.tape_ == this);
   SKIPNODE_CHECK(bias.rows() == 1 && bias.cols() == x.cols());
-  Matrix value = x.value();
+  Matrix value = AcquireOutput(x.rows(), x.cols());
+  const Matrix& xv = x.value();
   const Matrix& bv = bias.value();
   for (int r = 0; r < value.rows(); ++r) {
+    const float* xr = xv.row(r);
     float* row = value.row(r);
-    for (int c = 0; c < value.cols(); ++c) row[c] += bv(0, c);
+    for (int c = 0; c < value.cols(); ++c) row[c] = xr[c] + bv(0, c);
   }
   Var out = Emplace(std::move(value));
   Tape* tape = this;
@@ -116,7 +118,8 @@ Var Tape::AddRowBroadcast(Var x, Var bias) {
 Var Tape::Axpby(Var a, Var b, float alpha, float beta) {
   SKIPNODE_CHECK(a.tape_ == this && b.tape_ == this);
   SKIPNODE_CHECK(a.value().SameShape(b.value()));
-  Matrix value = skipnode::Scale(a.value(), alpha);
+  Matrix value = AcquireOutput(a.rows(), a.cols());
+  ScaleInto(a.value(), alpha, value);
   AddScaled(b.value(), beta, value);
   Var out = Emplace(std::move(value));
   Tape* tape = this;
@@ -142,7 +145,9 @@ Var Tape::Scale(Var a, float s) {
 
 Var Tape::Relu(Var a) {
   SKIPNODE_CHECK(a.tape_ == this);
-  Var out = Emplace(skipnode::Relu(a.value()));
+  Matrix value = AcquireOutput(a.rows(), a.cols());
+  ReluInto(a.value(), value);
+  Var out = Emplace(std::move(value));
   Tape* tape = this;
   const int oi = out.index_, ai = a.index_;
   node(oi).backward = [tape, oi, ai]() {
@@ -162,7 +167,9 @@ Var Tape::Dropout(Var a, float rate, bool training, Rng& rng) {
   for (int64_t i = 0; i < mask.size(); ++i) {
     mask.data()[i] = rng.Bernoulli(rate) ? 0.0f : keep_scale;
   }
-  Var out = Emplace(Hadamard(a.value(), mask));
+  Matrix value = AcquireOutput(a.rows(), a.cols());
+  HadamardInto(a.value(), mask, value);
+  Var out = Emplace(std::move(value));
   Tape* tape = this;
   const int oi = out.index_, ai = a.index_;
   node(oi).backward = [tape, oi, ai, mask = std::move(mask)]() {

@@ -3,6 +3,7 @@
 
 #include "autograd/tape.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/check.h"
@@ -67,7 +68,13 @@ Var Tape::Leaf(Parameter& parameter) {
   return v;
 }
 
-Var Tape::Constant(Matrix value) { return Emplace(std::move(value)); }
+Var Tape::Constant(const Matrix& value) {
+  Matrix copy = AcquireOutput(value.rows(), value.cols());
+  std::copy_n(value.data(), value.size(), copy.data());
+  return Emplace(std::move(copy));
+}
+
+Var Tape::Constant(Matrix&& value) { return Emplace(std::move(value)); }
 
 Matrix& Tape::MutableValue(Var v) {
   SKIPNODE_CHECK(v.tape_ == this);

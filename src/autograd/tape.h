@@ -91,8 +91,11 @@ class Tape {
   // Leaf node bound to a trainable parameter; Backward() accumulates into
   // `parameter.grad`. The parameter must outlive the tape.
   Var Leaf(Parameter& parameter);
-  // Leaf with no gradient (inputs, labels-as-features, etc.).
-  Var Constant(Matrix value);
+  // Leaf with no gradient (inputs, labels-as-features, etc.). The copying
+  // overload stages the copy in a pool-acquired buffer so repeated steps
+  // recycle it instead of re-allocating feature-sized matrices each epoch.
+  Var Constant(const Matrix& value);
+  Var Constant(Matrix&& value);
 
   // --- Core ops ------------------------------------------------------------
 

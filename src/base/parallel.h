@@ -62,6 +62,15 @@ void ParallelForBalanced(int64_t n, const int* cost_prefix,
                          const std::function<void(int64_t, int64_t)>& fn,
                          int64_t min_cost_per_chunk = 1);
 
+// 64-bit-prefix overload for matrices whose offset arrays outgrow int (the
+// CsrMatrix wide-index path). Chunk boundaries for the same logical prefix
+// are identical across the two overloads — the split arithmetic is carried
+// out in int64_t either way — so a matrix produces the same row ownership
+// whether its offsets are stored narrow or wide.
+void ParallelForBalanced(int64_t n, const int64_t* cost_prefix,
+                         const std::function<void(int64_t, int64_t)>& fn,
+                         int64_t min_cost_per_chunk = 1);
+
 // Grain for SpMM-shaped kernels partitioned with ParallelForBalanced over a
 // CSR row_ptr: every stored entry costs `cols` inner-loop float ops, and a
 // chunk should amortise roughly 2^14 of them so pool dispatch never

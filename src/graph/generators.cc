@@ -117,6 +117,94 @@ PlantedPartitionGraph PlantedPartition(const PlantedPartitionConfig& config,
   return graph;
 }
 
+DcSbmPlan PlanDcSbm(const PlantedPartitionConfig& config, Rng& rng) {
+  SKIPNODE_CHECK(config.num_nodes > 0);
+  SKIPNODE_CHECK(config.num_classes > 0);
+  SKIPNODE_CHECK(config.homophily >= 0.0 && config.homophily <= 1.0);
+  const int n = config.num_nodes;
+  const int k = config.num_classes;
+
+  DcSbmPlan plan;
+  // Balanced classes, randomly assigned (same scheme as PlantedPartition).
+  plan.labels.resize(n);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  for (int i = 0; i < n; ++i) plan.labels[order[i]] = i % k;
+
+  std::vector<double> theta(n, 1.0);
+  if (config.power_law > 0.0) {
+    for (int i = 0; i < n; ++i) {
+      double u = rng.Uniform();
+      while (u <= 1e-12) u = rng.Uniform();
+      theta[i] = std::min(std::pow(u, -1.0 / config.power_law),
+                          config.max_propensity);
+    }
+  }
+
+  plan.class_members.resize(k);
+  for (int i = 0; i < n; ++i) {
+    plan.class_members[plan.labels[i]].push_back(i);
+  }
+  plan.global_cdf.resize(n);
+  double running = 0.0;
+  for (int i = 0; i < n; ++i) {
+    running += theta[i];
+    plan.global_cdf[i] = running;
+  }
+  plan.class_cdf.resize(k);
+  for (int c = 0; c < k; ++c) {
+    running = 0.0;
+    plan.class_cdf[c].reserve(plan.class_members[c].size());
+    for (const int i : plan.class_members[c]) {
+      running += theta[i];
+      plan.class_cdf[c].push_back(running);
+    }
+  }
+
+  plan.edge_stream_rng = Rng(rng.Next());
+  return plan;
+}
+
+void StreamDcSbmEdges(const PlantedPartitionConfig& config,
+                      const DcSbmPlan& plan,
+                      const std::function<void(int, int)>& emit) {
+  const int k = config.num_classes;
+  // Copying the plan's Rng restarts the stream, so every call replays the
+  // identical draw sequence — the property both builder passes rely on.
+  Rng rng = plan.edge_stream_rng;
+  const int64_t max_attempts =
+      static_cast<int64_t>(config.num_edges) * 30 + 1000;
+  int64_t emitted = 0;
+  int64_t attempts = 0;
+  // Same acceptance logic as PlantedPartition, minus the std::set: u drawn
+  // globally by propensity, v within u's class with probability `homophily`,
+  // otherwise cross-class with bounded resampling. Duplicate pairs pass
+  // through; the consumer deduplicates.
+  while (emitted < config.num_edges && attempts < max_attempts) {
+    ++attempts;
+    const int u = SampleFromCdf(plan.global_cdf, rng);
+    int v;
+    if (rng.Bernoulli(config.homophily)) {
+      const int c = plan.labels[u];
+      v = plan.class_members[c][SampleFromCdf(plan.class_cdf[c], rng)];
+    } else {
+      v = -1;
+      for (int retry = 0; retry < 64; ++retry) {
+        const int candidate = SampleFromCdf(plan.global_cdf, rng);
+        if (k == 1 || plan.labels[candidate] != plan.labels[u]) {
+          v = candidate;
+          break;
+        }
+      }
+      if (v < 0) continue;
+    }
+    if (u == v) continue;
+    emit(std::min(u, v), std::max(u, v));
+    ++emitted;
+  }
+}
+
 Matrix MakeClassFeatures(const std::vector<int>& labels, int num_classes,
                          const FeatureConfig& config, Rng& rng) {
   const int n = static_cast<int>(labels.size());

@@ -10,6 +10,7 @@
 #ifndef SKIPNODE_GRAPH_GENERATORS_H_
 #define SKIPNODE_GRAPH_GENERATORS_H_
 
+#include <functional>
 #include <vector>
 
 #include "base/rng.h"
@@ -47,6 +48,31 @@ struct PlantedPartitionGraph {
 // biased SkipNode sampler is motivated).
 PlantedPartitionGraph PlantedPartition(const PlantedPartitionConfig& config,
                                        Rng& rng);
+
+// Precomputed sampling state for a *streamed* DC-SBM draw (DESIGN §13): the
+// label assignment and cumulative propensity tables — the same planning math
+// as PlantedPartition — plus a forked edge-stream Rng so the accepted edge
+// sequence can be replayed (once to count, once to fill a CsrBuilder)
+// without ever materialising the edge list. The fork is seeded by a single
+// draw from `rng`, so the caller's stream stays independent of how many
+// draws the edge stream ends up making.
+struct DcSbmPlan {
+  std::vector<int> labels;
+  std::vector<std::vector<int>> class_members;
+  std::vector<double> global_cdf;
+  std::vector<std::vector<double>> class_cdf;
+  Rng edge_stream_rng;
+};
+
+DcSbmPlan PlanDcSbm(const PlantedPartitionConfig& config, Rng& rng);
+
+// Replays the plan's edge stream, calling emit(u, v) with u < v for every
+// accepted draw (u != v; duplicates are NOT filtered here — the pattern-mode
+// CsrBuilder collapses them, where PlantedPartition used a std::set).
+// Deterministic: every call over the same plan emits the identical sequence.
+void StreamDcSbmEdges(const PlantedPartitionConfig& config,
+                      const DcSbmPlan& plan,
+                      const std::function<void(int, int)>& emit);
 
 // Class-conditional sparse binary "bag-of-words" features.
 struct FeatureConfig {

@@ -32,6 +32,42 @@ Graph::Graph(std::string name, int num_nodes, EdgeList edges, Matrix features,
   degrees_ = Degrees(num_nodes_, edges_);
 }
 
+Graph::Graph(std::string name, int num_nodes,
+             std::shared_ptr<const CsrMatrix> normalized_adjacency,
+             std::vector<int> degrees, int64_t num_undirected_edges,
+             Matrix features, std::vector<int> labels, int num_classes)
+    : name_(std::move(name)),
+      num_nodes_(num_nodes),
+      csr_backed_(true),
+      num_edges_(num_undirected_edges),
+      features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes),
+      degrees_(std::move(degrees)),
+      normalized_adjacency_(std::move(normalized_adjacency)) {
+  SKIPNODE_CHECK(num_nodes_ >= 0);
+  SKIPNODE_CHECK(num_edges_ >= 0);
+  SKIPNODE_CHECK(normalized_adjacency_ != nullptr);
+  SKIPNODE_CHECK(normalized_adjacency_->rows() == num_nodes_);
+  SKIPNODE_CHECK(normalized_adjacency_->cols() == num_nodes_);
+  SKIPNODE_CHECK(static_cast<int>(degrees_.size()) == num_nodes_);
+  SKIPNODE_CHECK(features_.rows() == num_nodes_);
+  if (!labels_.empty()) {
+    SKIPNODE_CHECK(static_cast<int>(labels_.size()) == num_nodes_);
+    for (const int label : labels_) {
+      SKIPNODE_CHECK(label >= 0 && label < num_classes_);
+    }
+  }
+}
+
+const EdgeList& Graph::edges() const {
+  SKIPNODE_CHECK_MSG(!csr_backed_,
+                     "Graph::edges(): CSR-backed graph has no edge list "
+                     "(topology resampling and link splits are unsupported "
+                     "at streaming scale)");
+  return edges_;
+}
+
 void Graph::set_years(std::vector<int> years) {
   SKIPNODE_CHECK(static_cast<int>(years.size()) == num_nodes_);
   years_ = std::move(years);
@@ -55,7 +91,9 @@ const std::vector<double>& Graph::degree_weights() const {
 
 const std::vector<int>& Graph::components() const {
   if (!components_computed_) {
-    components_ = ConnectedComponents(num_nodes_, edges_);
+    components_ = csr_backed_
+                      ? ConnectedComponentsCsr(*normalized_adjacency_)
+                      : ConnectedComponents(num_nodes_, edges_);
     components_computed_ = true;
   }
   return components_;
@@ -63,12 +101,48 @@ const std::vector<int>& Graph::components() const {
 
 double Graph::EdgeHomophily() const {
   SKIPNODE_CHECK(has_labels());
+  if (csr_backed_) {
+    // Walk the A_hat pattern instead of the (absent) edge list; every
+    // undirected edge appears as both off-diagonal entries, so the ratio is
+    // unchanged, and the +I diagonal is skipped.
+    const CsrMatrix& a = *normalized_adjacency_;
+    const std::vector<int>& cols = a.col_idx();
+    int64_t same = 0;
+    int64_t total = 0;
+    for (int u = 0; u < num_nodes_; ++u) {
+      const int64_t end = a.RowEnd(u);
+      for (int64_t e = a.RowBegin(u); e < end; ++e) {
+        const int v = cols[static_cast<size_t>(e)];
+        if (v == u) continue;
+        ++total;
+        if (labels_[u] == labels_[v]) ++same;
+      }
+    }
+    if (total == 0) return 0.0;
+    return static_cast<double>(same) / static_cast<double>(total);
+  }
   if (edges_.empty()) return 0.0;
   int same = 0;
   for (const auto& [u, v] : edges_) {
     if (labels_[u] == labels_[v]) ++same;
   }
   return static_cast<double>(same) / static_cast<double>(edges_.size());
+}
+
+int64_t Graph::MemoryFootprintBytes() const {
+  int64_t bytes = 0;
+  if (normalized_adjacency_ != nullptr) {
+    bytes += normalized_adjacency_->MemoryBytes();
+  }
+  bytes += static_cast<int64_t>(features_.rows()) * features_.cols() *
+           static_cast<int64_t>(sizeof(float));
+  bytes += static_cast<int64_t>(edges_.size()) * sizeof(std::pair<int, int>);
+  bytes += static_cast<int64_t>(labels_.size()) * sizeof(int);
+  bytes += static_cast<int64_t>(years_.size()) * sizeof(int);
+  bytes += static_cast<int64_t>(degrees_.size()) * sizeof(int);
+  bytes += static_cast<int64_t>(degree_weights_.size()) * sizeof(double);
+  bytes += static_cast<int64_t>(components_.size()) * sizeof(int);
+  return bytes;
 }
 
 }  // namespace skipnode

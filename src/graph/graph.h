@@ -19,6 +19,15 @@ namespace skipnode {
 
 // Immutable after construction (strategies that resample the topology build
 // fresh adjacency matrices from edges() instead of mutating the graph).
+//
+// Two backings (DESIGN §13):
+//   * Edge-list-backed — the classic constructor; edges() is the source of
+//     truth and A_hat is normalised lazily from it. Supports every topology
+//     resampler (DropEdge/DropNode, link splits).
+//   * CSR-backed — the streaming-generator path for 100k–1M+ node graphs:
+//     adopts a pre-normalised A_hat and per-node degrees, and the undirected
+//     edge list is never materialised. edges() aborts with a clear message;
+//     components()/EdgeHomophily() walk the CSR pattern instead.
 class Graph {
  public:
   // Validates that edges reference valid nodes, features have num_nodes
@@ -26,13 +35,29 @@ class Graph {
   Graph(std::string name, int num_nodes, EdgeList edges, Matrix features,
         std::vector<int> labels, int num_classes);
 
+  // CSR-backed constructor: adopts a pre-normalised A_hat (pattern = A+I),
+  // simple-graph degrees, and the undirected edge count. No edge list.
+  Graph(std::string name, int num_nodes,
+        std::shared_ptr<const CsrMatrix> normalized_adjacency,
+        std::vector<int> degrees, int64_t num_undirected_edges,
+        Matrix features, std::vector<int> labels, int num_classes);
+
   const std::string& name() const { return name_; }
   int num_nodes() const { return num_nodes_; }
-  int num_edges() const { return static_cast<int>(edges_.size()); }
+  int num_edges() const {
+    return csr_backed_ ? static_cast<int>(num_edges_)
+                       : static_cast<int>(edges_.size());
+  }
   int num_classes() const { return num_classes_; }
   int feature_dim() const { return features_.cols(); }
 
-  const EdgeList& edges() const { return edges_; }
+  // True when the graph adopted a pre-built A_hat and has no edge list.
+  bool csr_backed() const { return csr_backed_; }
+
+  // Aborts on CSR-backed graphs: the edge list was never materialised, so
+  // edge-list consumers (DropEdge/DropNode, link splits) are unsupported at
+  // streaming scale.
+  const EdgeList& edges() const;
   const Matrix& features() const { return features_; }
   const std::vector<int>& labels() const { return labels_; }
   bool has_labels() const { return !labels_.empty(); }
@@ -61,9 +86,16 @@ class Graph {
   // Requires labels.
   double EdgeHomophily() const;
 
+  // Resident bytes of the dataset: A_hat (if built), features, and the
+  // per-node / per-edge side vectors. The denominator of the bench/scale
+  // peak-RSS budget (DESIGN §13).
+  int64_t MemoryFootprintBytes() const;
+
  private:
   std::string name_;
   int num_nodes_;
+  bool csr_backed_ = false;
+  int64_t num_edges_ = 0;  // Undirected edge count (CSR-backed only).
   EdgeList edges_;
   Matrix features_;
   std::vector<int> labels_;

@@ -1,0 +1,228 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "sparse/csr_builder.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "base/parallel.h"
+#include "base/telemetry.h"
+
+namespace skipnode {
+
+CsrBuilder::CsrBuilder(int rows, int cols, Options options)
+    : rows_(rows), cols_(cols), options_(options) {
+  SKIPNODE_CHECK(rows >= 0 && cols >= 0);
+  counts_.assign(static_cast<size_t>(rows) + 1, 0);
+}
+
+void CsrBuilder::FinishCounting() {
+  SKIPNODE_CHECK(phase_ == Phase::kCounting);
+  phase_ = Phase::kFilling;
+  wide_ = options_.force_wide_offsets ||
+          total_count_ > std::numeric_limits<int>::max();
+  // Raw offsets stay 64-bit internally whatever the final width; they exist
+  // only while the builder is alive.
+  raw_offsets_.assign(static_cast<size_t>(rows_) + 1, 0);
+  for (int r = 0; r < rows_; ++r) {
+    raw_offsets_[static_cast<size_t>(r) + 1] =
+        raw_offsets_[static_cast<size_t>(r)] + counts_[static_cast<size_t>(r)];
+  }
+  SKIPNODE_CHECK(raw_offsets_[static_cast<size_t>(rows_)] == total_count_);
+  cols_buf_.resize(static_cast<size_t>(total_count_));
+  // Reuse counts_ as the per-row fill cursors.
+  for (int r = 0; r < rows_; ++r) {
+    counts_[static_cast<size_t>(r)] = raw_offsets_[static_cast<size_t>(r)];
+  }
+}
+
+void CsrBuilder::AddEntry(int row, int col, float value) {
+  SKIPNODE_CHECK(phase_ == Phase::kFilling);
+  if (!has_values_) {
+    SKIPNODE_CHECK(added_ == 0);  // No mixing with AddPatternEntry.
+    has_values_ = true;
+    vals_buf_.resize(cols_buf_.size());
+  }
+  SKIPNODE_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  const int64_t pos = counts_[static_cast<size_t>(row)]++;
+  SKIPNODE_CHECK(pos < raw_offsets_[static_cast<size_t>(row) + 1]);
+  cols_buf_[static_cast<size_t>(pos)] = col;
+  vals_buf_[static_cast<size_t>(pos)] = value;
+  ++added_;
+}
+
+void CsrBuilder::AddPatternEntry(int row, int col) {
+  SKIPNODE_CHECK(phase_ == Phase::kFilling);
+  SKIPNODE_CHECK(!has_values_);
+  SKIPNODE_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  const int64_t pos = counts_[static_cast<size_t>(row)]++;
+  SKIPNODE_CHECK(pos < raw_offsets_[static_cast<size_t>(row) + 1]);
+  cols_buf_[static_cast<size_t>(pos)] = col;
+  ++added_;
+}
+
+void CsrBuilder::MergeRows(bool with_values) {
+  SKIPNODE_CHECK(phase_ == Phase::kFilling);
+  SKIPNODE_CHECK(added_ == total_count_);  // Fill pass matched the count pass.
+  const ScopedTimer timer("sparse.csr_build", /*items=*/total_count_);
+
+  // Sort each raw row segment by column and merge duplicates in place (the
+  // unique entries compact to the segment's front). Rows are disjoint, so
+  // this fans out over rows; within a row everything is sequential, keeping
+  // the merge (and any duplicate sums) bitwise identical at any thread
+  // count. counts_ becomes the per-row unique count.
+  ParallelForBalanced(
+      rows_, raw_offsets_.data(),
+      [&](int64_t row_begin, int64_t row_end) {
+        std::vector<std::pair<int, int>> order;  // (col, arrival rank)
+        for (int64_t r = row_begin; r < row_end; ++r) {
+          const int64_t b = raw_offsets_[static_cast<size_t>(r)];
+          const int64_t e = raw_offsets_[static_cast<size_t>(r) + 1];
+          if (b == e) {
+            counts_[static_cast<size_t>(r)] = 0;
+            continue;
+          }
+          if (!with_values) {
+            // Pattern mode: duplicates collapse, so a plain sort + unique.
+            std::sort(cols_buf_.begin() + b, cols_buf_.begin() + e);
+            const auto last =
+                std::unique(cols_buf_.begin() + b, cols_buf_.begin() + e);
+            counts_[static_cast<size_t>(r)] = last - (cols_buf_.begin() + b);
+            continue;
+          }
+          // Value mode: sort (col, arrival rank) pairs — the rank makes the
+          // sort stable, so duplicate coordinates sum in insertion order.
+          order.clear();
+          order.reserve(static_cast<size_t>(e - b));
+          for (int64_t i = b; i < e; ++i) {
+            order.emplace_back(cols_buf_[static_cast<size_t>(i)],
+                               static_cast<int>(i - b));
+          }
+          std::sort(order.begin(), order.end());
+          int64_t unique = 0;
+          int prev_col = -1;
+          // Scratch-free in-place compaction is unsafe here (a merged value
+          // may still be read later), so stage through small per-row copies.
+          std::vector<int> merged_cols;
+          std::vector<float> merged_vals;
+          merged_cols.reserve(order.size());
+          merged_vals.reserve(order.size());
+          for (const auto& [col, rank] : order) {
+            const float v = vals_buf_[static_cast<size_t>(b + rank)];
+            if (col == prev_col) {
+              merged_vals.back() += v;
+              continue;
+            }
+            merged_cols.push_back(col);
+            merged_vals.push_back(v);
+            prev_col = col;
+            ++unique;
+          }
+          std::copy(merged_cols.begin(), merged_cols.end(),
+                    cols_buf_.begin() + b);
+          std::copy(merged_vals.begin(), merged_vals.end(),
+                    vals_buf_.begin() + b);
+          counts_[static_cast<size_t>(r)] = unique;
+        }
+      },
+      /*min_cost_per_chunk=*/1 << 12);
+
+  // Final offsets in the chosen width, then a row-parallel compaction into
+  // tight arrays (the raw buffers still hold per-row gaps).
+  final_nnz_ = 0;
+  for (int r = 0; r < rows_; ++r) final_nnz_ += counts_[static_cast<size_t>(r)];
+  if (wide_) {
+    std::vector<int64_t> offsets(static_cast<size_t>(rows_) + 1, 0);
+    for (int r = 0; r < rows_; ++r) {
+      offsets[static_cast<size_t>(r) + 1] =
+          offsets[static_cast<size_t>(r)] + counts_[static_cast<size_t>(r)];
+    }
+    offsets_ = OffsetVec::Wide(std::move(offsets));
+  } else {
+    std::vector<int> offsets(static_cast<size_t>(rows_) + 1, 0);
+    for (int r = 0; r < rows_; ++r) {
+      offsets[static_cast<size_t>(r) + 1] =
+          offsets[static_cast<size_t>(r)] +
+          static_cast<int>(counts_[static_cast<size_t>(r)]);
+    }
+    offsets_ = OffsetVec::Narrow(std::move(offsets));
+  }
+  final_cols_.resize(static_cast<size_t>(final_nnz_));
+  if (with_values) final_vals_.resize(static_cast<size_t>(final_nnz_));
+  WithOffsets(offsets_, [&](const auto* offsets) {
+    ParallelForBalanced(
+        rows_, offsets,
+        [&](int64_t row_begin, int64_t row_end) {
+          for (int64_t r = row_begin; r < row_end; ++r) {
+            const int64_t src = raw_offsets_[static_cast<size_t>(r)];
+            const int64_t dst = offsets[r];
+            const int64_t n = counts_[static_cast<size_t>(r)];
+            std::copy_n(cols_buf_.begin() + src, n, final_cols_.begin() + dst);
+            if (with_values) {
+              std::copy_n(vals_buf_.begin() + src, n,
+                          final_vals_.begin() + dst);
+            }
+          }
+        },
+        /*min_cost_per_chunk=*/1 << 12);
+  });
+  cols_buf_.clear();
+  cols_buf_.shrink_to_fit();
+  vals_buf_.clear();
+  vals_buf_.shrink_to_fit();
+}
+
+CsrMatrix CsrBuilder::TakeMatrix() {
+  CsrMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_ptr_ = std::move(offsets_);
+  m.col_idx_ = std::move(final_cols_);
+  m.values_ = std::move(final_vals_);
+  phase_ = Phase::kDone;
+  return m;
+}
+
+CsrMatrix CsrBuilder::Build() {
+  SKIPNODE_CHECK(has_values_ || total_count_ == 0);
+  if (!has_values_) vals_buf_.resize(cols_buf_.size());
+  MergeRows(/*with_values=*/true);
+  return TakeMatrix();
+}
+
+void CsrBuilder::FinalizePattern() {
+  SKIPNODE_CHECK(!has_values_);
+  MergeRows(/*with_values=*/false);
+  phase_ = Phase::kPatternFinal;
+}
+
+int CsrBuilder::FinalRowNnz(int row) const {
+  SKIPNODE_CHECK(phase_ == Phase::kPatternFinal);
+  SKIPNODE_CHECK(row >= 0 && row < rows_);
+  return static_cast<int>(counts_[static_cast<size_t>(row)]);
+}
+
+CsrMatrix CsrBuilder::BuildWithValues(
+    const std::function<float(int, int)>& value_fn) {
+  SKIPNODE_CHECK(phase_ == Phase::kPatternFinal);
+  final_vals_.resize(static_cast<size_t>(final_nnz_));
+  // Weights are a pure per-entry map — safe to fan out over rows.
+  WithOffsets(offsets_, [&](const auto* offsets) {
+    ParallelForBalanced(
+        rows_, offsets,
+        [&](int64_t row_begin, int64_t row_end) {
+          for (int64_t r = row_begin; r < row_end; ++r) {
+            for (int64_t e = offsets[r]; e < offsets[r + 1]; ++e) {
+              final_vals_[static_cast<size_t>(e)] = value_fn(
+                  static_cast<int>(r), final_cols_[static_cast<size_t>(e)]);
+            }
+          }
+        },
+        /*min_cost_per_chunk=*/1 << 12);
+  });
+  return TakeMatrix();
+}
+
+}  // namespace skipnode

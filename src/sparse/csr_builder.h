@@ -1,0 +1,134 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Streaming two-pass CSR constructor: the single construction path for
+// CsrMatrix (DESIGN §13). Callers stream their entries twice — once to
+// count per-row degrees, once to fill — and the builder lays the matrix out
+// directly in compact CSR form, so no intermediate COO triplet vector is
+// ever materialised (the retired FromCoo path peaked at ~3x the final
+// footprint at 10M edges). The offset width (32- vs 64-bit) is chosen once
+// when counting finishes and flows through CsrMatrix unchanged.
+//
+// Two fill modes, chosen by which Add call the second pass uses:
+//   * Value mode  — AddEntry(r, c, v); Build() sorts each row by column and
+//     sums duplicate coordinates in per-row insertion order. This reproduces
+//     CsrMatrix::FromCoo bit for bit (every producer of duplicates in this
+//     codebase emits float-equal values per coordinate, so the sum is
+//     order-independent anyway).
+//   * Pattern mode — AddPatternEntry(r, c); FinalizePattern() collapses
+//     duplicates to a single entry, after which FinalRowNnz exposes the
+//     deduplicated degrees and BuildWithValues(fn) assigns each surviving
+//     entry's weight as fn(r, c). This is the streaming-generator path:
+//     degree-dependent weights (the Â normalisation) need the *final*
+//     degrees, which only exist after deduplication.
+//
+// The two passes must stream identical entry sequences; the builder checks
+// the counts line up. Per-row sorting/merging fans out with
+// ParallelForBalanced over rows (row segments are disjoint), so building is
+// parallel yet bitwise deterministic at any thread count (DESIGN §7).
+
+#ifndef SKIPNODE_SPARSE_CSR_BUILDER_H_
+#define SKIPNODE_SPARSE_CSR_BUILDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/check.h"
+#include "sparse/csr_matrix.h"
+#include "sparse/offset_vec.h"
+
+namespace skipnode {
+
+class CsrBuilder {
+ public:
+  struct Options {
+    // Forces 64-bit offsets regardless of the entry count; tests use this to
+    // pin the wide kernels against the narrow ones on small matrices.
+    bool force_wide_offsets = false;
+  };
+
+  CsrBuilder(int rows, int cols) : CsrBuilder(rows, cols, Options()) {}
+  CsrBuilder(int rows, int cols, Options options);
+
+  // --- Pass 1: counting -----------------------------------------------
+  void CountEntry(int row) {
+    SKIPNODE_CHECK(phase_ == Phase::kCounting);
+    SKIPNODE_CHECK(row >= 0 && row < rows_);
+    ++counts_[row];
+    ++total_count_;
+  }
+
+  // Raw (pre-deduplication) entries counted so far for `row`. Valid during
+  // counting; graph normalisation reads these as degrees before appending
+  // the self-loop counts.
+  int64_t RowCount(int row) const {
+    SKIPNODE_CHECK(row >= 0 && row < rows_);
+    return counts_[row];
+  }
+  int64_t total_count() const { return total_count_; }
+
+  // Freezes the counts: picks the offset width, prefix-sums the row
+  // pointers, and allocates the fill buffers.
+  void FinishCounting();
+
+  // --- Pass 2: filling ------------------------------------------------
+  // Exactly total_count() Add*Entry calls must follow FinishCounting, with
+  // per-row multiplicity matching the counting pass (order within and
+  // across rows is free).
+  void AddEntry(int row, int col, float value);
+  void AddPatternEntry(int row, int col);
+
+  // --- Finish: value mode ---------------------------------------------
+  // Sorts each row by column, sums duplicates in per-row insertion order,
+  // and returns the matrix. The builder is consumed.
+  CsrMatrix Build();
+
+  // --- Finish: pattern mode -------------------------------------------
+  // Sorts each row and collapses duplicate coordinates to one entry.
+  void FinalizePattern();
+  // Post-deduplication entries in `row`; valid after FinalizePattern.
+  int FinalRowNnz(int row) const;
+  int64_t final_nnz() const { return final_nnz_; }
+  // Assigns every surviving entry's weight as value_fn(row, col) (invoked
+  // row-parallel; it must be pure) and returns the matrix. The builder is
+  // consumed.
+  CsrMatrix BuildWithValues(const std::function<float(int, int)>& value_fn);
+
+  bool wide_offsets() const { return wide_; }
+
+ private:
+  enum class Phase { kCounting, kFilling, kPatternFinal, kDone };
+
+  // Shared sort/merge/compact tail. In value mode duplicate coordinates sum
+  // (insertion order); in pattern mode they collapse.
+  void MergeRows(bool with_values);
+  CsrMatrix TakeMatrix();
+
+  int rows_;
+  int cols_;
+  Options options_;
+  Phase phase_ = Phase::kCounting;
+  bool wide_ = false;
+  int64_t total_count_ = 0;
+  int64_t added_ = 0;
+  bool has_values_ = false;
+
+  // Counting pass: per-row raw counts; after FinishCounting, reused as the
+  // per-row fill cursors; after MergeRows, holds per-row unique counts.
+  std::vector<int64_t> counts_;
+  // Raw row segments [raw_offsets_[r], raw_offsets_[r+1]).
+  std::vector<int64_t> raw_offsets_;
+  std::vector<int> cols_buf_;
+  std::vector<float> vals_buf_;
+
+  // Final CSR arrays (populated by MergeRows).
+  OffsetVec offsets_;
+  std::vector<int> final_cols_;
+  std::vector<float> final_vals_;
+  int64_t final_nnz_ = 0;
+};
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_SPARSE_CSR_BUILDER_H_

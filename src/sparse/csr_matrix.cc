@@ -7,11 +7,11 @@
 #include <atomic>
 #include <cmath>
 #include <mutex>
-#include <numeric>
 
 #include "base/check.h"
 #include "base/parallel.h"
 #include "base/telemetry.h"
+#include "sparse/csr_builder.h"
 
 namespace skipnode {
 
@@ -19,43 +19,31 @@ CsrMatrix CsrMatrix::FromCoo(int rows, int cols,
                              std::vector<std::pair<int, int>> coords,
                              std::vector<float> values) {
   SKIPNODE_CHECK(coords.size() == values.size());
-  CsrMatrix m;
-  m.rows_ = rows;
-  m.cols_ = cols;
-
-  // Sort triplets by (row, col) via an index permutation.
-  std::vector<int> order(coords.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&coords](int a, int b) {
-    return coords[a] < coords[b];
-  });
-
-  m.row_ptr_.assign(rows + 1, 0);
-  m.col_idx_.reserve(coords.size());
-  m.values_.reserve(coords.size());
-  int prev_row = -1, prev_col = -1;
-  for (const int idx : order) {
-    const auto [r, c] = coords[idx];
+  CsrBuilder builder(rows, cols);
+  for (const auto& [r, c] : coords) {
     SKIPNODE_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
-    if (r == prev_row && c == prev_col) {
-      m.values_.back() += values[idx];  // Merge duplicates.
-      continue;
-    }
-    m.col_idx_.push_back(c);
-    m.values_.push_back(values[idx]);
-    m.row_ptr_[r + 1] += 1;
-    prev_row = r;
-    prev_col = c;
+    builder.CountEntry(r);
   }
-  for (int r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
-  return m;
+  builder.FinishCounting();
+  for (size_t i = 0; i < coords.size(); ++i) {
+    builder.AddEntry(coords[i].first, coords[i].second, values[i]);
+  }
+  return builder.Build();
 }
 
 CsrMatrix CsrMatrix::Identity(int n) {
-  std::vector<std::pair<int, int>> coords(n);
-  std::vector<float> values(n, 1.0f);
-  for (int i = 0; i < n; ++i) coords[i] = {i, i};
-  return FromCoo(n, n, std::move(coords), std::move(values));
+  CsrBuilder builder(n, n);
+  for (int i = 0; i < n; ++i) builder.CountEntry(i);
+  builder.FinishCounting();
+  for (int i = 0; i < n; ++i) builder.AddEntry(i, i, 1.0f);
+  return builder.Build();
+}
+
+int64_t CsrMatrix::MemoryBytes() const {
+  const int64_t offset_bytes =
+      static_cast<int64_t>(row_ptr_.size()) * (row_ptr_.wide() ? 8 : 4);
+  return offset_bytes + static_cast<int64_t>(col_idx_.size()) * sizeof(int) +
+         static_cast<int64_t>(values_.size()) * sizeof(float);
 }
 
 void CsrMatrix::MultiplyAccumulate(const Matrix& dense, Matrix& out) const {
@@ -68,19 +56,22 @@ void CsrMatrix::MultiplyAccumulate(const Matrix& dense, Matrix& out) const {
   // the SpMM is bitwise reproducible across SKIPNODE_NUM_THREADS settings.
   // Chunks are balanced by nnz (row_ptr_ is the cost prefix), so a hub row
   // cannot serialise its whole chunk on power-law-ish graphs.
-  ParallelForBalanced(
-      rows_, row_ptr_.data(),
-      [&](int64_t row_begin, int64_t row_end) {
-        for (int r = static_cast<int>(row_begin); r < row_end; ++r) {
-          float* __restrict or_ = out.row(r);
-          for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-            const float w = values_[e];
-            const float* __restrict src = dense.row(col_idx_[e]);
-            for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+  WithOffsets(row_ptr_, [&](const auto* rp) {
+    ParallelForBalanced(
+        rows_, rp,
+        [&](int64_t row_begin, int64_t row_end) {
+          for (int r = static_cast<int>(row_begin); r < row_end; ++r) {
+            float* __restrict or_ = out.row(r);
+            for (int64_t e = rp[r]; e < rp[r + 1]; ++e) {
+              const float w = values_[static_cast<size_t>(e)];
+              const float* __restrict src =
+                  dense.row(col_idx_[static_cast<size_t>(e)]);
+              for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+            }
           }
-        }
-      },
-      SpmmChunkCost(d));
+        },
+        SpmmChunkCost(d));
+  });
 }
 
 Matrix CsrMatrix::Multiply(const Matrix& dense) const {
@@ -104,27 +95,30 @@ void CsrMatrix::MultiplyAccumulateMasked(const Matrix& dense,
   // atomic merge is integer-only, so it stays off the numeric path.
   const bool count_skips = TelemetryEnabled();
   std::atomic<int64_t> skipped{0};
-  ParallelForBalanced(
-      rows_, row_ptr_.data(),
-      [&](int64_t row_begin, int64_t row_end) {
-        int64_t chunk_skipped = 0;
-        for (int r = static_cast<int>(row_begin); r < row_end; ++r) {
-          if (skip_rows[r]) {
-            ++chunk_skipped;
-            continue;
+  WithOffsets(row_ptr_, [&](const auto* rp) {
+    ParallelForBalanced(
+        rows_, rp,
+        [&](int64_t row_begin, int64_t row_end) {
+          int64_t chunk_skipped = 0;
+          for (int r = static_cast<int>(row_begin); r < row_end; ++r) {
+            if (skip_rows[r]) {
+              ++chunk_skipped;
+              continue;
+            }
+            float* __restrict or_ = out.row(r);
+            for (int64_t e = rp[r]; e < rp[r + 1]; ++e) {
+              const float w = values_[static_cast<size_t>(e)];
+              const float* __restrict src =
+                  dense.row(col_idx_[static_cast<size_t>(e)]);
+              for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+            }
           }
-          float* __restrict or_ = out.row(r);
-          for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-            const float w = values_[e];
-            const float* __restrict src = dense.row(col_idx_[e]);
-            for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+          if (count_skips) {
+            skipped.fetch_add(chunk_skipped, std::memory_order_relaxed);
           }
-        }
-        if (count_skips) {
-          skipped.fetch_add(chunk_skipped, std::memory_order_relaxed);
-        }
-      },
-      SpmmChunkCost(d));
+        },
+        SpmmChunkCost(d));
+  });
   if (count_skips) {
     CountMetric("spmm.rows_skipped", skipped.load(std::memory_order_relaxed));
   }
@@ -135,6 +129,37 @@ const CsrMatrix::TransposePlan& CsrMatrix::transpose_plan() const {
   std::call_once(cache->once, [&] { BuildTransposePlan(&cache->plan); });
   return cache->plan;
 }
+
+namespace {
+
+// Counting sort by column at the given offset width. Walking rows in
+// ascending order fills each transposed row with its source rows ascending —
+// the order the serial scatter accumulated them, which the gather kernels
+// rely on.
+template <typename Offset>
+void BuildPlanArrays(int rows, int cols, const Offset* row_ptr,
+                     const std::vector<int>& col_idx,
+                     std::vector<Offset>* t_ptr, std::vector<int>* t_src,
+                     std::vector<Offset>* t_perm) {
+  t_ptr->assign(static_cast<size_t>(cols) + 1, 0);
+  t_src->resize(col_idx.size());
+  t_perm->resize(col_idx.size());
+  for (const int c : col_idx) (*t_ptr)[static_cast<size_t>(c) + 1] += 1;
+  for (int c = 0; c < cols; ++c) {
+    (*t_ptr)[static_cast<size_t>(c) + 1] += (*t_ptr)[static_cast<size_t>(c)];
+  }
+  std::vector<Offset> cursor(t_ptr->begin(), t_ptr->end() - 1);
+  for (int r = 0; r < rows; ++r) {
+    for (int64_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+      const Offset pos = cursor[static_cast<size_t>(
+          col_idx[static_cast<size_t>(e)])]++;
+      (*t_src)[static_cast<size_t>(pos)] = r;
+      (*t_perm)[static_cast<size_t>(pos)] = static_cast<Offset>(e);
+    }
+  }
+}
+
+}  // namespace
 
 void CsrMatrix::BuildTransposePlan(TransposePlan* plan) const {
   const ScopedTimer timer("sparse.transpose_plan.build", /*items=*/nnz());
@@ -148,21 +173,20 @@ void CsrMatrix::BuildTransposePlan(TransposePlan* plan) const {
     plan->symmetric_alias = true;
     return;
   }
-  // Counting sort by column. Walking rows in ascending order fills each
-  // transposed row with its source rows ascending — the order the serial
-  // scatter accumulated them, which the gather kernels rely on.
-  plan->row_ptr.assign(cols_ + 1, 0);
-  plan->src_row.resize(col_idx_.size());
-  plan->value_perm.resize(col_idx_.size());
-  for (const int c : col_idx_) plan->row_ptr[c + 1] += 1;
-  for (int c = 0; c < cols_; ++c) plan->row_ptr[c + 1] += plan->row_ptr[c];
-  std::vector<int> cursor(plan->row_ptr.begin(), plan->row_ptr.end() - 1);
-  for (int r = 0; r < rows_; ++r) {
-    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-      const int pos = cursor[col_idx_[e]]++;
-      plan->src_row[pos] = r;
-      plan->value_perm[pos] = e;
-    }
+  // The plan inherits the matrix's offset width: its row_ptr and value_perm
+  // also count stored entries.
+  if (row_ptr_.wide()) {
+    std::vector<int64_t> t_ptr, t_perm;
+    BuildPlanArrays(rows_, cols_, row_ptr_.data64(), col_idx_, &t_ptr,
+                    &plan->src_row, &t_perm);
+    plan->row_ptr = OffsetVec::Wide(std::move(t_ptr));
+    plan->value_perm = OffsetVec::Wide(std::move(t_perm));
+  } else {
+    std::vector<int> t_ptr, t_perm;
+    BuildPlanArrays(rows_, cols_, row_ptr_.data32(), col_idx_, &t_ptr,
+                    &plan->src_row, &t_perm);
+    plan->row_ptr = OffsetVec::Narrow(std::move(t_ptr));
+    plan->value_perm = OffsetVec::Narrow(std::move(t_perm));
   }
 }
 
@@ -172,28 +196,42 @@ Matrix CsrMatrix::MultiplyTransposed(const Matrix& dense) const {
   Matrix out(cols_, dense.cols());
   const int d = dense.cols();
   const TransposePlan& plan = transpose_plan();
-  const int* t_ptr =
-      plan.symmetric_alias ? row_ptr_.data() : plan.row_ptr.data();
-  const int* t_src =
-      plan.symmetric_alias ? col_idx_.data() : plan.src_row.data();
-  const int* t_val = plan.symmetric_alias ? nullptr : plan.value_perm.data();
   // Row-owned gather over the transpose plan: output row c is written by
   // exactly one thread and accumulates column c's entries in increasing
   // source-row order — the order the serial scatter wrote them — so the
   // result is bitwise identical at any thread count (DESIGN §7).
-  ParallelForBalanced(
-      cols_, t_ptr,
-      [&](int64_t col_begin, int64_t col_end) {
-        for (int c = static_cast<int>(col_begin); c < col_end; ++c) {
-          float* __restrict or_ = out.row(c);
-          for (int e = t_ptr[c]; e < t_ptr[c + 1]; ++e) {
-            const float w = values_[t_val != nullptr ? t_val[e] : e];
-            const float* __restrict src = dense.row(t_src[e]);
-            for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+  // t_val == nullptr means "the plan is the matrix itself" (symmetric alias).
+  const auto run = [&](const auto* t_ptr, const int* t_src,
+                       const auto* t_val) {
+    ParallelForBalanced(
+        cols_, t_ptr,
+        [&](int64_t col_begin, int64_t col_end) {
+          for (int c = static_cast<int>(col_begin); c < col_end; ++c) {
+            float* __restrict or_ = out.row(c);
+            for (int64_t e = t_ptr[c]; e < t_ptr[c + 1]; ++e) {
+              const float w = values_[static_cast<size_t>(
+                  t_val != nullptr ? t_val[e] : e)];
+              const float* __restrict src =
+                  dense.row(t_src[static_cast<size_t>(e)]);
+              for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+            }
           }
-        }
-      },
-      SpmmChunkCost(d));
+        },
+        SpmmChunkCost(d));
+  };
+  if (plan.symmetric_alias) {
+    if (row_ptr_.wide()) {
+      run(row_ptr_.data64(), col_idx_.data(),
+          static_cast<const int64_t*>(nullptr));
+    } else {
+      run(row_ptr_.data32(), col_idx_.data(),
+          static_cast<const int*>(nullptr));
+    }
+  } else if (plan.row_ptr.wide()) {
+    run(plan.row_ptr.data64(), plan.src_row.data(), plan.value_perm.data64());
+  } else {
+    run(plan.row_ptr.data32(), plan.src_row.data(), plan.value_perm.data32());
+  }
   return out;
 }
 
@@ -220,26 +258,38 @@ Matrix CsrMatrix::MultiplyTransposedMasked(
   Matrix out(cols_, dense.cols());
   const int d = dense.cols();
   const TransposePlan& plan = transpose_plan();
-  const int* t_ptr =
-      plan.symmetric_alias ? row_ptr_.data() : plan.row_ptr.data();
-  const int* t_src =
-      plan.symmetric_alias ? col_idx_.data() : plan.src_row.data();
-  const int* t_val = plan.symmetric_alias ? nullptr : plan.value_perm.data();
-  ParallelForBalanced(
-      cols_, t_ptr,
-      [&](int64_t col_begin, int64_t col_end) {
-        for (int c = static_cast<int>(col_begin); c < col_end; ++c) {
-          float* __restrict or_ = out.row(c);
-          for (int e = t_ptr[c]; e < t_ptr[c + 1]; ++e) {
-            const int r = t_src[e];
-            if (skip_rows[r]) continue;
-            const float w = values_[t_val != nullptr ? t_val[e] : e];
-            const float* __restrict src = dense.row(r);
-            for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+  const auto run = [&](const auto* t_ptr, const int* t_src,
+                       const auto* t_val) {
+    ParallelForBalanced(
+        cols_, t_ptr,
+        [&](int64_t col_begin, int64_t col_end) {
+          for (int c = static_cast<int>(col_begin); c < col_end; ++c) {
+            float* __restrict or_ = out.row(c);
+            for (int64_t e = t_ptr[c]; e < t_ptr[c + 1]; ++e) {
+              const int r = t_src[static_cast<size_t>(e)];
+              if (skip_rows[r]) continue;
+              const float w = values_[static_cast<size_t>(
+                  t_val != nullptr ? t_val[e] : e)];
+              const float* __restrict src = dense.row(r);
+              for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+            }
           }
-        }
-      },
-      SpmmChunkCost(d));
+        },
+        SpmmChunkCost(d));
+  };
+  if (plan.symmetric_alias) {
+    if (row_ptr_.wide()) {
+      run(row_ptr_.data64(), col_idx_.data(),
+          static_cast<const int64_t*>(nullptr));
+    } else {
+      run(row_ptr_.data32(), col_idx_.data(),
+          static_cast<const int*>(nullptr));
+    }
+  } else if (plan.row_ptr.wide()) {
+    run(plan.row_ptr.data64(), plan.src_row.data(), plan.value_perm.data64());
+  } else {
+    run(plan.row_ptr.data32(), plan.src_row.data(), plan.value_perm.data32());
+  }
   return out;
 }
 
@@ -247,7 +297,9 @@ Matrix CsrMatrix::RowSums() const {
   Matrix out(rows_, 1);
   for (int r = 0; r < rows_; ++r) {
     double total = 0.0;
-    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) total += values_[e];
+    for (int64_t e = RowBegin(r); e < RowEnd(r); ++e) {
+      total += values_[static_cast<size_t>(e)];
+    }
     out(r, 0) = static_cast<float>(total);
   }
   return out;
@@ -256,8 +308,9 @@ Matrix CsrMatrix::RowSums() const {
 Matrix CsrMatrix::ToDense() const {
   Matrix out(rows_, cols_);
   for (int r = 0; r < rows_; ++r) {
-    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-      out(r, col_idx_[e]) += values_[e];
+    for (int64_t e = RowBegin(r); e < RowEnd(r); ++e) {
+      out(r, col_idx_[static_cast<size_t>(e)]) +=
+          values_[static_cast<size_t>(e)];
     }
   }
   return out;
@@ -267,14 +320,17 @@ bool CsrMatrix::IsSymmetric(float tolerance) const {
   if (rows_ != cols_) return false;
   // O(nnz log deg): for each entry (r, c, v), binary-search (c, r).
   for (int r = 0; r < rows_; ++r) {
-    for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-      const int c = col_idx_[e];
-      const auto begin = col_idx_.begin() + row_ptr_[c];
-      const auto end = col_idx_.begin() + row_ptr_[c + 1];
+    for (int64_t e = RowBegin(r); e < RowEnd(r); ++e) {
+      const int c = col_idx_[static_cast<size_t>(e)];
+      const auto begin = col_idx_.begin() + RowBegin(c);
+      const auto end = col_idx_.begin() + RowEnd(c);
       const auto it = std::lower_bound(begin, end, r);
       if (it == end || *it != r) return false;
-      const float mirrored = values_[it - col_idx_.begin()];
-      if (std::fabs(mirrored - values_[e]) > tolerance) return false;
+      const float mirrored = values_[static_cast<size_t>(
+          it - col_idx_.begin())];
+      if (std::fabs(mirrored - values_[static_cast<size_t>(e)]) > tolerance) {
+        return false;
+      }
     }
   }
   return true;

@@ -3,6 +3,15 @@
 //
 // Compressed-sparse-row matrix used for graph adjacency operators. The GCN
 // forward pass is dominated by SpMM with these matrices.
+//
+// Index-width contract (DESIGN §13): row/column ids are always `int` (node
+// counts are ints everywhere), but the *offset* arrays — row_ptr and the
+// transpose plan's row_ptr/value_perm, which count stored entries — are
+// stored 32-bit while the entry count fits and 64-bit past INT32_MAX
+// entries. The width is fixed at construction by CsrBuilder and is purely a
+// storage choice: every kernel binds the raw offset pointer once per call
+// (WithOffsets) and runs the same loop body, so numeric results are bitwise
+// identical across widths (pinned by csr_builder_test).
 
 #ifndef SKIPNODE_SPARSE_CSR_MATRIX_H_
 #define SKIPNODE_SPARSE_CSR_MATRIX_H_
@@ -13,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "sparse/offset_vec.h"
 #include "tensor/matrix.h"
 
 namespace skipnode {
@@ -34,18 +44,23 @@ class CsrMatrix {
     // and no second index set is materialised. Normalised adjacencies
     // Â = (D+I)^{-1/2}(A+I)(D+I)^{-1/2} always hit this path.
     bool symmetric_alias = false;
-    std::vector<int> row_ptr;  // cols() + 1 offsets into the arrays below
+    // cols() + 1 offsets into the arrays below; same width as the matrix.
+    OffsetVec row_ptr;
     std::vector<int> src_row;  // source row of each transposed entry
-    std::vector<int> value_perm;  // index of the entry's weight in values()
+    OffsetVec value_perm;  // index of the entry's weight in values()
   };
 
   // Empty 0x0 matrix.
   CsrMatrix()
-      : rows_(0), cols_(0), row_ptr_(1, 0),
+      : rows_(0), cols_(0),
+        row_ptr_(OffsetVec::Narrow(std::vector<int>(1, 0))),
         plan_cache_(std::make_shared<PlanCache>()) {}
 
-  // Builds from coordinate triplets (row, col, value). Duplicate coordinates
-  // are summed. Entries with value 0 are kept (callers rarely produce them).
+  // Builds from coordinate triplets (row, col, value); a convenience shim
+  // over CsrBuilder for callers that already hold a COO list (tests, tiny
+  // matrices — large producers stream into CsrBuilder directly). Duplicate
+  // coordinates are summed in per-row insertion order. Entries with value 0
+  // are kept (callers rarely produce them).
   static CsrMatrix FromCoo(int rows, int cols,
                            std::vector<std::pair<int, int>> coords,
                            std::vector<float> values);
@@ -57,12 +72,26 @@ class CsrMatrix {
   int cols() const { return cols_; }
   int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
 
-  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  // 32 or 64: the stored offset width.
+  int index_width() const { return row_ptr_.wide() ? 64 : 32; }
+
+  // Narrow-only legacy view of the row pointers (aborts on a wide matrix);
+  // prefer row_offsets() / RowBegin / RowEnd in new code.
+  const std::vector<int>& row_ptr() const { return row_ptr_.narrow_vector(); }
+  const OffsetVec& row_offsets() const { return row_ptr_; }
   const std::vector<int>& col_idx() const { return col_idx_; }
   const std::vector<float>& values() const { return values_; }
 
-  // Number of stored entries in row r.
-  int RowNnz(int r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+  // Entry range of row r (width-erased; not for inner loops).
+  int64_t RowBegin(int r) const { return row_ptr_[static_cast<size_t>(r)]; }
+  int64_t RowEnd(int r) const { return row_ptr_[static_cast<size_t>(r) + 1]; }
+
+  // Number of stored entries in row r (fits int: at most cols()).
+  int RowNnz(int r) const { return static_cast<int>(RowEnd(r) - RowBegin(r)); }
+
+  // Heap bytes held by the index and value arrays (footprint accounting for
+  // the scale bench; excludes the lazily-built transpose plan).
+  int64_t MemoryBytes() const;
 
   // Returns this * dense. dense is cols() x d.
   Matrix Multiply(const Matrix& dense) const;
@@ -112,6 +141,8 @@ class CsrMatrix {
   bool IsSymmetric(float tolerance = 1e-6f) const;
 
  private:
+  friend class CsrBuilder;  // The single construction path (DESIGN §13).
+
   // Heap cell owning the lazily-built transpose plan and its build-once
   // flag. Held by shared_ptr so the (non-copyable) std::once_flag never
   // blocks CsrMatrix copies; copies share the cell, which is sound because
@@ -125,7 +156,7 @@ class CsrMatrix {
 
   int rows_;
   int cols_;
-  std::vector<int> row_ptr_;
+  OffsetVec row_ptr_;
   std::vector<int> col_idx_;
   std::vector<float> values_;
   std::shared_ptr<PlanCache> plan_cache_;

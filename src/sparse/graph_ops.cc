@@ -9,74 +9,73 @@
 #include "base/check.h"
 #include "base/parallel.h"
 #include "base/telemetry.h"
+#include "sparse/csr_builder.h"
 
 namespace skipnode {
 namespace {
 
-// Expands an undirected edge list into symmetric COO triplets (both
-// directions), optionally appending self-loops for `loop_nodes`.
-void SymmetricCoo(const EdgeList& edges, const std::vector<bool>* keep_node,
-                  std::vector<std::pair<int, int>>& coords) {
-  for (const auto& [u, v] : edges) {
-    if (keep_node != nullptr && (!(*keep_node)[u] || !(*keep_node)[v])) {
-      continue;
-    }
-    coords.emplace_back(u, v);
-    coords.emplace_back(v, u);
-  }
-}
-
 // Builds (D+I)^{-1/2}(A+I)(D+I)^{-1/2} (or D^{-1/2} A D^{-1/2}) over the
 // subgraph induced by `keep_node` (nullptr keeps everything). Nodes outside
 // the subgraph get all-zero rows and columns.
+//
+// Streams both directions of every kept edge through CsrBuilder twice (count
+// then fill) instead of materialising the symmetric COO triplet vector; the
+// float math is unchanged from the COO path — degrees are raw symmetric-entry
+// counts (duplicate edges counted), inv_sqrt is computed per node once, and
+// each entry's value is the same two-factor product — so the result is
+// bitwise identical.
 CsrMatrix NormalizeImpl(int num_nodes, const EdgeList& edges,
                         bool add_self_loops,
                         const std::vector<bool>* keep_node) {
   const ScopedTimer timer("sparse.adjacency_normalize", /*items=*/num_nodes);
-  std::vector<std::pair<int, int>> coords;
-  coords.reserve(edges.size() * 2 + (add_self_loops ? num_nodes : 0));
-  SymmetricCoo(edges, keep_node, coords);
-
-  // Degrees of the (possibly sub-sampled) simple graph.
-  std::vector<int> degree(num_nodes, 0);
-  for (const auto& [r, c] : coords) {
-    (void)c;
-    degree[r] += 1;
+  CsrBuilder builder(num_nodes, num_nodes);
+  const auto edge_kept = [&](int u, int v) {
+    return keep_node == nullptr || ((*keep_node)[u] && (*keep_node)[v]);
+  };
+  for (const auto& [u, v] : edges) {
+    if (!edge_kept(u, v)) continue;
+    builder.CountEntry(u);
+    builder.CountEntry(v);
   }
 
-  if (add_self_loops) {
-    for (int i = 0; i < num_nodes; ++i) {
-      if (keep_node == nullptr || (*keep_node)[i]) coords.emplace_back(i, i);
-    }
-  }
-
-  // Per-node and per-entry maps with no cross-element accumulation: safe to
-  // chunk across threads without perturbing any value.
+  // Degrees of the (possibly sub-sampled) simple graph, read from the raw
+  // counts before the self-loop entries join them. Per-node map with no
+  // cross-element accumulation: safe to chunk across threads without
+  // perturbing any value.
   std::vector<float> inv_sqrt(num_nodes, 0.0f);
   ParallelFor(
       0, num_nodes,
       [&](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
-          const bool kept = keep_node == nullptr || (*keep_node)[i];
-          const int d = degree[i] + (add_self_loops ? 1 : 0);
-          if (kept && d > 0) {
+          const bool node_kept = keep_node == nullptr || (*keep_node)[i];
+          const int64_t d = builder.RowCount(i) + (add_self_loops ? 1 : 0);
+          if (node_kept && d > 0) {
             inv_sqrt[i] = 1.0f / std::sqrt(static_cast<float>(d));
           }
         }
       },
       /*min_per_thread=*/1 << 13);
 
-  std::vector<float> values(coords.size());
-  ParallelFor(
-      0, static_cast<int64_t>(coords.size()),
-      [&](int64_t lo, int64_t hi) {
-        for (int64_t k = lo; k < hi; ++k) {
-          values[k] = inv_sqrt[coords[k].first] * inv_sqrt[coords[k].second];
-        }
-      },
-      /*min_per_thread=*/1 << 13);
-  return CsrMatrix::FromCoo(num_nodes, num_nodes, std::move(coords),
-                            std::move(values));
+  if (add_self_loops) {
+    for (int i = 0; i < num_nodes; ++i) {
+      if (keep_node == nullptr || (*keep_node)[i]) builder.CountEntry(i);
+    }
+  }
+  builder.FinishCounting();
+
+  for (const auto& [u, v] : edges) {
+    if (!edge_kept(u, v)) continue;
+    builder.AddEntry(u, v, inv_sqrt[u] * inv_sqrt[v]);
+    builder.AddEntry(v, u, inv_sqrt[v] * inv_sqrt[u]);
+  }
+  if (add_self_loops) {
+    for (int i = 0; i < num_nodes; ++i) {
+      if (keep_node == nullptr || (*keep_node)[i]) {
+        builder.AddEntry(i, i, inv_sqrt[i] * inv_sqrt[i]);
+      }
+    }
+  }
+  return builder.Build();
 }
 
 }  // namespace
@@ -92,13 +91,17 @@ std::vector<int> Degrees(int num_nodes, const EdgeList& edges) {
 }
 
 CsrMatrix BuildAdjacency(int num_nodes, const EdgeList& edges) {
-  std::vector<std::pair<int, int>> coords;
-  coords.reserve(edges.size() * 2);
-  SymmetricCoo(edges, nullptr, coords);
-  std::vector<float> values(coords.size(), 1.0f);
-  CsrMatrix a = CsrMatrix::FromCoo(num_nodes, num_nodes, std::move(coords),
-                                   std::move(values));
-  return a;
+  CsrBuilder builder(num_nodes, num_nodes);
+  for (const auto& [u, v] : edges) {
+    builder.CountEntry(u);
+    builder.CountEntry(v);
+  }
+  builder.FinishCounting();
+  for (const auto& [u, v] : edges) {
+    builder.AddEntry(u, v, 1.0f);
+    builder.AddEntry(v, u, 1.0f);
+  }
+  return builder.Build();
 }
 
 CsrMatrix NormalizedAdjacency(int num_nodes, const EdgeList& edges,
@@ -109,29 +112,35 @@ CsrMatrix NormalizedAdjacency(int num_nodes, const EdgeList& edges,
 CsrMatrix RandomWalkAdjacency(int num_nodes, const EdgeList& edges,
                               bool add_self_loops) {
   const ScopedTimer timer("sparse.adjacency_random_walk", /*items=*/num_nodes);
-  std::vector<std::pair<int, int>> coords;
-  coords.reserve(edges.size() * 2 + (add_self_loops ? num_nodes : 0));
-  SymmetricCoo(edges, nullptr, coords);
-  std::vector<int> degree(num_nodes, 0);
-  for (const auto& [r, c] : coords) {
-    (void)c;
-    degree[r] += 1;
+  CsrBuilder builder(num_nodes, num_nodes);
+  for (const auto& [u, v] : edges) {
+    builder.CountEntry(u);
+    builder.CountEntry(v);
   }
-  if (add_self_loops) {
-    for (int i = 0; i < num_nodes; ++i) coords.emplace_back(i, i);
-  }
-  std::vector<float> values(coords.size());
+  // Every entry in row i carries the same 1/(d_i + loops) weight, so the
+  // per-coordinate division of the COO path folds into one per-node map.
+  std::vector<float> inv_deg(num_nodes, 0.0f);
   ParallelFor(
-      0, static_cast<int64_t>(coords.size()),
+      0, num_nodes,
       [&](int64_t lo, int64_t hi) {
-        for (int64_t k = lo; k < hi; ++k) {
-          const int d = degree[coords[k].first] + (add_self_loops ? 1 : 0);
-          values[k] = d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+        for (int64_t i = lo; i < hi; ++i) {
+          const int64_t d = builder.RowCount(i) + (add_self_loops ? 1 : 0);
+          inv_deg[i] = d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
         }
       },
       /*min_per_thread=*/1 << 13);
-  return CsrMatrix::FromCoo(num_nodes, num_nodes, std::move(coords),
-                            std::move(values));
+  if (add_self_loops) {
+    for (int i = 0; i < num_nodes; ++i) builder.CountEntry(i);
+  }
+  builder.FinishCounting();
+  for (const auto& [u, v] : edges) {
+    builder.AddEntry(u, v, inv_deg[u]);
+    builder.AddEntry(v, u, inv_deg[v]);
+  }
+  if (add_self_loops) {
+    for (int i = 0; i < num_nodes; ++i) builder.AddEntry(i, i, inv_deg[i]);
+  }
+  return builder.Build();
 }
 
 CsrMatrix DropEdgeAdjacency(int num_nodes, const EdgeList& edges,
@@ -172,6 +181,34 @@ std::vector<int> ConnectedComponents(int num_nodes, const EdgeList& edges) {
       const int u = frontier.front();
       frontier.pop();
       for (const int v : neighbors[u]) {
+        if (component[v] < 0) {
+          component[v] = next_id;
+          frontier.push(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+std::vector<int> ConnectedComponentsCsr(const CsrMatrix& adjacency) {
+  const int n = adjacency.rows();
+  SKIPNODE_CHECK(adjacency.cols() == n);
+  const std::vector<int>& cols = adjacency.col_idx();
+  std::vector<int> component(n, -1);
+  int next_id = 0;
+  std::queue<int> frontier;
+  for (int start = 0; start < n; ++start) {
+    if (component[start] >= 0) continue;
+    component[start] = next_id;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      const int64_t end = adjacency.RowEnd(u);
+      for (int64_t e = adjacency.RowBegin(u); e < end; ++e) {
+        const int v = cols[static_cast<size_t>(e)];
         if (component[v] < 0) {
           component[v] = next_id;
           frontier.push(v);

@@ -25,7 +25,8 @@ using EdgeList = std::vector<std::pair<int, int>>;
 std::vector<int> Degrees(int num_nodes, const EdgeList& edges);
 
 // Builds the symmetric binary adjacency A (no self-loops) from an undirected
-// edge list. Duplicate edges collapse to a single unit entry.
+// edge list. Duplicate listed edges sum their unit weights (the COO-era
+// semantics, preserved bit for bit by the streaming builder).
 CsrMatrix BuildAdjacency(int num_nodes, const EdgeList& edges);
 
 // GCN re-normalised adjacency: A_hat = (D+I)^{-1/2} (A+I) (D+I)^{-1/2}.
@@ -55,6 +56,11 @@ CsrMatrix DropNodeAdjacency(int num_nodes, const EdgeList& edges,
 
 // Connected components via BFS; returns per-node component id in [0, k).
 std::vector<int> ConnectedComponents(int num_nodes, const EdgeList& edges);
+
+// Connected components over a CSR adjacency pattern (values and self-loops
+// are irrelevant to connectivity). The edge-list-free variant for CSR-backed
+// graphs whose edge list was never materialised (DESIGN §13).
+std::vector<int> ConnectedComponentsCsr(const CsrMatrix& adjacency);
 
 }  // namespace skipnode
 

@@ -184,23 +184,35 @@ Matrix Sub(const Matrix& a, const Matrix& b) {
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
-  SKIPNODE_CHECK(a.SameShape(b));
-  Matrix out = a;
-  const float* __restrict bd = b.data();
-  float* __restrict od = out.data();
-  ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) od[i] *= bd[i];
-  });
+  Matrix out(a.rows(), a.cols());
+  HadamardInto(a, b, out);
   return out;
 }
 
-Matrix Scale(const Matrix& a, float s) {
-  Matrix out = a;
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  SKIPNODE_CHECK(a.SameShape(b));
+  SKIPNODE_CHECK(a.SameShape(out));
+  const float* __restrict ad = a.data();
+  const float* __restrict bd = b.data();
   float* __restrict od = out.data();
   ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) od[i] *= s;
+    for (int64_t i = lo; i < hi; ++i) od[i] = ad[i] * bd[i];
   });
+}
+
+Matrix Scale(const Matrix& a, float s) {
+  Matrix out(a.rows(), a.cols());
+  ScaleInto(a, s, out);
   return out;
+}
+
+void ScaleInto(const Matrix& a, float s, Matrix& out) {
+  SKIPNODE_CHECK(a.SameShape(out));
+  const float* __restrict ad = a.data();
+  float* __restrict od = out.data();
+  ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) od[i] = ad[i] * s;
+  });
 }
 
 void AddScaled(const Matrix& a, float s, Matrix& out) {
@@ -213,13 +225,19 @@ void AddScaled(const Matrix& a, float s, Matrix& out) {
 }
 
 Matrix Relu(const Matrix& x) {
+  Matrix out(x.rows(), x.cols());
+  ReluInto(x, out);
+  return out;
+}
+
+void ReluInto(const Matrix& x, Matrix& out) {
   const ScopedTimer timer("tensor.relu", /*items=*/x.rows());
-  Matrix out = x;
+  SKIPNODE_CHECK(x.SameShape(out));
+  const float* __restrict xd = x.data();
   float* __restrict od = out.data();
   ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) od[i] = std::max(od[i], 0.0f);
+    for (int64_t i = lo; i < hi; ++i) od[i] = std::max(xd[i], 0.0f);
   });
-  return out;
 }
 
 Matrix ReluBackward(const Matrix& x, const Matrix& grad) {

@@ -79,9 +79,16 @@ Matrix Hadamard(const Matrix& a, const Matrix& b);
 Matrix Scale(const Matrix& a, float s);
 // out += s * a.
 void AddScaled(const Matrix& a, float s, Matrix& out);
+// `Into` variants write into a caller-owned buffer (same shape required) so
+// tape ops can stage results in pool-acquired matrices instead of fresh
+// heap copies; every element is overwritten with the same arithmetic as the
+// returning forms, so the results are bitwise identical.
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix& out);
+void ScaleInto(const Matrix& a, float s, Matrix& out);
 
 // ReLU(x) element-wise.
 Matrix Relu(const Matrix& x);
+void ReluInto(const Matrix& x, Matrix& out);
 // Gradient pass-through: returns grad .* (x > 0).
 Matrix ReluBackward(const Matrix& x, const Matrix& grad);
 

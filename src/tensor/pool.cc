@@ -33,14 +33,18 @@ void SetMatrixPoolEnabled(bool enabled) {
 Matrix MatrixPool::Acquire(int rows, int cols) {
   SKIPNODE_CHECK(rows >= 0 && cols >= 0);
   const int64_t size = static_cast<int64_t>(rows) * cols;
+  const int64_t bytes = size * static_cast<int64_t>(sizeof(float));
   if (MatrixPoolEnabled() && size > 0) {
     std::unique_lock<std::mutex> lock(mutex_);
     auto it = buckets_.find({rows, cols});
-    if (it != buckets_.end() && !it->second.empty()) {
-      std::vector<float> storage = std::move(it->second.back());
-      it->second.pop_back();
+    if (it != buckets_.end() && !it->second.buffers.empty()) {
+      std::vector<float> storage = std::move(it->second.buffers.back());
+      it->second.buffers.pop_back();
+      it->second.bytes -= bytes;
+      bytes_retained_ -= bytes;
       lock.unlock();
       CountMetric("pool.hit", size);
+      CountMetric("pool.bytes_retained", -bytes);
       // Zeroing keeps Acquire bit-for-bit equivalent to Matrix(rows, cols).
       std::fill(storage.begin(), storage.end(), 0.0f);
       return Matrix(rows, cols, std::move(storage));
@@ -53,23 +57,57 @@ Matrix MatrixPool::Acquire(int rows, int cols) {
 void MatrixPool::Release(Matrix m) {
   if (!MatrixPoolEnabled() || m.size() == 0) return;
   const std::pair<int, int> key{m.rows(), m.cols()};
+  const int64_t bytes = m.size() * static_cast<int64_t>(sizeof(float));
   std::vector<float> storage = std::move(m).TakeStorage();
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<std::vector<float>>& bucket = buckets_[key];
-  if (static_cast<int>(bucket.size()) < kMaxBuffersPerBucket) {
-    bucket.push_back(std::move(storage));
+  std::unique_lock<std::mutex> lock(mutex_);
+  Bucket& bucket = buckets_[key];
+  if (static_cast<int>(bucket.buffers.size()) >= kMaxBuffersPerBucket ||
+      bucket.bytes + bytes > kMaxBytesPerBucket) {
+    return;  // Either cap hit: the storage frees on scope exit.
   }
+  bucket.buffers.push_back(std::move(storage));
+  bucket.bytes += bytes;
+  bytes_retained_ += bytes;
+  lock.unlock();
+  CountMetric("pool.bytes_retained", bytes);
 }
 
-void MatrixPool::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  buckets_.clear();
+int64_t MatrixPool::Trim(int64_t target_bytes) {
+  SKIPNODE_CHECK(target_bytes >= 0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  int64_t freed = 0;
+  // Largest shapes live at the end of the (rows, cols)-ordered map; free
+  // those first so a small target keeps the cheap hot buckets.
+  for (auto it = buckets_.rbegin();
+       it != buckets_.rend() && bytes_retained_ > target_bytes; ++it) {
+    Bucket& bucket = it->second;
+    while (!bucket.buffers.empty() && bytes_retained_ > target_bytes) {
+      const int64_t bytes =
+          static_cast<int64_t>(bucket.buffers.back().size()) *
+          static_cast<int64_t>(sizeof(float));
+      bucket.buffers.pop_back();
+      bucket.bytes -= bytes;
+      bytes_retained_ -= bytes;
+      freed += bytes;
+    }
+  }
+  lock.unlock();
+  if (freed > 0) CountMetric("pool.bytes_retained", -freed);
+  return freed;
 }
+
+void MatrixPool::Clear() { Trim(0); }
 
 int MatrixPool::BucketSize(int rows, int cols) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = buckets_.find({rows, cols});
-  return it == buckets_.end() ? 0 : static_cast<int>(it->second.size());
+  return it == buckets_.end() ? 0
+                              : static_cast<int>(it->second.buffers.size());
+}
+
+int64_t MatrixPool::bytes_retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_retained_;
 }
 
 MatrixPool& GlobalMatrixPool() {

@@ -16,10 +16,12 @@
 //     Tapes; a mutex makes it safe anyway (snapshots, tests).
 //
 // Telemetry: every Acquire bumps pool.hit (recycled storage) or pool.miss
-// (fresh allocation); items carries the buffer element count. Disable the
-// pool entirely with SetMatrixPoolEnabled(false) or SKIPNODE_POOL=0 —
-// Acquire then always allocates and Release frees, reproducing the
-// pre-pool behaviour exactly.
+// (fresh allocation); items carries the buffer element count. The signed
+// counter pool.bytes_retained tracks bytes parked in the pool (positive on
+// retain, negative on free), so a snapshot's running total is the resident
+// pool footprint. Disable the pool entirely with
+// SetMatrixPoolEnabled(false) or SKIPNODE_POOL=0 — Acquire then always
+// allocates and Release frees, reproducing the pre-pool behaviour exactly.
 
 #ifndef SKIPNODE_TENSOR_POOL_H_
 #define SKIPNODE_TENSOR_POOL_H_
@@ -47,22 +49,42 @@ class MatrixPool {
   // full step of a deep stack.
   static constexpr int kMaxBuffersPerBucket = 512;
 
+  // Byte ceiling per bucket: at streaming scale a single 1M x 64 buffer is
+  // 256 MiB, so the count cap alone no longer bounds the pool's footprint.
+  // A release that would push its bucket past the cap frees instead.
+  static constexpr int64_t kMaxBytesPerBucket = int64_t{256} << 20;
+
   // Zero-filled rows x cols matrix, recycled when the bucket has storage.
   Matrix Acquire(int rows, int cols);
 
   // Returns the matrix's storage to its shape bucket (or frees it when the
-  // bucket is full or the pool is disabled). The moved-from matrix is 0x0.
+  // bucket is at either cap or the pool is disabled). The moved-from matrix
+  // is 0x0.
   void Release(Matrix m);
 
-  // Frees every pooled buffer (tests, memory pressure).
+  // Frees pooled buffers (largest shapes first) until at most target_bytes
+  // remain; returns the bytes freed. Trim(0) empties the pool — what
+  // bench/scale calls between cells so one cell's workspaces don't count
+  // against the next cell's peak-RSS budget.
+  int64_t Trim(int64_t target_bytes = 0);
+
+  // Frees every pooled buffer (tests, memory pressure). Same as Trim(0).
   void Clear();
 
   // Number of buffers currently pooled for the given shape.
   int BucketSize(int rows, int cols) const;
 
+  // Total bytes currently parked in the pool.
+  int64_t bytes_retained() const;
+
  private:
+  struct Bucket {
+    std::vector<std::vector<float>> buffers;
+    int64_t bytes = 0;
+  };
   mutable std::mutex mutex_;
-  std::map<std::pair<int, int>, std::vector<std::vector<float>>> buckets_;
+  std::map<std::pair<int, int>, Bucket> buckets_;
+  int64_t bytes_retained_ = 0;
 };
 
 // The pool every Tape draws from.

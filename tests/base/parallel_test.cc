@@ -195,7 +195,8 @@ TEST_F(ParallelTest, BalancedEmptyRangeAndMinCostCap) {
   SetParallelThreadCount(8);
   std::vector<int> prefix = {0, 10, 20, 30, 40};
   int calls = 0;
-  ParallelForBalanced(0, nullptr, [&](int64_t, int64_t) { ++calls; });
+  ParallelForBalanced(0, static_cast<const int*>(nullptr),
+                      [&](int64_t, int64_t) { ++calls; });
   EXPECT_EQ(calls, 0);
   // Total cost 40 at >= 25 per chunk allows at most one chunk.
   std::atomic<int> chunk_calls{0};

@@ -5,8 +5,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "base/parallel.h"
+#include "sparse/csr_matrix.h"
+#include "sparse/graph_ops.h"
 
 namespace skipnode {
 namespace {
@@ -98,6 +105,178 @@ TEST(DatasetsTest, HomophilicDatasetsAreHomophilic) {
     Graph graph = BuildDatasetByName(name, 0.3, 2);
     EXPECT_GT(graph.EdgeHomophily(), 0.6) << name;
   }
+}
+
+// The retired COO-era normalisation, reimplemented verbatim as the
+// reference: symmetric-entry degree counting (duplicates counted), +1 for
+// the self-loop, inv_sqrt in float, entries streamed edges-then-loops
+// through FromCoo. The streaming CsrBuilder path must reproduce it bit for
+// bit on every dataset (DESIGN §13).
+CsrMatrix CooReferenceNormalized(int n, const EdgeList& edges) {
+  std::vector<int64_t> degree(n, 0);
+  for (const auto& [u, v] : edges) {
+    ++degree[u];
+    ++degree[v];
+  }
+  std::vector<float> inv_sqrt(n);
+  for (int i = 0; i < n; ++i) {
+    inv_sqrt[i] =
+        1.0f / std::sqrt(static_cast<float>(degree[i] + 1));
+  }
+  std::vector<std::pair<int, int>> coords;
+  std::vector<float> values;
+  for (const auto& [u, v] : edges) {
+    coords.push_back({u, v});
+    values.push_back(inv_sqrt[u] * inv_sqrt[v]);
+    coords.push_back({v, u});
+    values.push_back(inv_sqrt[v] * inv_sqrt[u]);
+  }
+  for (int i = 0; i < n; ++i) {
+    coords.push_back({i, i});
+    values.push_back(inv_sqrt[i] * inv_sqrt[i]);
+  }
+  return CsrMatrix::FromCoo(n, n, std::move(coords), std::move(values));
+}
+
+void ExpectIdenticalCsr(const CsrMatrix& a, const CsrMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (int r = 0; r <= a.rows(); ++r) {
+    ASSERT_EQ(a.row_offsets()[static_cast<size_t>(r)],
+              b.row_offsets()[static_cast<size_t>(r)])
+        << "row " << r;
+  }
+  for (int64_t e = 0; e < a.nnz(); ++e) {
+    const size_t i = static_cast<size_t>(e);
+    ASSERT_EQ(a.col_idx()[i], b.col_idx()[i]) << "entry " << e;
+    ASSERT_EQ(a.values()[i], b.values()[i]) << "entry " << e;  // bitwise
+  }
+}
+
+TEST(DatasetsTest, StreamingNormalizationBitwiseMatchesCooOnEveryDataset) {
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    const double scale = spec.num_nodes > 3000 ? 0.15 : 0.3;
+    Graph graph = BuildDataset(spec, scale, /*seed=*/3);
+    const CsrMatrix reference =
+        CooReferenceNormalized(graph.num_nodes(), graph.edges());
+    for (const int threads : {1, 4, 8}) {
+      SetParallelThreadCount(threads);
+      const CsrMatrix streamed =
+          NormalizedAdjacency(graph.num_nodes(), graph.edges());
+      ExpectIdenticalCsr(reference, streamed);
+    }
+    SetParallelThreadCount(0);
+  }
+}
+
+TEST(DatasetsTest, ParseDatasetRequestSuffixes) {
+  DatasetRequest request;
+  EXPECT_TRUE(ParseDatasetRequest("cora_like", &request));
+  EXPECT_EQ(request.name, "cora_like");
+  EXPECT_EQ(request.nodes, 0);
+
+  EXPECT_TRUE(ParseDatasetRequest("synth@1m", &request));
+  EXPECT_EQ(request.name, "synth");
+  EXPECT_EQ(request.nodes, 1000000);
+
+  EXPECT_TRUE(ParseDatasetRequest("arxiv_like@169k", &request));
+  EXPECT_EQ(request.name, "arxiv_like");
+  EXPECT_EQ(request.nodes, 169000);
+
+  EXPECT_TRUE(ParseDatasetRequest("synth@2M", &request));  // case-insensitive
+  EXPECT_EQ(request.nodes, 2000000);
+
+  EXPECT_TRUE(ParseDatasetRequest("synth@12345", &request));
+  EXPECT_EQ(request.nodes, 12345);
+
+  DatasetRequest untouched;
+  untouched.nodes = 77;
+  EXPECT_FALSE(ParseDatasetRequest("synth@", &untouched));
+  EXPECT_FALSE(ParseDatasetRequest("synth@10q", &untouched));
+  EXPECT_FALSE(ParseDatasetRequest("synth@k", &untouched));
+  // A failed parse leaves the request untouched.
+  EXPECT_EQ(untouched.nodes, 77);
+}
+
+TEST(DatasetsTest, RegistryKnowsEveryClassicSpecPlusSynth) {
+  DatasetRegistry& registry = DatasetRegistry::Global();
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    EXPECT_TRUE(registry.Contains(spec.name)) << spec.name;
+  }
+  EXPECT_TRUE(registry.Contains("synth"));
+  EXPECT_FALSE(registry.Contains("nope"));
+  EXPECT_EQ(registry.NamesWithSummaries().size(), 10u);
+}
+
+TEST(DatasetsTest, RegistryUnmodifiedRequestIsLegacyPath) {
+  DatasetRequest request;
+  request.name = "cora_like";
+  request.scale = 0.2;
+  request.seed = 7;
+  Graph via_registry = DatasetRegistry::Global().Build(request);
+  Graph direct = BuildDatasetByName("cora_like", 0.2, 7);
+  EXPECT_FALSE(via_registry.csr_backed());
+  ASSERT_EQ(via_registry.num_edges(), direct.num_edges());
+  EXPECT_EQ(via_registry.edges(), direct.edges());
+  EXPECT_EQ(via_registry.labels(), direct.labels());
+}
+
+TEST(DatasetsTest, NodeOverrideStreamsClassicSpecIntoCsr) {
+  DatasetRequest request;
+  request.name = "cora_like";
+  request.seed = 7;
+  request.nodes = 5000;
+  Graph graph = DatasetRegistry::Global().Build(request);
+  EXPECT_TRUE(graph.csr_backed());
+  EXPECT_EQ(graph.num_nodes(), 5000);
+  EXPECT_EQ(graph.num_classes(), 7);
+  EXPECT_GT(graph.num_edges(), 0);
+  EXPECT_GT(graph.MemoryFootprintBytes(), 0);
+}
+
+TEST(DatasetsTest, StreamingSynthIsDeterministicAndHomophilous) {
+  DatasetRequest request;
+  request.name = "synth";
+  request.seed = 5;
+  request.nodes = 20000;
+  Graph a = DatasetRegistry::Global().Build(request);
+  Graph b = DatasetRegistry::Global().Build(request);
+  EXPECT_TRUE(a.csr_backed());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.labels(), b.labels());
+  ExpectIdenticalCsr(*a.normalized_adjacency(), *b.normalized_adjacency());
+
+  EXPECT_EQ(a.num_nodes(), 20000);
+  EXPECT_EQ(a.feature_dim(), 32);
+  EXPECT_EQ(a.num_classes(), 10);
+  // Default degree follows the spec ratio (10); homophily near the target.
+  const double avg_degree =
+      2.0 * a.num_edges() / static_cast<double>(a.num_nodes());
+  EXPECT_NEAR(avg_degree, 10.0, 1.0);
+  EXPECT_NEAR(a.EdgeHomophily(), 0.80, 0.10);
+
+  // The edge list is gone at streaming scale: components and MAD-style
+  // walks go through the CSR pattern instead.
+  const std::vector<int>& comp = a.components();
+  EXPECT_EQ(static_cast<int>(comp.size()), a.num_nodes());
+
+  // avg_degree override sizes the graph densely.
+  request.avg_degree = 30.0;
+  Graph dense = DatasetRegistry::Global().Build(request);
+  const double dense_degree =
+      2.0 * dense.num_edges() / static_cast<double>(dense.num_nodes());
+  EXPECT_NEAR(dense_degree, 30.0, 3.0);
+}
+
+TEST(GraphTest, CsrBackedGraphRefusesEdgeList) {
+  DatasetRequest request;
+  request.name = "synth";
+  request.seed = 5;
+  request.nodes = 2000;
+  Graph graph = DatasetRegistry::Global().Build(request);
+  ASSERT_TRUE(graph.csr_backed());
+  EXPECT_DEATH(graph.edges(), "CSR-backed");
 }
 
 TEST(GraphTest, NormalizedAdjacencyIsCachedAndShared) {

@@ -122,7 +122,10 @@ TEST(CsrMatrixTest, TransposePlanMatchesFromCooTranspose) {
   CsrMatrix t = CsrMatrix::FromCoo(m.cols(), m.rows(), std::move(coords),
                                    std::move(values));
 
-  EXPECT_EQ(plan.row_ptr, t.row_ptr());
+  ASSERT_EQ(plan.row_ptr.size(), t.row_ptr().size());
+  for (size_t c = 0; c < plan.row_ptr.size(); ++c) {
+    EXPECT_EQ(plan.row_ptr[c], t.row_ptr()[c]) << "offset " << c;
+  }
   EXPECT_EQ(plan.src_row, t.col_idx());
   ASSERT_EQ(plan.value_perm.size(), t.values().size());
   for (size_t e = 0; e < plan.value_perm.size(); ++e) {

@@ -86,6 +86,70 @@ TEST(MatrixPoolTest, DisabledPoolAllocatesAndFrees) {
   SetMatrixPoolEnabled(true);
 }
 
+TEST(MatrixPoolTest, BytesRetainedTracksReleasesAndAcquires) {
+  MatrixPool pool;
+  EXPECT_EQ(pool.bytes_retained(), 0);
+  pool.Release(pool.Acquire(2, 3));
+  EXPECT_EQ(pool.bytes_retained(), 2 * 3 * 4);
+  pool.Release(pool.Acquire(5, 1));
+  EXPECT_EQ(pool.bytes_retained(), 2 * 3 * 4 + 5 * 4);
+  Matrix m = pool.Acquire(2, 3);  // pops the (2, 3) buffer
+  EXPECT_EQ(pool.bytes_retained(), 5 * 4);
+  pool.Clear();
+  EXPECT_EQ(pool.bytes_retained(), 0);
+}
+
+TEST(MatrixPoolTest, BucketByteCapFreesOverflow) {
+  MatrixPool pool;
+  // Rows sized so two buffers fit under the byte cap but three do not.
+  const int64_t cap_rows = MatrixPool::kMaxBytesPerBucket / (2LL * 4) / 2;
+  ASSERT_LT(cap_rows, static_cast<int64_t>(1) << 31);
+  const int rows = static_cast<int>(cap_rows);
+  for (int i = 0; i < 3; ++i) pool.Release(Matrix(rows, 2));
+  EXPECT_EQ(pool.BucketSize(rows, 2), 2);
+  EXPECT_LE(pool.bytes_retained(), MatrixPool::kMaxBytesPerBucket);
+  pool.Clear();
+}
+
+TEST(MatrixPoolTest, TrimFreesLargestShapesFirst) {
+  MatrixPool pool;
+  pool.Release(Matrix(2, 2));    // 16 bytes
+  pool.Release(Matrix(10, 10));  // 400 bytes
+  pool.Release(Matrix(50, 10));  // 2000 bytes
+  EXPECT_EQ(pool.bytes_retained(), 16 + 400 + 2000);
+
+  // Trimming to 500 bytes must drop the big buffer and keep the small ones.
+  const int64_t freed = pool.Trim(500);
+  EXPECT_EQ(freed, 2000);
+  EXPECT_EQ(pool.bytes_retained(), 416);
+  EXPECT_EQ(pool.BucketSize(50, 10), 0);
+  EXPECT_EQ(pool.BucketSize(10, 10), 1);
+  EXPECT_EQ(pool.BucketSize(2, 2), 1);
+
+  // Trim(0) empties the pool and reports the remainder.
+  EXPECT_EQ(pool.Trim(0), 416);
+  EXPECT_EQ(pool.bytes_retained(), 0);
+  EXPECT_EQ(pool.Trim(0), 0);
+}
+
+TEST(MatrixPoolTest, BytesRetainedTelemetryIsSigned) {
+  MatrixPool pool;
+  SetTelemetryEnabled(true);
+  ResetTelemetry();
+  pool.Release(pool.Acquire(4, 4));   // +64 bytes
+  Matrix m = pool.Acquire(4, 4);      // -64 bytes (recycled)
+  pool.Release(std::move(m));         // +64 bytes
+  pool.Trim(0);                       // -64 bytes
+  const TelemetrySnapshot snapshot = SnapshotTelemetry();
+  SetTelemetryEnabled(false);
+
+  const MetricStat* retained = snapshot.Find("pool.bytes_retained");
+  ASSERT_NE(retained, nullptr);
+  // The running item total nets to zero: everything parked was released.
+  EXPECT_EQ(retained->items, 0);
+  EXPECT_EQ(pool.bytes_retained(), 0);
+}
+
 TEST(MatrixPoolTest, TelemetryCountsHitsAndMisses) {
   MatrixPool pool;
   SetTelemetryEnabled(true);

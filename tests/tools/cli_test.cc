@@ -125,6 +125,33 @@ TEST(CliTest, MetricsOutWritesEpochAndSummaryRecords) {
   EXPECT_NE(lines.back().find("tensor.gemm"), std::string::npos);
 }
 
+TEST(CliTest, TrainsOnStreamingDatasetWithSizeSuffix) {
+  const CliResult result =
+      RunTool({"--dataset", "synth@2k", "--model", "GCN", "--layers", "2",
+               "--hidden", "8", "--epochs", "5", "--split", "random",
+               "--seed", "3"});
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("test accuracy"), std::string::npos);
+}
+
+TEST(CliTest, NodesAndAvgDegreeOverridesStreamClassicSpecs) {
+  const CliResult result =
+      RunTool({"--dataset", "cora_like", "--nodes", "2000", "--avg-degree",
+               "6", "--model", "GCN", "--layers", "2", "--hidden", "8",
+               "--epochs", "5", "--split", "random"});
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("2000 nodes"), std::string::npos);
+}
+
+TEST(CliTest, RejectsBadSizeSuffixAndNegativeOverrides) {
+  const CliResult bad_suffix = RunTool({"--dataset", "synth@10q"});
+  EXPECT_EQ(bad_suffix.exit_code, 1);
+  EXPECT_NE(bad_suffix.output.find("size suffix"), std::string::npos);
+  EXPECT_EQ(RunTool({"--dataset", "synth", "--nodes", "-5"}).exit_code, 1);
+  EXPECT_EQ(RunTool({"--dataset", "synth", "--avg-degree", "-1"}).exit_code,
+            1);
+}
+
 TEST(CliTest, RejectsBadScaleAndLayers) {
   EXPECT_EQ(RunTool({"--dataset", "cornell_like", "--scale", "0"}).exit_code, 1);
   EXPECT_EQ(RunTool({"--dataset", "cornell_like", "--layers", "1", "--epochs",

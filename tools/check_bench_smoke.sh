@@ -6,7 +6,8 @@
 # (tensor.gemm, sparse.spmm) plus positive per-epoch timings, micro must
 # show the fused SkipNode propagation beating the naive path at rho=0.5,
 # and serve must show 8-client batched serving at >= 2x the EvaluateLogits
-# baseline throughput.
+# baseline throughput. scale must keep peak RSS within 2x of the resident
+# CSR+features footprint at its checked streaming cell.
 # When tools/BENCH_baseline.jsonl exists each run is also diffed against it:
 # missing (cell, metric) pairs fail (schema drift), slow cells only warn.
 # Refresh the baseline by re-running this script with
@@ -27,7 +28,8 @@ fi
 DEFAULT_BENCHES="ablation_skipnode fig2_three_issues fig4_distance_ratio \
 fig5_rho_sensitivity micro_kernels table3_full_supervised table4_arxiv_depth \
 table5_link_prediction table6_semi_supervised_depth \
-table7_strategy_comparison table8_efficiency serve_latency"
+table7_strategy_comparison table8_efficiency serve_latency \
+scale_depth_size"
 BENCHES="${BENCHES:-$DEFAULT_BENCHES}"
 BASELINE="tools/BENCH_baseline.jsonl"
 

@@ -5,7 +5,6 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <memory>
 #include <string>
 
@@ -17,6 +16,7 @@
 #include "graph/splits.h"
 #include "nn/checkpoint.h"
 #include "nn/model_factory.h"
+#include "tools/cli_flags.h"
 #include "train/metrics.h"
 #include "train/trainer.h"
 
@@ -28,12 +28,18 @@ constexpr char kUsage[] = R"(skipnode_train: train a GNN with a plug-and-play st
 Data source (pick one):
   --dataset NAME        built-in synthetic dataset (cora_like, citeseer_like,
                         pubmed_like, chameleon_like, cornell_like, texas_like,
-                        wisconsin_like, arxiv_like, ppa_like)
+                        wisconsin_like, arxiv_like, ppa_like, synth); NAME may
+                        carry an @SIZE node-count suffix ("arxiv_like@169k",
+                        "synth@1m"), which builds through the streaming CSR
+                        path
   --edges FILE --features FILE --labels FILE
                         user files: edge list ("u v" per line), CSV feature
                         matrix, one integer label per line
 Options:
   --scale F             dataset scale in (0, 1] for built-ins   (default 1.0)
+  --nodes N             node-count override (0 = spec size); any override
+                        switches to the streaming CSR path      (default 0)
+  --avg-degree F        average-degree override (0 = spec edge/node ratio)
   --seed N              RNG seed for data/init/training         (default 1)
   --model NAME          GCN GAT ResGCN JKNet IncepGCN GCNII APPNP GPRGNN
                         GRAND SGC                               (default GCN)
@@ -71,17 +77,8 @@ Fault injection (testing the guardrails):
 )";
 
 struct CliOptions {
-  std::string dataset;
+  ModelDataFlags md;
   std::string edges_path, features_path, labels_path;
-  double scale = 1.0;
-  uint64_t seed = 1;
-  std::string model = "GCN";
-  int layers = 2;
-  int hidden = 64;
-  float dropout = 0.5f;
-  std::string strategy = "none";
-  float rate = 0.5f;
-  int epochs = 200;
   float learning_rate = 0.01f;
   float weight_decay = 5e-4f;
   int log_every = 0;
@@ -98,121 +95,6 @@ struct CliOptions {
   int inject_epoch = 0;
   std::string inject_kind = "nan";
 };
-
-// Parses flags into `options`; returns false (with a message) on errors.
-bool ParseFlags(int argc, const char* const* argv, CliOptions* options,
-                std::FILE* out) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--help") {
-      std::fputs(kUsage, out);
-      return false;
-    }
-    if (flag == "--health") {  // Boolean flag: takes no value.
-      options->health = true;
-      continue;
-    }
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) return nullptr;
-      return argv[++i];
-    };
-    const char* value = next();
-    if (value == nullptr) {
-      std::fprintf(out, "error: flag %s needs a value\n", flag.c_str());
-      return false;
-    }
-    if (flag == "--dataset") {
-      options->dataset = value;
-    } else if (flag == "--edges") {
-      options->edges_path = value;
-    } else if (flag == "--features") {
-      options->features_path = value;
-    } else if (flag == "--labels") {
-      options->labels_path = value;
-    } else if (flag == "--scale") {
-      options->scale = std::atof(value);
-    } else if (flag == "--seed") {
-      options->seed = std::strtoull(value, nullptr, 10);
-    } else if (flag == "--model") {
-      options->model = value;
-    } else if (flag == "--layers") {
-      options->layers = std::atoi(value);
-    } else if (flag == "--hidden") {
-      options->hidden = std::atoi(value);
-    } else if (flag == "--dropout") {
-      options->dropout = static_cast<float>(std::atof(value));
-    } else if (flag == "--strategy") {
-      options->strategy = value;
-    } else if (flag == "--rate") {
-      options->rate = static_cast<float>(std::atof(value));
-    } else if (flag == "--epochs") {
-      options->epochs = std::atoi(value);
-    } else if (flag == "--lr") {
-      options->learning_rate = static_cast<float>(std::atof(value));
-    } else if (flag == "--weight-decay") {
-      options->weight_decay = static_cast<float>(std::atof(value));
-    } else if (flag == "--log-every") {
-      options->log_every = std::atoi(value);
-    } else if (flag == "--metrics-out") {
-      options->metrics_out = value;
-    } else if (flag == "--split") {
-      options->split = value;
-    } else if (flag == "--save-dir") {
-      options->save_dir = value;
-    } else if (flag == "--load-dir") {
-      options->load_dir = value;
-    } else if (flag == "--check-every") {
-      options->check_every = std::atoi(value);
-    } else if (flag == "--max-rollbacks") {
-      options->max_rollbacks = std::atoi(value);
-    } else if (flag == "--lr-backoff") {
-      options->lr_backoff = static_cast<float>(std::atof(value));
-    } else if (flag == "--grad-clip") {
-      options->grad_clip = static_cast<float>(std::atof(value));
-    } else if (flag == "--inject") {
-      options->inject_site = value;
-    } else if (flag == "--inject-epoch") {
-      options->inject_epoch = std::atoi(value);
-    } else if (flag == "--inject-kind") {
-      options->inject_kind = value;
-    } else {
-      std::fprintf(out, "error: unknown flag %s (try --help)\n",
-                   flag.c_str());
-      return false;
-    }
-  }
-  return true;
-}
-
-bool MakeStrategy(const std::string& name, float rate,
-                  StrategyConfig* strategy, std::FILE* out) {
-  if (name == "none") {
-    *strategy = StrategyConfig::None();
-  } else if (name == "dropedge") {
-    *strategy = StrategyConfig::DropEdge(rate);
-  } else if (name == "dropnode") {
-    *strategy = StrategyConfig::DropNode(rate);
-  } else if (name == "pairnorm") {
-    *strategy = StrategyConfig::PairNorm();
-  } else if (name == "skipconn") {
-    *strategy = StrategyConfig::SkipConnection();
-  } else if (name == "skipnode-u") {
-    *strategy = StrategyConfig::SkipNodeU(rate);
-  } else if (name == "skipnode-b") {
-    *strategy = StrategyConfig::SkipNodeB(rate);
-  } else {
-    std::fprintf(out, "error: unknown strategy '%s'\n", name.c_str());
-    return false;
-  }
-  return true;
-}
-
-bool KnownModel(const std::string& name) {
-  for (const std::string& known : AllModelNames()) {
-    if (known == name) return true;
-  }
-  return false;
-}
 
 // Writes the per-epoch phase timings and a final summary (with the
 // aggregated telemetry snapshot) as JSONL; false on I/O failure.
@@ -247,33 +129,36 @@ bool WriteMetricsJsonl(const std::string& path, const TrainResult& result) {
   return std::fclose(sink) == 0 && ok;
 }
 
-bool KnownDataset(const std::string& name) {
-  for (const DatasetSpec& spec : AllDatasetSpecs()) {
-    if (spec.name == name) return true;
-  }
-  return false;
-}
-
 }  // namespace
 
 int RunCli(int argc, const char* const* argv, std::FILE* out) {
   CliOptions options;
-  if (!ParseFlags(argc, argv, &options, out)) return 1;
+  FlagParser parser(kUsage);
+  options.md.RegisterOn(&parser);
+  parser.AddString("--edges", &options.edges_path);
+  parser.AddString("--features", &options.features_path);
+  parser.AddString("--labels", &options.labels_path);
+  parser.AddFloat("--lr", &options.learning_rate);
+  parser.AddFloat("--weight-decay", &options.weight_decay);
+  parser.AddInt("--log-every", &options.log_every);
+  parser.AddString("--metrics-out", &options.metrics_out);
+  parser.AddString("--split", &options.split);
+  parser.AddString("--save-dir", &options.save_dir);
+  parser.AddString("--load-dir", &options.load_dir);
+  parser.AddBool("--health", &options.health);
+  parser.AddInt("--check-every", &options.check_every);
+  parser.AddInt("--max-rollbacks", &options.max_rollbacks);
+  parser.AddFloat("--lr-backoff", &options.lr_backoff);
+  parser.AddFloat("--grad-clip", &options.grad_clip);
+  parser.AddString("--inject", &options.inject_site);
+  parser.AddInt("--inject-epoch", &options.inject_epoch);
+  parser.AddString("--inject-kind", &options.inject_kind);
+  if (!parser.Parse(argc, argv, out)) return 1;
 
   // --- Data ---------------------------------------------------------------
   std::unique_ptr<Graph> graph;
-  if (!options.dataset.empty()) {
-    if (!KnownDataset(options.dataset)) {
-      std::fprintf(out, "error: unknown dataset '%s'\n",
-                   options.dataset.c_str());
-      return 1;
-    }
-    if (options.scale <= 0.0 || options.scale > 1.0) {
-      std::fprintf(out, "error: --scale must be in (0, 1]\n");
-      return 1;
-    }
-    graph = std::make_unique<Graph>(
-        BuildDatasetByName(options.dataset, options.scale, options.seed));
+  if (!options.md.dataset.empty()) {
+    if (!options.md.BuildGraph(&graph, out)) return 1;
   } else if (!options.edges_path.empty()) {
     if (options.features_path.empty() || options.labels_path.empty()) {
       std::fprintf(out,
@@ -295,7 +180,7 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
                graph->num_classes(), graph->EdgeHomophily());
 
   // --- Split --------------------------------------------------------------
-  Rng split_rng(options.seed);
+  Rng split_rng(options.md.seed);
   Split split;
   if (options.split == "public") {
     split = PublicSplit(*graph, 20, 500, 1000, split_rng);
@@ -307,28 +192,30 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
   }
 
   // --- Model & strategy ---------------------------------------------------
-  if (!KnownModel(options.model)) {
-    std::fprintf(out, "error: unknown model '%s'\n", options.model.c_str());
+  if (!KnownModelName(options.md.model)) {
+    std::fprintf(out, "error: unknown model '%s'\n",
+                 options.md.model.c_str());
     return 1;
   }
-  if (options.layers < 2) {
+  if (options.md.layers < 2) {
     std::fprintf(out, "error: --layers must be >= 2\n");
     return 1;
   }
   StrategyConfig strategy;
-  if (!MakeStrategy(options.strategy, options.rate, &strategy, out)) {
+  if (!MakeStrategyFromName(options.md.strategy, options.md.rate, &strategy,
+                            out)) {
     return 1;
   }
 
   ModelConfig config;
   config.in_dim = graph->feature_dim();
-  config.hidden_dim = options.hidden;
+  config.hidden_dim = options.md.hidden;
   config.out_dim = graph->num_classes();
-  config.num_layers = options.layers;
-  config.dropout = options.dropout;
+  config.num_layers = options.md.layers;
+  config.dropout = options.md.dropout;
 
-  Rng model_rng(options.seed + 7);
-  auto model = MakeModel(options.model, config, model_rng);
+  Rng model_rng(options.md.seed + 7);
+  auto model = MakeModel(options.md.model, config, model_rng);
   if (!options.load_dir.empty()) {
     if (!LoadModelParameters(*model, options.load_dir)) {
       std::fprintf(out,
@@ -342,10 +229,10 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
 
   // --- Train --------------------------------------------------------------
   TrainRun train_run;
-  train_run.options.epochs = options.epochs;
+  train_run.options.epochs = options.md.epochs;
   train_run.options.learning_rate = options.learning_rate;
   train_run.options.weight_decay = options.weight_decay;
-  train_run.options.seed = options.seed;
+  train_run.options.seed = options.md.seed;
   if (options.check_every < 1 || options.max_rollbacks < 0 ||
       options.lr_backoff <= 0.0f || options.lr_backoff > 1.0f ||
       options.grad_clip < 0.0f) {
@@ -371,7 +258,7 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
       return 1;
     }
     plan.epoch = options.inject_epoch;
-    plan.seed = options.seed + 41;
+    plan.seed = options.md.seed + 41;
     train_run.fault = plan;
   }
   if (options.log_every > 0) {
@@ -392,8 +279,8 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
     ResetTelemetry();
   }
   std::fprintf(out, "training %s (L=%d, hidden=%d) + %s for %d epochs\n",
-               options.model.c_str(), options.layers, options.hidden,
-               StrategyName(strategy.kind), options.epochs);
+               options.md.model.c_str(), options.md.layers, options.md.hidden,
+               StrategyName(strategy.kind), options.md.epochs);
   const TrainResult result =
       TrainNodeClassifier(*model, *graph, split, strategy, train_run);
   if (!options.metrics_out.empty() &&

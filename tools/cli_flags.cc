@@ -1,0 +1,161 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tools/cli_flags.h"
+
+#include <cstdlib>
+
+#include "base/check.h"
+#include "nn/model_factory.h"
+
+namespace skipnode {
+
+void FlagParser::Add(std::string name, bool boolean,
+                     std::function<void(const char*)> set) {
+  SKIPNODE_CHECK(Find(name) == nullptr);  // One registration per flag.
+  flags_.push_back({std::move(name), boolean, std::move(set)});
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target) {
+  Add(name, false, [target](const char* value) { *target = value; });
+}
+
+void FlagParser::AddInt(const std::string& name, int* target) {
+  Add(name, false, [target](const char* value) { *target = std::atoi(value); });
+}
+
+void FlagParser::AddInt64(const std::string& name, int64_t* target) {
+  Add(name, false,
+      [target](const char* value) { *target = std::atoll(value); });
+}
+
+void FlagParser::AddUint64(const std::string& name, uint64_t* target) {
+  Add(name, false, [target](const char* value) {
+    *target = std::strtoull(value, nullptr, 10);
+  });
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target) {
+  Add(name, false, [target](const char* value) { *target = std::atof(value); });
+}
+
+void FlagParser::AddFloat(const std::string& name, float* target) {
+  Add(name, false, [target](const char* value) {
+    *target = static_cast<float>(std::atof(value));
+  });
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target) {
+  Add(name, true, [target](const char*) { *target = true; });
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool FlagParser::Parse(int argc, const char* const* argv,
+                       std::FILE* out) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string name = argv[i];
+    if (name == "--help") {
+      std::fputs(usage_.c_str(), out);
+      return false;
+    }
+    const Flag* flag = Find(name);
+    if (flag != nullptr && flag->boolean) {
+      flag->set(nullptr);
+      continue;
+    }
+    // A trailing flag with no value reports missing-value even when the
+    // name is unknown — the behaviour both hand-rolled parsers had.
+    if (i + 1 >= argc) {
+      std::fprintf(out, "error: flag %s needs a value\n", name.c_str());
+      return false;
+    }
+    const char* value = argv[++i];
+    if (flag == nullptr) {
+      std::fprintf(out, "error: unknown flag %s (try --help)\n", name.c_str());
+      return false;
+    }
+    flag->set(value);
+  }
+  return true;
+}
+
+void ModelDataFlags::RegisterOn(FlagParser* parser) {
+  parser->AddString("--dataset", &dataset);
+  parser->AddDouble("--scale", &scale);
+  parser->AddUint64("--seed", &seed);
+  parser->AddString("--model", &model);
+  parser->AddInt("--layers", &layers);
+  parser->AddInt("--hidden", &hidden);
+  parser->AddFloat("--dropout", &dropout);
+  parser->AddString("--strategy", &strategy);
+  parser->AddFloat("--rate", &rate);
+  parser->AddInt("--epochs", &epochs);
+  parser->AddInt64("--nodes", &nodes);
+  parser->AddDouble("--avg-degree", &avg_degree);
+}
+
+bool ModelDataFlags::BuildGraph(std::unique_ptr<Graph>* graph,
+                                std::FILE* out) const {
+  DatasetRequest request;
+  request.scale = scale;
+  request.seed = seed;
+  request.avg_degree = avg_degree;
+  if (!ParseDatasetRequest(dataset, &request)) {
+    std::fprintf(out, "error: bad dataset size suffix in '%s'\n",
+                 dataset.c_str());
+    return false;
+  }
+  if (nodes > 0) request.nodes = nodes;  // Explicit flag beats @SIZE.
+  if (!DatasetRegistry::Global().Contains(request.name)) {
+    std::fprintf(out, "error: unknown dataset '%s'\n", request.name.c_str());
+    return false;
+  }
+  if (scale <= 0.0 || scale > 1.0) {
+    std::fprintf(out, "error: --scale must be in (0, 1]\n");
+    return false;
+  }
+  if (nodes < 0 || avg_degree < 0.0) {
+    std::fprintf(out, "error: --nodes/--avg-degree must be >= 0\n");
+    return false;
+  }
+  *graph = std::make_unique<Graph>(DatasetRegistry::Global().Build(request));
+  return true;
+}
+
+bool MakeStrategyFromName(const std::string& name, float rate,
+                          StrategyConfig* strategy, std::FILE* out) {
+  if (name == "none") {
+    *strategy = StrategyConfig::None();
+  } else if (name == "dropedge") {
+    *strategy = StrategyConfig::DropEdge(rate);
+  } else if (name == "dropnode") {
+    *strategy = StrategyConfig::DropNode(rate);
+  } else if (name == "pairnorm") {
+    *strategy = StrategyConfig::PairNorm();
+  } else if (name == "skipconn") {
+    *strategy = StrategyConfig::SkipConnection();
+  } else if (name == "skipnode-u") {
+    *strategy = StrategyConfig::SkipNodeU(rate);
+  } else if (name == "skipnode-b") {
+    *strategy = StrategyConfig::SkipNodeB(rate);
+  } else {
+    std::fprintf(out, "error: unknown strategy '%s'\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool KnownModelName(const std::string& name) {
+  for (const std::string& known : AllModelNames()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+}  // namespace skipnode

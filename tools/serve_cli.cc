@@ -18,6 +18,7 @@
 #include "nn/model_factory.h"
 #include "serve/inference_server.h"
 #include "tensor/ops.h"
+#include "tools/cli_flags.h"
 #include "train/trainer.h"
 
 namespace skipnode {
@@ -32,7 +33,11 @@ Model source:
   (no --load-dir)       train in-process for --epochs, then freeze
 Model / data:
   --dataset NAME        built-in synthetic dataset          (default cora_like)
+                        NAME may carry an @SIZE node-count suffix
+                        ("arxiv_like@169k", "synth@1m"): streaming CSR path
   --scale F             dataset scale in (0, 1]             (default 1.0)
+  --nodes N             node-count override (0 = spec size) (default 0)
+  --avg-degree F        average-degree override (0 = spec edge/node ratio)
   --seed N              RNG seed for data/init/training     (default 1)
   --model NAME          GCN GAT ResGCN JKNet IncepGCN GCNII APPNP GPRGNN
                         GRAND SGC                           (default SGC)
@@ -69,16 +74,7 @@ Hot swap / fault injection:
 )";
 
 struct ServeCliOptions {
-  std::string dataset = "cora_like";
-  double scale = 1.0;
-  uint64_t seed = 1;
-  std::string model = "SGC";
-  int layers = 2;
-  int hidden = 64;
-  float dropout = 0.5f;
-  std::string strategy = "none";
-  float rate = 0.5f;
-  int epochs = 50;
+  ModelDataFlags md;
   std::string load_dir;
   int clients = 4;
   int requests = 64;
@@ -98,111 +94,30 @@ struct ServeCliOptions {
 
 bool ParseFlags(int argc, const char* const* argv, ServeCliOptions* options,
                 std::FILE* out) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--help") {
-      std::fputs(kUsage, out);
-      return false;
-    }
-    if (flag == "--burst") {  // The one boolean flag: no value.
-      options->burst = true;
-      continue;
-    }
-    if (i + 1 >= argc) {
-      std::fprintf(out, "error: flag %s needs a value\n", flag.c_str());
-      return false;
-    }
-    const char* value = argv[++i];
-    if (flag == "--dataset") {
-      options->dataset = value;
-    } else if (flag == "--scale") {
-      options->scale = std::atof(value);
-    } else if (flag == "--seed") {
-      options->seed = std::strtoull(value, nullptr, 10);
-    } else if (flag == "--model") {
-      options->model = value;
-    } else if (flag == "--layers") {
-      options->layers = std::atoi(value);
-    } else if (flag == "--hidden") {
-      options->hidden = std::atoi(value);
-    } else if (flag == "--dropout") {
-      options->dropout = static_cast<float>(std::atof(value));
-    } else if (flag == "--strategy") {
-      options->strategy = value;
-    } else if (flag == "--rate") {
-      options->rate = static_cast<float>(std::atof(value));
-    } else if (flag == "--epochs") {
-      options->epochs = std::atoi(value);
-    } else if (flag == "--load-dir") {
-      options->load_dir = value;
-    } else if (flag == "--clients") {
-      options->clients = std::atoi(value);
-    } else if (flag == "--requests") {
-      options->requests = std::atoi(value);
-    } else if (flag == "--batch-ids") {
-      options->batch_ids = std::atoi(value);
-    } else if (flag == "--workers") {
-      options->workers = std::atoi(value);
-    } else if (flag == "--window-us") {
-      options->window_us = std::atoi(value);
-    } else if (flag == "--batch-rows") {
-      options->batch_rows = std::atoi(value);
-    } else if (flag == "--queue-cap") {
-      options->queue_cap = std::atoi(value);
-    } else if (flag == "--policy") {
-      options->policy = value;
-    } else if (flag == "--deadline-us") {
-      options->deadline_us = std::atoll(value);
-    } else if (flag == "--swap-dir") {
-      options->swap_dir = value;
-    } else if (flag == "--inject") {
-      options->inject_site = value;
-    } else if (flag == "--inject-batch") {
-      options->inject_batch = std::atoll(value);
-    } else if (flag == "--inject-stall-us") {
-      options->inject_stall_us = std::atoi(value);
-    } else {
-      std::fprintf(out, "error: unknown flag %s (try --help)\n",
-                   flag.c_str());
-      return false;
-    }
-  }
+  FlagParser parser(kUsage);
+  options->md.RegisterOn(&parser);
+  parser.AddString("--load-dir", &options->load_dir);
+  parser.AddInt("--clients", &options->clients);
+  parser.AddInt("--requests", &options->requests);
+  parser.AddInt("--batch-ids", &options->batch_ids);
+  parser.AddInt("--workers", &options->workers);
+  parser.AddInt("--window-us", &options->window_us);
+  parser.AddInt("--batch-rows", &options->batch_rows);
+  parser.AddInt("--queue-cap", &options->queue_cap);
+  parser.AddString("--policy", &options->policy);
+  parser.AddBool("--burst", &options->burst);
+  parser.AddInt64("--deadline-us", &options->deadline_us);
+  parser.AddString("--swap-dir", &options->swap_dir);
+  parser.AddString("--inject", &options->inject_site);
+  parser.AddInt64("--inject-batch", &options->inject_batch);
+  parser.AddInt("--inject-stall-us", &options->inject_stall_us);
+  if (!parser.Parse(argc, argv, out)) return false;
   if (options->clients < 1 || options->requests < 1 ||
       options->batch_ids < 1) {
     std::fprintf(out, "error: --clients/--requests/--batch-ids must be >= 1\n");
     return false;
   }
   return true;
-}
-
-bool MakeStrategy(const std::string& name, float rate,
-                  StrategyConfig* strategy, std::FILE* out) {
-  if (name == "none") {
-    *strategy = StrategyConfig::None();
-  } else if (name == "dropedge") {
-    *strategy = StrategyConfig::DropEdge(rate);
-  } else if (name == "dropnode") {
-    *strategy = StrategyConfig::DropNode(rate);
-  } else if (name == "pairnorm") {
-    *strategy = StrategyConfig::PairNorm();
-  } else if (name == "skipconn") {
-    *strategy = StrategyConfig::SkipConnection();
-  } else if (name == "skipnode-u") {
-    *strategy = StrategyConfig::SkipNodeU(rate);
-  } else if (name == "skipnode-b") {
-    *strategy = StrategyConfig::SkipNodeB(rate);
-  } else {
-    std::fprintf(out, "error: unknown strategy '%s'\n", name.c_str());
-    return false;
-  }
-  return true;
-}
-
-bool KnownModel(const std::string& name) {
-  for (const std::string& known : AllModelNames()) {
-    if (known == name) return true;
-  }
-  return false;
 }
 
 std::vector<int> RequestIds(uint64_t seed, int client, int request, int count,
@@ -219,22 +134,30 @@ std::vector<int> RequestIds(uint64_t seed, int client, int request, int count,
 
 int RunServeCli(int argc, const char* const* argv, std::FILE* out) {
   ServeCliOptions options;
+  // Serve-flavoured defaults on the shared flag set.
+  options.md.dataset = "cora_like";
+  options.md.model = "SGC";
+  options.md.epochs = 50;
   if (!ParseFlags(argc, argv, &options, out)) return 1;
-  if (!KnownModel(options.model)) {
-    std::fprintf(out, "error: unknown model '%s'\n", options.model.c_str());
+  if (!KnownModelName(options.md.model)) {
+    std::fprintf(out, "error: unknown model '%s'\n", options.md.model.c_str());
     return 1;
   }
   StrategyConfig strategy;
-  if (!MakeStrategy(options.strategy, options.rate, &strategy, out)) return 1;
+  if (!MakeStrategyFromName(options.md.strategy, options.md.rate, &strategy,
+                            out)) {
+    return 1;
+  }
 
-  const Graph graph =
-      BuildDatasetByName(options.dataset, options.scale, options.seed);
+  std::unique_ptr<Graph> graph_owner;
+  if (!options.md.BuildGraph(&graph_owner, out)) return 1;
+  const Graph& graph = *graph_owner;
   ModelConfig config;
   config.in_dim = graph.feature_dim();
-  config.hidden_dim = options.hidden;
+  config.hidden_dim = options.md.hidden;
   config.out_dim = graph.num_classes();
-  config.num_layers = options.layers;
-  config.dropout = options.dropout;
+  config.num_layers = options.md.layers;
+  config.dropout = options.md.dropout;
 
   OverloadPolicy policy;
   if (!ParseOverloadPolicy(options.policy, &policy)) {
@@ -256,19 +179,19 @@ int RunServeCli(int argc, const char* const* argv, std::FILE* out) {
   std::shared_ptr<FrozenModel> frozen;
   if (!options.load_dir.empty()) {
     frozen = std::make_shared<FrozenModel>(FrozenModel::FromCheckpoint(
-        options.load_dir, options.model, config, graph, strategy));
+        options.load_dir, options.md.model, config, graph, strategy));
     std::fprintf(out, "frozen %s from checkpoint %s\n",
                  frozen->model_name().c_str(), options.load_dir.c_str());
   } else {
-    Rng rng(options.seed);
-    auto model = MakeModel(options.model, config, rng);
-    Rng split_rng(options.seed);
+    Rng rng(options.md.seed);
+    auto model = MakeModel(options.md.model, config, rng);
+    Rng split_rng(options.md.seed);
     const Split split = PublicSplit(
         graph, 10, std::max(10, graph.num_nodes() / 10),
         std::max(10, graph.num_nodes() / 10), split_rng);
     const TrainResult trained = TrainNodeClassifier(
         *model, graph, split, strategy,
-        {.options = {.epochs = options.epochs, .seed = options.seed}});
+        {.options = {.epochs = options.md.epochs, .seed = options.md.seed}});
     frozen = std::make_shared<FrozenModel>(
         FrozenModel::Freeze(*model, graph, strategy));
     std::fprintf(out, "trained %s for %d epochs (test acc %.1f%%), frozen\n",
@@ -300,7 +223,7 @@ int RunServeCli(int argc, const char* const* argv, std::FILE* out) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
       std::string error;
       std::unique_ptr<FrozenModel> candidate = FrozenModel::TryFromCheckpoint(
-          options.swap_dir, options.model, config, graph, strategy, &error);
+          options.swap_dir, options.md.model, config, graph, strategy, &error);
       if (candidate == nullptr) {
         swap_report = "hot-swap rejected: " + error;
         return;
@@ -324,7 +247,7 @@ int RunServeCli(int argc, const char* const* argv, std::FILE* out) {
       std::vector<int64_t> submit_ns(static_cast<size_t>(options.requests));
       for (int r = 0; r < options.requests; ++r) {
         const std::vector<int> ids =
-            RequestIds(options.seed, c, r, options.batch_ids,
+            RequestIds(options.md.seed, c, r, options.batch_ids,
                        frozen->num_nodes());
         submit_ns[static_cast<size_t>(r)] = MonotonicNanos();
         handles[static_cast<size_t>(base + r)] = server.Submit(ids);
@@ -364,7 +287,7 @@ int RunServeCli(int argc, const char* const* argv, std::FILE* out) {
           ok_latencies_ns.push_back(
               latencies_ns[static_cast<size_t>(c * options.requests + r)]);
           const std::vector<int> ids =
-              RequestIds(options.seed, c, r, options.batch_ids,
+              RequestIds(options.md.seed, c, r, options.batch_ids,
                          frozen->num_nodes());
           const bool matches_primary =
               MaxAbsDiff(handle.logits(), frozen->Logits(ids)) == 0.0f;

@@ -22,6 +22,11 @@ DESIGN.md section 9, plus bench-specific invariants:
     queue_peak <= capacity and a survivor p99 no worse than the block
     policy's; block and the above-capacity control cell shed nothing and
     complete everything.
+  * scale must emit a checked stream_train cell whose
+    rss_over_footprint stays <= 2.0 — peak RSS within 2x of the resident
+    CSR+features footprint, the streaming-construction acceptance bound
+    (DESIGN section 13) — plus depth_sweep ms_per_epoch cells at rho 0
+    and rho > 0.
 
 With --baseline, diffs the run against a committed baseline (filtered to
 BENCH_NAME): a (cell, metric) pair present in the baseline but missing from
@@ -250,6 +255,41 @@ def check_serve(path, records):
              f"(shed_rate={ample['shed_rate']['value']})")
 
 
+def check_scale(path, records):
+    """The streaming-construction acceptance check (DESIGN section 13):
+    generating + training the dense synth graph must keep the process peak
+    RSS within 2x of the resident CSR+features footprint. The checked cell
+    runs first in the binary, so its ru_maxrss high-water mark is
+    attributable to that one graph."""
+    RSS_BUDGET_FACTOR = 2.0
+    checked = [r for r in records
+               if r["cell"] == "stream_train" and
+               r["metric"] == "rss_over_footprint" and
+               r["params"].get("checked") == 1]
+    if not checked:
+        fail(f"{path}: scale emitted no checked rss_over_footprint record")
+    for r in checked:
+        if r["value"] <= 0:
+            fail(f"{path}: rss_over_footprint is not positive")
+        if r["value"] > RSS_BUDGET_FACTOR:
+            fail(f"{path}: peak RSS is {r['value']:.2f}x the resident "
+                 f"CSR+features footprint at {r['params'].get('nodes')} "
+                 f"nodes (budget {RSS_BUDGET_FACTOR:.1f}x) — streaming "
+                 f"construction is leaking working memory")
+    for metric in ("build_ms", "footprint_bytes", "peak_rss_bytes"):
+        if not any(r["cell"] == "stream_train" and r["metric"] == metric
+                   for r in records):
+            fail(f"{path}: scale emitted no stream_train {metric} record")
+    # The depth sweep must cover both the vanilla and the SkipNode rho.
+    for want_skip in (False, True):
+        if not any(r["cell"] == "depth_sweep" and
+                   r["metric"] == "ms_per_epoch" and
+                   (r["params"].get("rho", 0) > 0) == want_skip
+                   for r in records):
+            fail(f"{path}: depth_sweep has no ms_per_epoch cell with "
+                 f"rho {'>' if want_skip else '='} 0")
+
+
 def diff_against_baseline(path, records, baseline_path, bench_name):
     baseline = load_records(baseline_path, bench_name=bench_name)
     if not baseline:
@@ -312,6 +352,8 @@ def main():
         check_micro(path, records)
     if bench_name == "serve":
         check_serve(path, records)
+    if bench_name == "scale":
+        check_scale(path, records)
     if baseline_path is not None:
         diff_against_baseline(path, records, baseline_path, bench_name)
 
