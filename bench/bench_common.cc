@@ -9,6 +9,7 @@
 #include "base/check.h"
 #include "base/json.h"
 #include "base/parallel.h"
+#include "base/simd.h"
 #include "base/telemetry.h"
 
 namespace skipnode::bench {
@@ -39,9 +40,17 @@ std::string EncodeNumber(double value) {
 BenchConfig BenchConfig::FromEnv() {
   BenchConfig config;
   if (const char* env = std::getenv("SKIPNODE_BENCH_SCALE")) {
-    config.scale =
-        std::strcmp(env, "paper") == 0 ? Scale::kPaper : Scale::kSmoke;
+    if (std::strcmp(env, "paper") == 0) {
+      config.scale = Scale::kPaper;
+    } else if (std::strcmp(env, "smoke") == 0) {
+      config.scale = Scale::kSmoke;
+    } else {
+      SKIPNODE_CHECK_MSG(
+          false, "SKIPNODE_BENCH_SCALE must be \"smoke\" or \"paper\", got "
+          "\"%s\"", env);
+    }
   }
+  config.simd = simd::ParseEnabledEnv(std::getenv("SKIPNODE_SIMD"));
   config.guard = EnvSet("SKIPNODE_BENCH_GUARD");
   config.trace = EnvSet("SKIPNODE_BENCH_TRACE");
   if (const char* env = std::getenv("SKIPNODE_BENCH_THREADS")) {
@@ -63,6 +72,7 @@ void Begin(const char* name) {
   const BenchConfig& config = Config();
   g_bench_name = name;
   if (config.threads >= 1) SetParallelThreadCount(config.threads);
+  simd::SetEnabled(config.simd);
   if (!config.json_path.empty() && g_json_sink == nullptr) {
     g_json_sink = std::fopen(config.json_path.c_str(), "a");
     SKIPNODE_CHECK(g_json_sink != nullptr);
@@ -76,6 +86,8 @@ void Begin(const char* name) {
               PaperScale()
                   ? ""
                   : " (set SKIPNODE_BENCH_SCALE=paper for the full sweep)");
+  std::printf("simd:  %s (compiled: %s)\n", config.simd ? "on" : "off",
+              simd::CompiledMode());
   if (g_json_sink != nullptr) {
     std::printf("jsonl: %s\n", config.json_path.c_str());
   }

@@ -11,6 +11,12 @@
 //   SKIPNODE_BENCH_JSON    append one JSONL record per cell to this path
 //                          (enables telemetry so each record carries a
 //                          per-cell kernel-level snapshot)
+//   SKIPNODE_SIMD          1 (default) | 0 — runtime kill-switch for the
+//                          vectorized kernels (DESIGN §14)
+//
+// Unrecognised values abort with a message naming the variable — a typo'd
+// SKIPNODE_BENCH_SCALE=papr must not silently record a smoke run as if it
+// were the requested one.
 //
 // A binary calls Begin("table3") once, then either goes through RunCell /
 // RunCellTuned (which record their cell automatically) or constructs a
@@ -40,7 +46,10 @@ struct BenchConfig {
   bool trace = false;         // SKIPNODE_BENCH_TRACE
   int threads = 0;            // SKIPNODE_BENCH_THREADS; 0 keeps the default
   std::string json_path;      // SKIPNODE_BENCH_JSON; empty disables
+  bool simd = true;           // SKIPNODE_SIMD; false pins the scalar refs
 
+  // Aborts (SKIPNODE_CHECK) on an unrecognised SKIPNODE_BENCH_SCALE or
+  // SKIPNODE_SIMD value instead of silently falling back to the default.
   static BenchConfig FromEnv();
 };
 

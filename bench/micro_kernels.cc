@@ -19,12 +19,14 @@
 #include <benchmark/benchmark.h>
 
 #include "base/parallel.h"
+#include "base/simd.h"
 #include "base/telemetry.h"
 #include "bench_common.h"
 #include "core/skipnode.h"
 #include "graph/datasets.h"
 #include "sparse/graph_ops.h"
 #include "tensor/ops.h"
+#include "train/optimizer.h"
 
 namespace skipnode {
 namespace {
@@ -323,6 +325,89 @@ void TransposedSweep() {
   }
 }
 
+// --- SIMD kernel sweep -------------------------------------------------------
+// Single-thread cost of the vectorized microkernels (DESIGN §14) against the
+// retained scalar references (simd_ref.cc, compiled with vectorization off),
+// toggled through the runtime kill-switch. Cells "simd_gemm" / "simd_axpby" /
+// "simd_adam" are the acceptance gates (validate_bench_jsonl.py requires the
+// simd=1 variant ≥ 1.5x the simd=0 one); "simd_spmm" and "simd_relu" are
+// informational (their inner loops are short at real-graph degrees, so the
+// win is workload-dependent). Exact-path kernels only — results are bitwise
+// identical across the toggle, so both variants do identical arithmetic.
+
+void SimdCell(const char* name, int reps, const std::function<void()>& op) {
+  for (const int simd_on : {0, 1}) {
+    simd::SetEnabled(simd_on != 0);
+    op();  // Warm caches (and for simd=1, any lazily-built plans).
+    bench::CellRecorder cell(name);
+    cell.Param("simd", simd_on).Param("reps", reps);
+    const int64_t ns = TimeReps(reps, op);
+    cell.Record("ns_per_op", static_cast<double>(ns));
+    std::printf("%12s simd=%d %12lld\n", name, simd_on,
+                static_cast<long long>(ns));
+  }
+}
+
+void SimdSweep() {
+  const bool saved_simd = simd::Enabled();
+  SetParallelThreadCount(1);  // Single-thread: isolate the kernel speedup.
+  const int reps = bench::Pick(50, 500);
+  std::printf("\nSIMD microkernels vs scalar reference, 1 thread, %d reps "
+              "(ns/op, compiled: %s)\n", reps, simd::CompiledMode());
+  Rng rng(11);
+
+  {
+    Matrix a = Matrix::Random(256, 128, rng);
+    Matrix b = Matrix::Random(128, 256, rng);
+    Matrix out(256, 256);
+    SimdCell("simd_gemm", reps, [&]() {
+      Gemm(a, b, out);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  {
+    Matrix a = Matrix::Random(256, 256, rng);
+    Matrix b = Matrix::Random(256, 256, rng);
+    Matrix out(256, 256);
+    SimdCell("simd_axpby", reps, [&]() {
+      AxpbyInto(a, b, 0.5f, 0.25f, out);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  {
+    // One Adam step over a 256x256 parameter; grads fixed, so every rep does
+    // the same arithmetic (value drifts, which is fine for timing).
+    Parameter p("w", Matrix::Random(256, 256, rng));
+    p.grad = Matrix::Random(256, 256, rng);
+    Adam adam(0.01f, 5e-4f);
+    const std::vector<Parameter*> params = {&p};
+    SimdCell("simd_adam", reps, [&]() {
+      adam.Step(params);
+      benchmark::DoNotOptimize(p.value.data());
+    });
+  }
+  {
+    Graph graph = BuildDatasetByName("cora_like", 1.0, 1);
+    const auto a_hat = graph.normalized_adjacency();
+    Matrix x = Matrix::Random(graph.num_nodes(), 64, rng);
+    SimdCell("simd_spmm", reps, [&]() {
+      Matrix y = a_hat->Multiply(x);
+      benchmark::DoNotOptimize(y.data());
+    });
+  }
+  {
+    Matrix x = Matrix::Random(256, 256, rng);
+    Matrix out(256, 256);
+    SimdCell("simd_relu", reps, [&]() {
+      ReluInto(x, out);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+
+  SetParallelThreadCount(0);
+  simd::SetEnabled(saved_simd);
+}
+
 }  // namespace
 }  // namespace skipnode
 
@@ -355,6 +440,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   skipnode::FusedSweep();
   skipnode::TransposedSweep();
+  skipnode::SimdSweep();
   if (skipnode::TelemetryEnabled()) {
     std::printf("telemetry: %s\n",
                 skipnode::SnapshotTelemetry().ToJson().c_str());

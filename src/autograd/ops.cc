@@ -11,25 +11,30 @@
 
 #include "autograd/tape.h"
 #include "base/check.h"
+#include "base/simd.h"
 #include "base/telemetry.h"
+#include "sparse/offset_vec.h"
 #include "tensor/ops.h"
 
 namespace skipnode {
 
 Var Tape::MatMul(Var a, Var b) {
   SKIPNODE_CHECK(a.tape_ == this && b.tape_ == this);
+  // fast_math (set from StrategyConfig) only changes the reduction-shaped
+  // A * B^T variant; the other Gemm paths ignore it.
+  const bool fast_math = fast_math_;
   Matrix value = AcquireOutput(a.rows(), b.cols());
-  Gemm(a.value(), b.value(), value);
+  Gemm(a.value(), b.value(), value, {.fast_math = fast_math});
   Var out = Emplace(std::move(value));
   Tape* tape = this;
   const int oi = out.index_, ai = a.index_, bi = b.index_;
-  node(oi).backward = [tape, oi, ai, bi]() {
+  node(oi).backward = [tape, oi, ai, bi, fast_math]() {
     const Matrix& g = tape->node(oi).grad;
     // dA += g * B^T ; dB += A^T * g (both row-parallel through Gemm).
     Gemm(g, tape->node(bi).value, tape->EnsureGrad(ai),
-         {.transpose_b = true, .accumulate = true});
+         {.transpose_b = true, .accumulate = true, .fast_math = fast_math});
     Gemm(tape->node(ai).value, g, tape->EnsureGrad(bi),
-         {.transpose_a = true, .accumulate = true});
+         {.transpose_a = true, .accumulate = true, .fast_math = fast_math});
   };
   return out;
 }
@@ -95,10 +100,14 @@ Var Tape::AddRowBroadcast(Var x, Var bias) {
   Matrix value = AcquireOutput(x.rows(), x.cols());
   const Matrix& xv = x.value();
   const Matrix& bv = bias.value();
+  const bool vec = simd::Enabled();
+  const float* bd = bv.row(0);
   for (int r = 0; r < value.rows(); ++r) {
-    const float* xr = xv.row(r);
-    float* row = value.row(r);
-    for (int c = 0; c < value.cols(); ++c) row[c] = xr[c] + bv(0, c);
+    if (vec) {
+      simd::Add(xv.row(r), bd, value.row(r), value.cols());
+    } else {
+      simd::AddRef(xv.row(r), bd, value.row(r), value.cols());
+    }
   }
   Var out = Emplace(std::move(value));
   Tape* tape = this;
@@ -106,10 +115,18 @@ Var Tape::AddRowBroadcast(Var x, Var bias) {
   node(oi).backward = [tape, oi, xi, bi]() {
     const Matrix& g = tape->node(oi).grad;
     AddScaled(g, 1.0f, tape->EnsureGrad(xi));
+    // Column accumulation: rows add into the bias gradient in ascending row
+    // order (each element's sum order is fixed — vector lanes are distinct
+    // columns), preserving the serial kernel's bits.
     Matrix& gb = tape->EnsureGrad(bi);
+    const bool vec = simd::Enabled();
+    float* gbd = gb.row(0);
     for (int r = 0; r < g.rows(); ++r) {
-      const float* gr = g.row(r);
-      for (int c = 0; c < g.cols(); ++c) gb(0, c) += gr[c];
+      if (vec) {
+        simd::Accumulate(g.row(r), gbd, g.cols());
+      } else {
+        simd::AccumulateRef(g.row(r), gbd, g.cols());
+      }
     }
   };
   return out;
@@ -119,8 +136,7 @@ Var Tape::Axpby(Var a, Var b, float alpha, float beta) {
   SKIPNODE_CHECK(a.tape_ == this && b.tape_ == this);
   SKIPNODE_CHECK(a.value().SameShape(b.value()));
   Matrix value = AcquireOutput(a.rows(), a.cols());
-  ScaleInto(a.value(), alpha, value);
-  AddScaled(b.value(), beta, value);
+  AxpbyInto(a.value(), b.value(), alpha, beta, value);
   Var out = Emplace(std::move(value));
   Tape* tape = this;
   const int oi = out.index_, ai = a.index_, bi = b.index_;
@@ -194,13 +210,18 @@ Var Tape::ConcatCols(const std::vector<Var>& parts) {
   const int oi = out.index_;
   node(oi).backward = [tape, oi, indices = std::move(indices)]() {
     const Matrix& g = tape->node(oi).grad;
+    const bool vec = simd::Enabled();
     int col_offset = 0;
     for (const int pi : indices) {
       Matrix& gp = tape->EnsureGrad(pi);
       for (int r = 0; r < gp.rows(); ++r) {
         const float* src = g.row(r) + col_offset;
         float* dst = gp.row(r);
-        for (int c = 0; c < gp.cols(); ++c) dst[c] += src[c];
+        if (vec) {
+          simd::Accumulate(src, dst, gp.cols());
+        } else {
+          simd::AccumulateRef(src, dst, gp.cols());
+        }
       }
       col_offset += gp.cols();
     }
@@ -265,41 +286,51 @@ Var Tape::GatAggregate(std::shared_ptr<const CsrMatrix> pattern, Var h,
   SKIPNODE_CHECK(score_src.rows() == n && score_src.cols() == 1);
   SKIPNODE_CHECK(score_dst.rows() == n && score_dst.cols() == 1);
 
-  const std::vector<int>& row_ptr = pattern->row_ptr();
   const std::vector<int>& col_idx = pattern->col_idx();
   const Matrix& hv = h.value();
   const Matrix& src = score_src.value();
   const Matrix& dst = score_dst.value();
 
   // Per-edge raw scores (pre-LeakyReLU sign decides the backward slope) and
-  // row-softmax attention weights, cached for the backward pass.
+  // row-softmax attention weights, cached for the backward pass. Offsets
+  // resolve through WithOffsets so wide-offset patterns take the same path.
   std::vector<float> raw(col_idx.size());
   std::vector<float> alpha(col_idx.size());
   Matrix value(n, hv.cols());
-  for (int i = 0; i < n; ++i) {
-    const int begin = row_ptr[i], end = row_ptr[i + 1];
-    if (begin == end) continue;
-    float max_e = -std::numeric_limits<float>::infinity();
-    for (int e = begin; e < end; ++e) {
-      const float pre = src(i, 0) + dst(col_idx[e], 0);
-      raw[e] = pre;
-      const float activated = pre > 0.0f ? pre : leaky_slope * pre;
-      alpha[e] = activated;
-      max_e = std::max(max_e, activated);
+  const bool vec = simd::Enabled();
+  WithOffsets(pattern->row_offsets(), [&](const auto* row_ptr) {
+    for (int i = 0; i < n; ++i) {
+      const int64_t begin = row_ptr[i], end = row_ptr[i + 1];
+      if (begin == end) continue;
+      float max_e = -std::numeric_limits<float>::infinity();
+      for (int64_t e = begin; e < end; ++e) {
+        const size_t se = static_cast<size_t>(e);
+        const float pre = src(i, 0) + dst(col_idx[se], 0);
+        raw[se] = pre;
+        const float activated = pre > 0.0f ? pre : leaky_slope * pre;
+        alpha[se] = activated;
+        max_e = std::max(max_e, activated);
+      }
+      double total = 0.0;
+      for (int64_t e = begin; e < end; ++e) {
+        const size_t se = static_cast<size_t>(e);
+        alpha[se] = std::exp(alpha[se] - max_e);
+        total += alpha[se];
+      }
+      const float inv = static_cast<float>(1.0 / total);
+      float* out_row = value.row(i);
+      for (int64_t e = begin; e < end; ++e) {
+        const size_t se = static_cast<size_t>(e);
+        alpha[se] *= inv;
+        const float* neighbor = hv.row(col_idx[se]);
+        if (vec) {
+          simd::Axpy(alpha[se], neighbor, out_row, hv.cols());
+        } else {
+          simd::AxpyRef(alpha[se], neighbor, out_row, hv.cols());
+        }
+      }
     }
-    double total = 0.0;
-    for (int e = begin; e < end; ++e) {
-      alpha[e] = std::exp(alpha[e] - max_e);
-      total += alpha[e];
-    }
-    const float inv = static_cast<float>(1.0 / total);
-    float* out_row = value.row(i);
-    for (int e = begin; e < end; ++e) {
-      alpha[e] *= inv;
-      const float* neighbor = hv.row(col_idx[e]);
-      for (int c = 0; c < hv.cols(); ++c) out_row[c] += alpha[e] * neighbor[c];
-    }
-  }
+  });
   Var out = Emplace(std::move(value));
 
   Tape* tape = this;
@@ -313,35 +344,40 @@ Var Tape::GatAggregate(std::shared_ptr<const CsrMatrix> pattern, Var h,
     Matrix& gh = tape->EnsureGrad(hi);
     Matrix& gs = tape->EnsureGrad(si);
     Matrix& gd = tape->EnsureGrad(di);
-    const std::vector<int>& row_ptr = pattern->row_ptr();
     const std::vector<int>& col_idx = pattern->col_idx();
     const int n = hv.rows(), d = hv.cols();
     std::vector<float> dalpha(col_idx.size());
-    for (int i = 0; i < n; ++i) {
-      const int begin = row_ptr[i], end = row_ptr[i + 1];
-      const float* gi = g.row(i);
-      // d out_i / d h_j = alpha_ij; d out_i / d alpha_ij = h_j.
-      double weighted = 0.0;  // sum_k alpha_ik * dalpha_ik (softmax term).
-      for (int e = begin; e < end; ++e) {
-        const int j = col_idx[e];
-        const float* hj = hv.row(j);
-        float* ghj = gh.row(j);
-        double dot = 0.0;
-        for (int c = 0; c < d; ++c) {
-          ghj[c] += alpha[e] * gi[c];
-          dot += static_cast<double>(gi[c]) * hj[c];
+    WithOffsets(pattern->row_offsets(), [&](const auto* row_ptr) {
+      for (int i = 0; i < n; ++i) {
+        const int64_t begin = row_ptr[i], end = row_ptr[i + 1];
+        const float* gi = g.row(i);
+        // d out_i / d h_j = alpha_ij; d out_i / d alpha_ij = h_j. The fused
+        // dual loop stays a serial scalar kernel: the double-precision dot
+        // is an order-sensitive reduction.
+        double weighted = 0.0;  // sum_k alpha_ik * dalpha_ik (softmax term).
+        for (int64_t e = begin; e < end; ++e) {
+          const size_t se = static_cast<size_t>(e);
+          const int j = col_idx[se];
+          const float* hj = hv.row(j);
+          float* ghj = gh.row(j);
+          double dot = 0.0;
+          for (int c = 0; c < d; ++c) {
+            ghj[c] += alpha[se] * gi[c];
+            dot += static_cast<double>(gi[c]) * hj[c];
+          }
+          dalpha[se] = static_cast<float>(dot);
+          weighted += alpha[se] * dot;
         }
-        dalpha[e] = static_cast<float>(dot);
-        weighted += alpha[e] * dot;
+        for (int64_t e = begin; e < end; ++e) {
+          const size_t se = static_cast<size_t>(e);
+          // Softmax backward, then the LeakyReLU slope.
+          float de = alpha[se] * (dalpha[se] - static_cast<float>(weighted));
+          if (raw[se] <= 0.0f) de *= leaky_slope;
+          gs(i, 0) += de;
+          gd(col_idx[se], 0) += de;
+        }
       }
-      for (int e = begin; e < end; ++e) {
-        // Softmax backward, then the LeakyReLU slope.
-        float de = alpha[e] * (dalpha[e] - static_cast<float>(weighted));
-        if (raw[e] <= 0.0f) de *= leaky_slope;
-        gs(i, 0) += de;
-        gd(col_idx[e], 0) += de;
-      }
-    }
+    });
   };
   return out;
 }
@@ -357,15 +393,17 @@ Var Tape::RowDots(Var a, Var b) {
     const Matrix& bv = tape->node(bi).value;
     Matrix& ga = tape->EnsureGrad(ai);
     Matrix& gb = tape->EnsureGrad(bi);
+    const bool vec = simd::Enabled();
     for (int r = 0; r < av.rows(); ++r) {
       const float gr = g(r, 0);
       const float* ar = av.row(r);
       const float* br = bv.row(r);
-      float* gar = ga.row(r);
-      float* gbr = gb.row(r);
-      for (int c = 0; c < av.cols(); ++c) {
-        gar[c] += gr * br[c];
-        gbr[c] += gr * ar[c];
+      if (vec) {
+        simd::Axpy(gr, br, ga.row(r), av.cols());
+        simd::Axpy(gr, ar, gb.row(r), av.cols());
+      } else {
+        simd::AxpyRef(gr, br, ga.row(r), av.cols());
+        simd::AxpyRef(gr, ar, gb.row(r), av.cols());
       }
     }
   };
@@ -391,10 +429,15 @@ Var Tape::RowSelect(const std::vector<uint8_t>& skip_mask, Var skipped,
     const Matrix& g = tape->node(oi).grad;
     Matrix& gs = tape->EnsureGrad(si);
     Matrix& gc = tape->EnsureGrad(ci);
+    const bool vec = simd::Enabled();
     for (int r = 0; r < g.rows(); ++r) {
       const float* gr = g.row(r);
       float* dst = mask[r] ? gs.row(r) : gc.row(r);
-      for (int c = 0; c < g.cols(); ++c) dst[c] += gr[c];
+      if (vec) {
+        simd::Accumulate(gr, dst, g.cols());
+      } else {
+        simd::AccumulateRef(gr, dst, g.cols());
+      }
     }
   };
   return out;
@@ -406,10 +449,14 @@ Var Tape::PairNorm(Var x, float scale, float epsilon) {
   Matrix centered = SubtractRowVector(xv, ColumnMeans(xv));
   Matrix norms = RowNorms(centered);  // N x 1
   Matrix value = centered;
+  const bool vec = simd::Enabled();
   for (int r = 0; r < value.rows(); ++r) {
     const float inv = scale / std::max(norms(r, 0), epsilon);
-    float* row = value.row(r);
-    for (int c = 0; c < value.cols(); ++c) row[c] *= inv;
+    if (vec) {
+      simd::ScaleInPlace(value.row(r), inv, value.cols());
+    } else {
+      simd::ScaleInPlaceRef(value.row(r), inv, value.cols());
+    }
   }
   Var out = Emplace(std::move(value));
   Tape* tape = this;
@@ -475,17 +522,25 @@ Var Tape::SoftmaxCrossEntropy(Var logits, const std::vector<int>& labels,
   Tape* tape = this;
   const int oi = out.index_, li = logits.index_;
   node(oi).backward = [tape, oi, li, probs = std::move(probs),
-                       nodes = nodes, labels = labels]() {
+                       nodes = nodes, labels = labels]() mutable {
     const float g = tape->node(oi).grad(0, 0);
     const float inv_batch = 1.0f / static_cast<float>(nodes.size());
+    // coef * (pr[c] - indicator) with coef = g * inv_batch, restructured as
+    // an Axpy over probs with the label element pre-decremented — the same
+    // three roundings per element as the historical inline loop, so bitwise
+    // identical. Mutating probs is safe: Backward() runs at most once.
+    const float coef = g * inv_batch;
     Matrix& gl = tape->EnsureGrad(li);
+    const bool vec = simd::Enabled();
     for (size_t i = 0; i < nodes.size(); ++i) {
       const int node_id = nodes[i];
-      const float* pr = probs.row(static_cast<int>(i));
-      float* gr = gl.row(node_id);
+      float* pr = probs.row(static_cast<int>(i));
       const int label = labels[node_id];
-      for (int c = 0; c < gl.cols(); ++c) {
-        gr[c] += g * inv_batch * (pr[c] - (c == label ? 1.0f : 0.0f));
+      pr[label] -= 1.0f;
+      if (vec) {
+        simd::Axpy(coef, pr, gl.row(node_id), gl.cols());
+      } else {
+        simd::AxpyRef(coef, pr, gl.row(node_id), gl.cols());
       }
     }
   };

@@ -1,0 +1,59 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// 64-byte-aligned allocation for numeric buffers (DESIGN §14). Every Matrix
+// and MatrixPool buffer allocates through AlignedAllocator so vector loads
+// on the flat float arrays never straddle a cache line; alignment is a
+// storage property only and never changes a computed value.
+
+#ifndef SKIPNODE_BASE_ALIGNED_H_
+#define SKIPNODE_BASE_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace skipnode {
+
+// One cache line on every target we build for; also the widest vector
+// register (AVX-512) so the choice never needs to grow per-ISA.
+inline constexpr std::size_t kBufferAlignment = 64;
+
+// True when `p` sits on a kBufferAlignment boundary (tests and asserts).
+inline bool IsBufferAligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kBufferAlignment == 0;
+}
+
+// Minimal std::allocator drop-in whose allocations are kBufferAlignment-
+// aligned. Stateless: all instances are interchangeable.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kBufferAlignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kBufferAlignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_BASE_ALIGNED_H_

@@ -10,6 +10,7 @@
 
 #include "base/check.h"
 #include "base/parallel.h"
+#include "base/simd.h"
 #include "base/telemetry.h"
 #include "sparse/csr_builder.h"
 
@@ -55,7 +56,10 @@ void CsrMatrix::MultiplyAccumulate(const Matrix& dense, Matrix& out) const {
   // row's neighbours accumulate in CSR order whatever the thread count, so
   // the SpMM is bitwise reproducible across SKIPNODE_NUM_THREADS settings.
   // Chunks are balanced by nnz (row_ptr_ is the cost prefix), so a hub row
-  // cannot serialise its whole chunk on power-law-ish graphs.
+  // cannot serialise its whole chunk on power-law-ish graphs. The per-entry
+  // row update is the simd Axpy microkernel (vector lanes are independent
+  // output columns, so vectorizing reorders nothing — DESIGN §14).
+  const bool vec = simd::Enabled();
   WithOffsets(row_ptr_, [&](const auto* rp) {
     ParallelForBalanced(
         rows_, rp,
@@ -66,7 +70,11 @@ void CsrMatrix::MultiplyAccumulate(const Matrix& dense, Matrix& out) const {
               const float w = values_[static_cast<size_t>(e)];
               const float* __restrict src =
                   dense.row(col_idx_[static_cast<size_t>(e)]);
-              for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+              if (vec) {
+                simd::Axpy(w, src, or_, d);
+              } else {
+                simd::AxpyRef(w, src, or_, d);
+              }
             }
           }
         },
@@ -94,6 +102,7 @@ void CsrMatrix::MultiplyAccumulateMasked(const Matrix& dense,
   // the existing row loop (no extra O(rows) telemetry pass); the relaxed
   // atomic merge is integer-only, so it stays off the numeric path.
   const bool count_skips = TelemetryEnabled();
+  const bool vec = simd::Enabled();
   std::atomic<int64_t> skipped{0};
   WithOffsets(row_ptr_, [&](const auto* rp) {
     ParallelForBalanced(
@@ -110,7 +119,11 @@ void CsrMatrix::MultiplyAccumulateMasked(const Matrix& dense,
               const float w = values_[static_cast<size_t>(e)];
               const float* __restrict src =
                   dense.row(col_idx_[static_cast<size_t>(e)]);
-              for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+              if (vec) {
+                simd::Axpy(w, src, or_, d);
+              } else {
+                simd::AxpyRef(w, src, or_, d);
+              }
             }
           }
           if (count_skips) {
@@ -201,6 +214,7 @@ Matrix CsrMatrix::MultiplyTransposed(const Matrix& dense) const {
   // source-row order — the order the serial scatter wrote them — so the
   // result is bitwise identical at any thread count (DESIGN §7).
   // t_val == nullptr means "the plan is the matrix itself" (symmetric alias).
+  const bool vec = simd::Enabled();
   const auto run = [&](const auto* t_ptr, const int* t_src,
                        const auto* t_val) {
     ParallelForBalanced(
@@ -213,7 +227,11 @@ Matrix CsrMatrix::MultiplyTransposed(const Matrix& dense) const {
                   t_val != nullptr ? t_val[e] : e)];
               const float* __restrict src =
                   dense.row(t_src[static_cast<size_t>(e)]);
-              for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+              if (vec) {
+                simd::Axpy(w, src, or_, d);
+              } else {
+                simd::AxpyRef(w, src, or_, d);
+              }
             }
           }
         },
@@ -258,6 +276,7 @@ Matrix CsrMatrix::MultiplyTransposedMasked(
   Matrix out(cols_, dense.cols());
   const int d = dense.cols();
   const TransposePlan& plan = transpose_plan();
+  const bool vec = simd::Enabled();
   const auto run = [&](const auto* t_ptr, const int* t_src,
                        const auto* t_val) {
     ParallelForBalanced(
@@ -271,7 +290,11 @@ Matrix CsrMatrix::MultiplyTransposedMasked(
               const float w = values_[static_cast<size_t>(
                   t_val != nullptr ? t_val[e] : e)];
               const float* __restrict src = dense.row(r);
-              for (int j = 0; j < d; ++j) or_[j] += w * src[j];
+              if (vec) {
+                simd::Axpy(w, src, or_, d);
+              } else {
+                simd::AxpyRef(w, src, or_, d);
+              }
             }
           }
         },

@@ -75,8 +75,11 @@ class CsrMatrix {
   // 32 or 64: the stored offset width.
   int index_width() const { return row_ptr_.wide() ? 64 : 32; }
 
-  // Narrow-only legacy view of the row pointers (aborts on a wide matrix);
-  // prefer row_offsets() / RowBegin / RowEnd in new code.
+  // Narrow-only legacy view of the row pointers (aborts on a wide matrix).
+  // Deprecated: use row_offsets() with WithOffsets (or RowBegin / RowEnd) so
+  // the code path also covers wide-offset (1M-node) graphs.
+  [[deprecated("use row_offsets()/WithOffsets; row_ptr() aborts on wide-"
+               "offset matrices")]]
   const std::vector<int>& row_ptr() const { return row_ptr_.narrow_vector(); }
   const OffsetVec& row_offsets() const { return row_ptr_; }
   const std::vector<int>& col_idx() const { return col_idx_; }

@@ -8,13 +8,20 @@
 #ifndef SKIPNODE_TENSOR_MATRIX_H_
 #define SKIPNODE_TENSOR_MATRIX_H_
 
+#include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "base/aligned.h"
 #include "base/check.h"
 #include "base/rng.h"
 
 namespace skipnode {
+
+// Backing storage of every Matrix: 64-byte-aligned so vectorized kernels
+// (base/simd.h) load from cache-line boundaries. Alignment is a storage
+// property only — values are unchanged.
+using FloatBuffer = std::vector<float, AlignedAllocator<float>>;
 
 // Dense row-major matrix of floats. Copyable and movable; copies are deep.
 class Matrix {
@@ -29,9 +36,22 @@ class Matrix {
     SKIPNODE_CHECK(rows >= 0 && cols >= 0);
   }
 
-  // rows x cols matrix with the given row-major contents.
-  Matrix(int rows, int cols, std::vector<float> data)
+  // rows x cols matrix adopting the given aligned row-major storage.
+  Matrix(int rows, int cols, FloatBuffer data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
+    SKIPNODE_CHECK(static_cast<size_t>(rows) * cols == data_.size());
+  }
+
+  // rows x cols matrix copying the given row-major contents into aligned
+  // storage (loader-facing; the hot paths pass FloatBuffer).
+  Matrix(int rows, int cols, const std::vector<float>& data)
+      : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
+    SKIPNODE_CHECK(static_cast<size_t>(rows) * cols == data_.size());
+  }
+
+  // Braced-list literal contents (tests and small fixtures).
+  Matrix(int rows, int cols, std::initializer_list<float> data)
+      : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
     SKIPNODE_CHECK(static_cast<size_t>(rows) * cols == data_.size());
   }
 
@@ -100,7 +120,7 @@ class Matrix {
 
   // Moves the backing storage out, leaving a 0x0 matrix. Only the workspace
   // pool (tensor/pool.h) should need this.
-  std::vector<float> TakeStorage() && {
+  FloatBuffer TakeStorage() && {
     rows_ = 0;
     cols_ = 0;
     return std::move(data_);
@@ -109,7 +129,7 @@ class Matrix {
  private:
   int rows_;
   int cols_;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 }  // namespace skipnode

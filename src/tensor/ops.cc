@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "base/parallel.h"
+#include "base/simd.h"
 #include "base/telemetry.h"
 
 namespace skipnode {
@@ -51,6 +52,9 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix& out,
   const int64_t min_rows =
       MinRowsPerThread(2 * static_cast<int64_t>(k) * n);
   const bool accumulate = options.accumulate;
+  // Hoisted once per Gemm; each worker branches to the vectorized or scalar
+  // reference microkernel (base/simd.h) — bitwise identical either way.
+  const bool vec = simd::Enabled();
 
   if (!options.transpose_a && !options.transpose_b) {
     // i-p-j loop order keeps the inner loop contiguous in both B and out so
@@ -72,7 +76,11 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix& out,
                 const float aip = ai[p];
                 if (aip == 0.0f) continue;
                 const float* __restrict bp = b.row(p);
-                for (int j = jb; j < je; ++j) oi[j] += aip * bp[j];
+                if (vec) {
+                  simd::Axpy(aip, bp + jb, oi + jb, je - jb);
+                } else {
+                  simd::AxpyRef(aip, bp + jb, oi + jb, je - jb);
+                }
               }
             }
           }
@@ -100,13 +108,20 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix& out,
               const float aip = ai[p];
               if (aip == 0.0f) continue;
               float* __restrict op = out.row(p);
-              for (int j = 0; j < n; ++j) op[j] += aip * bi[j];
+              if (vec) {
+                simd::Axpy(aip, bi, op, n);
+              } else {
+                simd::AxpyRef(aip, bi, op, n);
+              }
             }
           }
         },
         min_rows);
   } else if (!options.transpose_a && options.transpose_b) {
-    // Row-by-row dot products; double accumulators match the serial kernel.
+    // Row-by-row dot products. The exact path keeps the serial kernel's
+    // double accumulator; fast_math opts into the reassociated
+    // lane-accumulator dot (deterministic, but not bitwise equal to exact).
+    const bool fast = options.fast_math;
     ParallelFor(
         0, m,
         [&](int64_t row_begin, int64_t row_end) {
@@ -114,13 +129,21 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix& out,
             const float* __restrict ai = a.row(i);
             float* __restrict oi = out.row(i);
             if (!accumulate) std::fill(oi, oi + n, 0.0f);
-            for (int p = 0; p < n; ++p) {
-              const float* __restrict bp = b.row(p);
-              double dot = 0.0;
-              for (int j = 0; j < k; ++j) {
-                dot += static_cast<double>(ai[j]) * bp[j];
+            if (fast) {
+              for (int p = 0; p < n; ++p) {
+                const float* __restrict bp = b.row(p);
+                oi[p] += vec ? simd::DotFast(ai, bp, k)
+                             : simd::DotFastRef(ai, bp, k);
               }
-              oi[p] += static_cast<float>(dot);
+            } else {
+              for (int p = 0; p < n; ++p) {
+                const float* __restrict bp = b.row(p);
+                double dot = 0.0;
+                for (int j = 0; j < k; ++j) {
+                  dot += static_cast<double>(ai[j]) * bp[j];
+                }
+                oi[p] += static_cast<float>(dot);
+              }
             }
           }
         },
@@ -164,10 +187,15 @@ void ParallelElements(int64_t size, const Fn& fn) {
 Matrix Add(const Matrix& a, const Matrix& b) {
   SKIPNODE_CHECK(a.SameShape(b));
   Matrix out = a;
+  const bool vec = simd::Enabled();
   const float* __restrict bd = b.data();
   float* __restrict od = out.data();
   ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) od[i] += bd[i];
+    if (vec) {
+      simd::Accumulate(bd + lo, od + lo, hi - lo);
+    } else {
+      simd::AccumulateRef(bd + lo, od + lo, hi - lo);
+    }
   });
   return out;
 }
@@ -175,10 +203,15 @@ Matrix Add(const Matrix& a, const Matrix& b) {
 Matrix Sub(const Matrix& a, const Matrix& b) {
   SKIPNODE_CHECK(a.SameShape(b));
   Matrix out = a;
+  const bool vec = simd::Enabled();
   const float* __restrict bd = b.data();
   float* __restrict od = out.data();
   ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) od[i] -= bd[i];
+    if (vec) {
+      simd::Subtract(bd + lo, od + lo, hi - lo);
+    } else {
+      simd::SubtractRef(bd + lo, od + lo, hi - lo);
+    }
   });
   return out;
 }
@@ -192,11 +225,16 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
 void HadamardInto(const Matrix& a, const Matrix& b, Matrix& out) {
   SKIPNODE_CHECK(a.SameShape(b));
   SKIPNODE_CHECK(a.SameShape(out));
+  const bool vec = simd::Enabled();
   const float* __restrict ad = a.data();
   const float* __restrict bd = b.data();
   float* __restrict od = out.data();
   ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) od[i] = ad[i] * bd[i];
+    if (vec) {
+      simd::Mul(ad + lo, bd + lo, od + lo, hi - lo);
+    } else {
+      simd::MulRef(ad + lo, bd + lo, od + lo, hi - lo);
+    }
   });
 }
 
@@ -208,19 +246,46 @@ Matrix Scale(const Matrix& a, float s) {
 
 void ScaleInto(const Matrix& a, float s, Matrix& out) {
   SKIPNODE_CHECK(a.SameShape(out));
+  const bool vec = simd::Enabled();
   const float* __restrict ad = a.data();
   float* __restrict od = out.data();
   ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) od[i] = ad[i] * s;
+    if (vec) {
+      simd::Scale(ad + lo, s, od + lo, hi - lo);
+    } else {
+      simd::ScaleRef(ad + lo, s, od + lo, hi - lo);
+    }
   });
 }
 
 void AddScaled(const Matrix& a, float s, Matrix& out) {
   SKIPNODE_CHECK(a.SameShape(out));
+  const bool vec = simd::Enabled();
   const float* __restrict ad = a.data();
   float* __restrict od = out.data();
   ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) od[i] += s * ad[i];
+    if (vec) {
+      simd::Axpy(s, ad + lo, od + lo, hi - lo);
+    } else {
+      simd::AxpyRef(s, ad + lo, od + lo, hi - lo);
+    }
+  });
+}
+
+void AxpbyInto(const Matrix& a, const Matrix& b, float alpha, float beta,
+               Matrix& out) {
+  SKIPNODE_CHECK(a.SameShape(b));
+  SKIPNODE_CHECK(a.SameShape(out));
+  const bool vec = simd::Enabled();
+  const float* __restrict ad = a.data();
+  const float* __restrict bd = b.data();
+  float* __restrict od = out.data();
+  ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
+    if (vec) {
+      simd::Axpby(alpha, ad + lo, beta, bd + lo, od + lo, hi - lo);
+    } else {
+      simd::AxpbyRef(alpha, ad + lo, beta, bd + lo, od + lo, hi - lo);
+    }
   });
 }
 
@@ -233,10 +298,15 @@ Matrix Relu(const Matrix& x) {
 void ReluInto(const Matrix& x, Matrix& out) {
   const ScopedTimer timer("tensor.relu", /*items=*/x.rows());
   SKIPNODE_CHECK(x.SameShape(out));
+  const bool vec = simd::Enabled();
   const float* __restrict xd = x.data();
   float* __restrict od = out.data();
   ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) od[i] = std::max(xd[i], 0.0f);
+    if (vec) {
+      simd::Relu(xd + lo, od + lo, hi - lo);
+    } else {
+      simd::ReluRef(xd + lo, od + lo, hi - lo);
+    }
   });
 }
 
@@ -244,11 +314,14 @@ Matrix ReluBackward(const Matrix& x, const Matrix& grad) {
   const ScopedTimer timer("tensor.relu_backward", /*items=*/x.rows());
   SKIPNODE_CHECK(x.SameShape(grad));
   Matrix out = grad;
+  const bool vec = simd::Enabled();
   const float* __restrict xd = x.data();
   float* __restrict od = out.data();
   ParallelElements(out.size(), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      if (xd[i] <= 0.0f) od[i] = 0.0f;
+    if (vec) {
+      simd::ReluGradInPlace(xd + lo, od + lo, hi - lo);
+    } else {
+      simd::ReluGradInPlaceRef(xd + lo, od + lo, hi - lo);
     }
   });
   return out;
@@ -307,11 +380,16 @@ void ScatterAddRows(const Matrix& src, const std::vector<int>& rows,
                           /*items=*/static_cast<int64_t>(rows.size()));
   SKIPNODE_CHECK(src.rows() == static_cast<int>(rows.size()));
   SKIPNODE_CHECK(src.cols() == out.cols());
+  const bool vec = simd::Enabled();
   for (size_t i = 0; i < rows.size(); ++i) {
     SKIPNODE_CHECK(rows[i] >= 0 && rows[i] < out.rows());
     const float* si = src.row(static_cast<int>(i));
     float* oi = out.row(rows[i]);
-    for (int j = 0; j < out.cols(); ++j) oi[j] += si[j];
+    if (vec) {
+      simd::Accumulate(si, oi, out.cols());
+    } else {
+      simd::AccumulateRef(si, oi, out.cols());
+    }
   }
 }
 
@@ -336,6 +414,7 @@ void AddRowsWhere(const Matrix& src, const std::vector<uint8_t>& mask,
   const ScopedTimer timer("tensor.add_rows_where", /*items=*/src.rows());
   SKIPNODE_CHECK(src.SameShape(out));
   SKIPNODE_CHECK(static_cast<int>(mask.size()) == src.rows());
+  const bool vec = simd::Enabled();
   ParallelFor(
       0, src.rows(),
       [&](int64_t lo, int64_t hi) {
@@ -343,7 +422,11 @@ void AddRowsWhere(const Matrix& src, const std::vector<uint8_t>& mask,
           if (!mask[r]) continue;
           const float* __restrict sr = src.row(r);
           float* __restrict or_ = out.row(r);
-          for (int j = 0; j < src.cols(); ++j) or_[j] += sr[j];
+          if (vec) {
+            simd::Accumulate(sr, or_, src.cols());
+          } else {
+            simd::AccumulateRef(sr, or_, src.cols());
+          }
         }
       },
       MinRowsPerThread(src.cols()));
@@ -366,12 +449,18 @@ Matrix ColumnMeans(const Matrix& x) {
 Matrix SubtractRowVector(const Matrix& x, const Matrix& v) {
   SKIPNODE_CHECK(v.rows() == 1 && v.cols() == x.cols());
   Matrix out = x;
+  const bool vec = simd::Enabled();
+  const float* __restrict vd = v.row(0);
   ParallelFor(
       0, out.rows(),
       [&](int64_t lo, int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
           float* oi = out.row(i);
-          for (int j = 0; j < out.cols(); ++j) oi[j] -= v(0, j);
+          if (vec) {
+            simd::Subtract(vd, oi, out.cols());
+          } else {
+            simd::SubtractRef(vd, oi, out.cols());
+          }
         }
       },
       MinRowsPerThread(out.cols()));
@@ -381,11 +470,14 @@ Matrix SubtractRowVector(const Matrix& x, const Matrix& v) {
 Matrix RowSoftmax(const Matrix& x) {
   const ScopedTimer timer("tensor.row_softmax", /*items=*/x.rows());
   Matrix out = x;
+  const bool vec = simd::Enabled();
   ParallelFor(
       0, out.rows(),
       [&](int64_t lo, int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
           float* oi = out.row(i);
+          // The max and exp/total reductions stay serial scalar loops: the
+          // running max and double sum are order-sensitive.
           float max_v = oi[0];
           for (int j = 1; j < out.cols(); ++j) max_v = std::max(max_v, oi[j]);
           double total = 0.0;
@@ -394,7 +486,11 @@ Matrix RowSoftmax(const Matrix& x) {
             total += oi[j];
           }
           const float inv = static_cast<float>(1.0 / total);
-          for (int j = 0; j < out.cols(); ++j) oi[j] *= inv;
+          if (vec) {
+            simd::ScaleInPlace(oi, inv, out.cols());
+          } else {
+            simd::ScaleInPlaceRef(oi, inv, out.cols());
+          }
         }
       },
       MinRowsPerThread(4 * out.cols()));
@@ -404,6 +500,7 @@ Matrix RowSoftmax(const Matrix& x) {
 Matrix RowLogSoftmax(const Matrix& x) {
   const ScopedTimer timer("tensor.row_log_softmax", /*items=*/x.rows());
   Matrix out = x;
+  const bool vec = simd::Enabled();
   ParallelFor(
       0, out.rows(),
       [&](int64_t lo, int64_t hi) {
@@ -416,7 +513,12 @@ Matrix RowLogSoftmax(const Matrix& x) {
             total += std::exp(oi[j] - max_v);
           }
           const float log_z = max_v + static_cast<float>(std::log(total));
-          for (int j = 0; j < out.cols(); ++j) oi[j] -= log_z;
+          // x - log_z == x + (-log_z) exactly (negation is a sign flip).
+          if (vec) {
+            simd::AddScalarInPlace(oi, -log_z, out.cols());
+          } else {
+            simd::AddScalarInPlaceRef(oi, -log_z, out.cols());
+          }
         }
       },
       MinRowsPerThread(4 * out.cols()));

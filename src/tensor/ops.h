@@ -23,6 +23,12 @@ struct GemmOptions {
   bool transpose_b = false;
   // false: out = op(A) * op(B);  true: out += op(A) * op(B).
   bool accumulate = false;
+  // Opt-in (DESIGN §14): reduction-shaped variants (A * B^T) may use the
+  // reassociated kLanes-accumulator dot instead of the exact serial
+  // double-precision sum. Deterministic at any thread count (the lane order
+  // is a function of the length alone) but not bitwise equal to the exact
+  // path; default off, plumbed from StrategyConfig::fast_math.
+  bool fast_math = false;
 };
 
 // out (+)= op(A) * op(B) with op fixed by `options`. Shapes are checked
@@ -85,6 +91,11 @@ void AddScaled(const Matrix& a, float s, Matrix& out);
 // returning forms, so the results are bitwise identical.
 void HadamardInto(const Matrix& a, const Matrix& b, Matrix& out);
 void ScaleInto(const Matrix& a, float s, Matrix& out);
+// out = alpha * a + beta * b, fused in one pass. Bitwise identical to
+// ScaleInto(a, alpha, out); AddScaled(b, beta, out) — same three roundings
+// per element.
+void AxpbyInto(const Matrix& a, const Matrix& b, float alpha, float beta,
+               Matrix& out);
 
 // ReLU(x) element-wise.
 Matrix Relu(const Matrix& x);

@@ -38,7 +38,7 @@ Matrix MatrixPool::Acquire(int rows, int cols) {
     std::unique_lock<std::mutex> lock(mutex_);
     auto it = buckets_.find({rows, cols});
     if (it != buckets_.end() && !it->second.buffers.empty()) {
-      std::vector<float> storage = std::move(it->second.buffers.back());
+      FloatBuffer storage = std::move(it->second.buffers.back());
       it->second.buffers.pop_back();
       it->second.bytes -= bytes;
       bytes_retained_ -= bytes;
@@ -58,7 +58,7 @@ void MatrixPool::Release(Matrix m) {
   if (!MatrixPoolEnabled() || m.size() == 0) return;
   const std::pair<int, int> key{m.rows(), m.cols()};
   const int64_t bytes = m.size() * static_cast<int64_t>(sizeof(float));
-  std::vector<float> storage = std::move(m).TakeStorage();
+  FloatBuffer storage = std::move(m).TakeStorage();
   std::unique_lock<std::mutex> lock(mutex_);
   Bucket& bucket = buckets_[key];
   if (static_cast<int>(bucket.buffers.size()) >= kMaxBuffersPerBucket ||

@@ -79,7 +79,7 @@ class MatrixPool {
 
  private:
   struct Bucket {
-    std::vector<std::vector<float>> buffers;
+    std::vector<FloatBuffer> buffers;
     int64_t bytes = 0;
   };
   mutable std::mutex mutex_;

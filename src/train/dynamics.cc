@@ -26,6 +26,7 @@ DynamicsRecord TrainWithDynamics(Model& model, const Graph& graph,
     // --- Training step with gradient probes ---------------------------------
     {
       Tape tape;
+      tape.set_fast_math(strategy.fast_math);
       StrategyContext ctx(graph, strategy, /*training=*/true, rng);
       Var logits = model.Forward(tape, graph, ctx, /*training=*/true, rng);
       Var loss =
@@ -64,6 +65,7 @@ DynamicsRecord TrainWithDynamics(Model& model, const Graph& graph,
     // --- Evaluation pass: (a) MAD of the penultimate representation + val.
     {
       Tape tape;
+      tape.set_fast_math(strategy.fast_math);
       StrategyContext ctx(graph, strategy, /*training=*/false, rng);
       Var logits = model.Forward(tape, graph, ctx, /*training=*/false, rng);
       const Matrix& penultimate = model.Penultimate();

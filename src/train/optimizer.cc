@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "base/parallel.h"
+#include "base/simd.h"
 #include "base/telemetry.h"
 
 namespace skipnode {
@@ -25,6 +26,7 @@ void Sgd::Step(const std::vector<Parameter*>& parameters) {
   int64_t total_elements = 0;
   for (const Parameter* p : parameters) total_elements += p->value.size();
   const ScopedTimer timer("train.sgd_step", /*items=*/total_elements);
+  const bool vec = simd::Enabled();
   for (Parameter* p : parameters) {
     float* value = p->value.data();
     const float* grad = p->grad.data();
@@ -33,8 +35,12 @@ void Sgd::Step(const std::vector<Parameter*>& parameters) {
     ParallelFor(
         0, p->value.size(),
         [&](int64_t lo, int64_t hi) {
-          for (int64_t i = lo; i < hi; ++i) {
-            value[i] -= learning_rate_ * (grad[i] + weight_decay_ * value[i]);
+          if (vec) {
+            simd::SgdStep(value + lo, grad + lo, hi - lo, learning_rate_,
+                          weight_decay_);
+          } else {
+            simd::SgdStepRef(value + lo, grad + lo, hi - lo, learning_rate_,
+                             weight_decay_);
           }
         },
         kMinUpdateElementsPerThread);
@@ -48,6 +54,25 @@ void Adam::Step(const std::vector<Parameter*>& parameters) {
   ++step_count_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  // Every constant of the per-element recurrence, precomputed once. The
+  // derived fields reproduce the exact floats the historical inline loop
+  // computed per element (e.g. 1.0f - beta1_), so the microkernel is bitwise
+  // identical to it. Coupled (classic L2) folds decay into the gradient;
+  // decoupled (AdamW) shrinks the weights after the update.
+  const simd::AdamConstants constants = {
+      .beta1 = beta1_,
+      .one_minus_beta1 = 1.0f - beta1_,
+      .beta2 = beta2_,
+      .one_minus_beta2 = 1.0f - beta2_,
+      .bias1 = bias1,
+      .bias2 = bias2,
+      .learning_rate = learning_rate_,
+      .epsilon = epsilon_,
+      .weight_decay = weight_decay_,
+      .lr_weight_decay = learning_rate_ * weight_decay_,
+      .decoupled = decoupled_,
+  };
+  const bool vec = simd::Enabled();
   for (Parameter* p : parameters) {
     Moments& moments = moments_[p];
     if (moments.m.empty()) {
@@ -63,19 +88,12 @@ void Adam::Step(const std::vector<Parameter*>& parameters) {
     ParallelFor(
         0, p->value.size(),
         [&](int64_t lo, int64_t hi) {
-          for (int64_t i = lo; i < hi; ++i) {
-            // Coupled (classic L2): decay enters the moment estimates;
-            // decoupled (AdamW): decay hits the weights directly below.
-            const float g =
-                grad[i] + (decoupled_ ? 0.0f : weight_decay_ * value[i]);
-            m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
-            v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
-            const float m_hat = m[i] / bias1;
-            const float v_hat = v[i] / bias2;
-            value[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
-            if (decoupled_) {
-              value[i] -= learning_rate_ * weight_decay_ * value[i];
-            }
+          if (vec) {
+            simd::AdamStep(value + lo, grad + lo, m + lo, v + lo, hi - lo,
+                           constants);
+          } else {
+            simd::AdamStepRef(value + lo, grad + lo, m + lo, v + lo, hi - lo,
+                              constants);
           }
         },
         kMinUpdateElementsPerThread);

@@ -144,6 +144,7 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
         (epoch % health.check_every == 0 || epoch == options.epochs - 1);
     const int64_t forward_start = now();
     Tape tape;
+    tape.set_fast_math(strategy.fast_math);
     StrategyContext ctx(graph, strategy, /*training=*/true, rng);
     Var logits = model.Forward(tape, graph, ctx, /*training=*/true, rng);
     {
@@ -256,6 +257,7 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
     {
       const int64_t eval_start = now();
       Tape tape;
+      tape.set_fast_math(strategy.fast_math);
       StrategyContext ctx(graph, strategy, /*training=*/false, rng);
       Var logits = model.Forward(tape, graph, ctx, /*training=*/false, rng);
       const double val_acc =

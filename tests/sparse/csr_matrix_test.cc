@@ -114,17 +114,18 @@ TEST(CsrMatrixTest, TransposePlanMatchesFromCooTranspose) {
   std::vector<std::pair<int, int>> coords;
   std::vector<float> values;
   for (int r = 0; r < m.rows(); ++r) {
-    for (int e = m.row_ptr()[r]; e < m.row_ptr()[r + 1]; ++e) {
-      coords.push_back({m.col_idx()[e], r});
-      values.push_back(m.values()[e]);
+    for (int64_t e = m.RowBegin(r); e < m.RowEnd(r); ++e) {
+      const size_t se = static_cast<size_t>(e);
+      coords.push_back({m.col_idx()[se], r});
+      values.push_back(m.values()[se]);
     }
   }
   CsrMatrix t = CsrMatrix::FromCoo(m.cols(), m.rows(), std::move(coords),
                                    std::move(values));
 
-  ASSERT_EQ(plan.row_ptr.size(), t.row_ptr().size());
+  ASSERT_EQ(plan.row_ptr.size(), t.row_offsets().size());
   for (size_t c = 0; c < plan.row_ptr.size(); ++c) {
-    EXPECT_EQ(plan.row_ptr[c], t.row_ptr()[c]) << "offset " << c;
+    EXPECT_EQ(plan.row_ptr[c], t.row_offsets()[c]) << "offset " << c;
   }
   EXPECT_EQ(plan.src_row, t.col_idx());
   ASSERT_EQ(plan.value_perm.size(), t.values().size());

@@ -1,0 +1,134 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The four CSR kernels (forward / masked forward / transposed backward /
+// masked transposed backward) must be bitwise identical with the vectorized
+// inner loops on and off (DESIGN §14), at 1/4/8 threads (DESIGN §7), over
+// both offset widths (DESIGN §13), and across odd dense widths that leave a
+// strip tail. This is the cross-product the SIMD rewiring must not move.
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "base/simd.h"
+#include "sparse/csr_builder.h"
+#include "sparse/csr_matrix.h"
+#include "tensor/matrix.h"
+
+namespace skipnode {
+namespace {
+
+// Restores thread count and the SIMD switch after each case.
+class StateGuard {
+ public:
+  StateGuard() : simd_(simd::Enabled()) {}
+  ~StateGuard() {
+    SetParallelThreadCount(0);
+    simd::SetEnabled(simd_);
+  }
+
+ private:
+  bool simd_;
+};
+
+// Random rectangular CSR with a couple of heavy rows (skewed nnz) built at
+// the requested offset width.
+CsrMatrix RandomCsr(int rows, int cols, bool wide, Rng& rng) {
+  std::vector<std::pair<int, int>> coords;
+  std::vector<float> values;
+  for (int r = 0; r < rows; ++r) {
+    const int degree = (r % 11 == 0) ? cols / 2 : 3;
+    for (int k = 0; k < degree; ++k) {
+      coords.push_back({r, static_cast<int>(rng.UniformInt(cols))});
+      values.push_back(rng.UniformFloat(-1.0f, 1.0f));
+    }
+  }
+  CsrBuilder::Options options;
+  options.force_wide_offsets = wide;
+  CsrBuilder builder(rows, cols, options);
+  for (const auto& [r, c] : coords) builder.CountEntry(r);
+  builder.FinishCounting();
+  for (size_t i = 0; i < coords.size(); ++i) {
+    builder.AddEntry(coords[i].first, coords[i].second, values[i]);
+  }
+  return builder.Build();
+}
+
+std::vector<uint8_t> RandomMask(int n, Rng& rng) {
+  std::vector<uint8_t> mask(n);
+  for (auto& m : mask) m = rng.Bernoulli(0.5) ? 1 : 0;
+  return mask;
+}
+
+void ExpectBitwiseEq(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    uint32_t ua, ub;
+    std::memcpy(&ua, a.data() + i, 4);
+    std::memcpy(&ub, b.data() + i, 4);
+    ASSERT_EQ(ua, ub) << what << " element " << i;
+  }
+}
+
+TEST(SpmmSimdTest, AllFourKernelsBitwiseAcrossSimdThreadsWidthAndTails) {
+  const StateGuard guard;
+  const int rows = 97, cols = 61;
+  Rng data_rng(3);
+  // d=19 leaves a 3-element strip tail; d=32 is strip-covered.
+  for (const int d : {19, 32}) {
+    Matrix x(cols, d), g(rows, d);
+    for (int64_t i = 0; i < x.size(); ++i) {
+      x.data()[i] = data_rng.UniformFloat(-1.0f, 1.0f);
+    }
+    for (int64_t i = 0; i < g.size(); ++i) {
+      g.data()[i] = data_rng.UniformFloat(-1.0f, 1.0f);
+    }
+    Rng mask_rng(5);
+    const auto row_mask = RandomMask(rows, mask_rng);
+
+    Matrix narrow_fwd;
+    for (const bool wide : {false, true}) {
+      Rng csr_rng(7);  // Same matrix content at both widths.
+      const CsrMatrix a = RandomCsr(rows, cols, wide, csr_rng);
+      ASSERT_EQ(a.index_width(), wide ? 64 : 32);
+
+      // Reference: SIMD off, single thread.
+      simd::SetEnabled(false);
+      SetParallelThreadCount(1);
+      const Matrix fwd = a.Multiply(x);
+      Matrix fwd_masked(rows, d);
+      a.MultiplyAccumulateMasked(x, row_mask, fwd_masked);
+      const Matrix bwd = a.MultiplyTransposed(g);
+      const Matrix bwd_masked = a.MultiplyTransposedMasked(g, row_mask);
+
+      for (const bool vec : {false, true}) {
+        simd::SetEnabled(vec);
+        for (const int threads : {1, 4, 8}) {
+          SetParallelThreadCount(threads);
+          ExpectBitwiseEq(a.Multiply(x), fwd, "forward");
+          Matrix masked(rows, d);
+          a.MultiplyAccumulateMasked(x, row_mask, masked);
+          ExpectBitwiseEq(masked, fwd_masked, "masked forward");
+          ExpectBitwiseEq(a.MultiplyTransposed(g), bwd, "backward");
+          ExpectBitwiseEq(a.MultiplyTransposedMasked(g, row_mask), bwd_masked,
+                          "masked backward");
+        }
+      }
+      // Narrow and wide must agree too (same content, different offsets).
+      if (!wide) {
+        narrow_fwd = fwd;
+      } else {
+        ExpectBitwiseEq(fwd, narrow_fwd, "narrow-vs-wide forward");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skipnode

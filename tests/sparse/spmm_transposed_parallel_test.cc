@@ -31,9 +31,10 @@ Matrix SerialScatterTransposed(const CsrMatrix& a, const Matrix& dense) {
   const int d = dense.cols();
   for (int r = 0; r < a.rows(); ++r) {
     const float* src = dense.row(r);
-    for (int e = a.row_ptr()[r]; e < a.row_ptr()[r + 1]; ++e) {
-      const float w = a.values()[e];
-      float* dst = out.row(a.col_idx()[e]);
+    for (int64_t e = a.RowBegin(r); e < a.RowEnd(r); ++e) {
+      const size_t se = static_cast<size_t>(e);
+      const float w = a.values()[se];
+      float* dst = out.row(a.col_idx()[se]);
       for (int j = 0; j < d; ++j) dst[j] += w * src[j];
     }
   }
@@ -47,9 +48,10 @@ Matrix SerialScatterTransposedMasked(const CsrMatrix& a, const Matrix& dense,
   for (int r = 0; r < a.rows(); ++r) {
     if (skip_rows[r]) continue;
     const float* src = dense.row(r);
-    for (int e = a.row_ptr()[r]; e < a.row_ptr()[r + 1]; ++e) {
-      const float w = a.values()[e];
-      float* dst = out.row(a.col_idx()[e]);
+    for (int64_t e = a.RowBegin(r); e < a.RowEnd(r); ++e) {
+      const size_t se = static_cast<size_t>(e);
+      const float w = a.values()[se];
+      float* dst = out.row(a.col_idx()[se]);
       for (int j = 0; j < d; ++j) dst[j] += w * src[j];
     }
   }

@@ -4,6 +4,10 @@
 #include "tensor/matrix.h"
 
 #include <cmath>
+#include <utility>
+#include <vector>
+
+#include "base/aligned.h"
 
 #include <gtest/gtest.h>
 
@@ -105,6 +109,30 @@ TEST(MatrixTest, CopyIsDeep) {
   Matrix b = a;
   b.at(0, 0) = 2.0f;
   EXPECT_EQ(a.at(0, 0), 1.0f);
+}
+
+
+TEST(MatrixTest, StorageIsCacheLineAligned) {
+  // Every Matrix draws from the shared 64-byte-aligned allocator
+  // (base/aligned.h) so vector loads never straddle a cache line.
+  Matrix a(1, 1);
+  Matrix b(7, 13);
+  Matrix c(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(IsBufferAligned(a.data()));
+  EXPECT_TRUE(IsBufferAligned(b.data()));
+  EXPECT_TRUE(IsBufferAligned(c.data()));
+  Matrix moved = std::move(b);
+  EXPECT_TRUE(IsBufferAligned(moved.data()));
+}
+
+TEST(MatrixTest, CopyingVectorConstructorMatchesAdoptingOne) {
+  const std::vector<float> values = {1.5f, -2.0f, 0.25f, 4.0f};
+  Matrix from_vector(2, 2, values);
+  Matrix from_list(2, 2, {1.5f, -2.0f, 0.25f, 4.0f});
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(from_vector.data()[i], from_list.data()[i]);
+  }
+  EXPECT_TRUE(IsBufferAligned(from_vector.data()));
 }
 
 }  // namespace

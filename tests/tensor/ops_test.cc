@@ -9,7 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "base/aligned.h"
 #include "base/parallel.h"
+#include "base/simd.h"
+#include "base/rng.h"
 
 namespace skipnode {
 namespace {
@@ -367,6 +372,126 @@ TEST(OpsTest, SetMaxSingularValueHitsTarget) {
   Matrix w = Matrix::Random(12, 12, rng);
   SetMaxSingularValue(w, 0.25f);
   EXPECT_NEAR(MaxSingularValue(w), 0.25f, 5e-3f);
+}
+
+
+TEST(OpsTest, AxpbyIntoMatchesScaleIntoPlusAddScaledBitwise) {
+  Rng rng(11);
+  const Matrix a = Matrix::Random(13, 19, rng);
+  const Matrix b = Matrix::Random(13, 19, rng);
+  Matrix fused(13, 19), staged(13, 19);
+  AxpbyInto(a, b, 0.7f, -1.3f, fused);
+  ScaleInto(a, 0.7f, staged);
+  AddScaled(b, -1.3f, staged);
+  EXPECT_EQ(std::memcmp(fused.data(), staged.data(),
+                        sizeof(float) * static_cast<size_t>(fused.size())),
+            0);
+}
+
+// Every vectorized tensor kernel must match the scalar reference bitwise —
+// the DESIGN section 14 exact-path contract — at odd (tail-leaving) shapes
+// and any thread count.
+TEST(OpsTest, VectorizedKernelsMatchScalarReferenceBitwise) {
+  const bool saved = simd::Enabled();
+  Rng rng(12);
+  const int m = 13, k = 17, n = 19;
+  const Matrix a = Matrix::Random(m, k, rng);
+  const Matrix b = Matrix::Random(k, n, rng);
+  const Matrix at = Transpose(a);
+  const Matrix bt = Transpose(b);
+  const Matrix x = Matrix::Random(m, n, rng);
+  const Matrix y = Matrix::Random(m, n, rng);
+  const Matrix v = Matrix::Random(1, n, rng);
+
+  auto run_all = [&]() {
+    std::vector<Matrix> outs;
+    Matrix nn(m, n), tn(m, n), tb(m, n), tt(m, n);
+    Gemm(a, b, nn);
+    Gemm(at, b, tn, {.transpose_a = true});
+    Gemm(a, bt, tb, {.transpose_b = true});
+    Gemm(at, bt, tt, {.transpose_a = true, .transpose_b = true});
+    outs.push_back(std::move(nn));
+    outs.push_back(std::move(tn));
+    outs.push_back(std::move(tb));
+    outs.push_back(std::move(tt));
+    outs.push_back(Add(x, y));
+    outs.push_back(Sub(x, y));
+    outs.push_back(Hadamard(x, y));
+    outs.push_back(Scale(x, -0.3f));
+    Matrix axpby(m, n);
+    AxpbyInto(x, y, 0.5f, 1.5f, axpby);
+    outs.push_back(std::move(axpby));
+    outs.push_back(Relu(x));
+    outs.push_back(ReluBackward(x, y));
+    outs.push_back(SubtractRowVector(x, v));
+    outs.push_back(RowSoftmax(x));
+    outs.push_back(RowLogSoftmax(x));
+    return outs;
+  };
+
+  simd::SetEnabled(false);
+  SetParallelThreadCount(1);
+  const std::vector<Matrix> reference = run_all();
+  for (const bool vec : {false, true}) {
+    simd::SetEnabled(vec);
+    for (const int threads : {1, 4, 8}) {
+      SetParallelThreadCount(threads);
+      const std::vector<Matrix> got = run_all();
+      ASSERT_EQ(got.size(), reference.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(std::memcmp(got[i].data(), reference[i].data(),
+                              sizeof(float) *
+                                  static_cast<size_t>(got[i].size())),
+                  0)
+            << "kernel " << i << " simd=" << vec << " threads=" << threads;
+      }
+    }
+  }
+  SetParallelThreadCount(0);
+  simd::SetEnabled(saved);
+}
+
+TEST(OpsTest, FastMathGemmIsToleranceCloseAndDeterministic) {
+  // The reassociated dot path differs from the exact double-accumulation
+  // one by rounding only, and its fixed lane-then-tree order keeps it
+  // bitwise deterministic across thread counts and the runtime switch.
+  Rng rng(13);
+  const int m = 9, k = 131, n = 7;  // k leaves a 3-element lane tail.
+  const Matrix a = Matrix::Random(m, k, rng);
+  const Matrix bt = Matrix::Random(n, k, rng);
+  Matrix exact(m, n);
+  Gemm(a, bt, exact, {.transpose_b = true});
+  Matrix fast(m, n);
+  Gemm(a, bt, fast, {.transpose_b = true, .fast_math = true});
+  for (int64_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(fast.data()[i], exact.data()[i],
+                1e-4f * (1.0f + std::fabs(exact.data()[i])))
+        << "element " << i;
+  }
+
+  const bool saved = simd::Enabled();
+  for (const bool vec : {false, true}) {
+    simd::SetEnabled(vec);
+    for (const int threads : {1, 4, 8}) {
+      SetParallelThreadCount(threads);
+      Matrix again(m, n);
+      Gemm(a, bt, again, {.transpose_b = true, .fast_math = true});
+      EXPECT_EQ(std::memcmp(again.data(), fast.data(),
+                            sizeof(float) * static_cast<size_t>(fast.size())),
+                0)
+          << "simd=" << vec << " threads=" << threads;
+    }
+  }
+  SetParallelThreadCount(0);
+  simd::SetEnabled(saved);
+}
+
+TEST(OpsTest, MatrixAndOpsOutputsAreCacheLineAligned) {
+  Matrix m(5, 7);
+  EXPECT_TRUE(IsBufferAligned(m.data()));
+  Rng rng(14);
+  Matrix r = Matrix::Random(3, 3, rng);
+  EXPECT_TRUE(IsBufferAligned(Relu(r).data()));
 }
 
 }  // namespace

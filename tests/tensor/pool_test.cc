@@ -3,8 +3,11 @@
 
 #include "tensor/pool.h"
 
+#include <utility>
+
 #include <gtest/gtest.h>
 
+#include "base/aligned.h"
 #include "base/telemetry.h"
 
 namespace skipnode {
@@ -168,6 +171,16 @@ TEST(MatrixPoolTest, TelemetryCountsHitsAndMisses) {
   EXPECT_EQ(miss->count, 1);
   // items carries the buffer element count (2 x 3).
   EXPECT_EQ(hit->items, 6);
+}
+
+
+TEST(MatrixPoolTest, AcquiredAndRecycledBuffersAreCacheLineAligned) {
+  MatrixPool pool;
+  Matrix fresh = pool.Acquire(3, 7);
+  EXPECT_TRUE(IsBufferAligned(fresh.data()));
+  pool.Release(std::move(fresh));
+  Matrix recycled = pool.Acquire(3, 7);  // Pool hit: the same 64B buffer.
+  EXPECT_TRUE(IsBufferAligned(recycled.data()));
 }
 
 }  // namespace

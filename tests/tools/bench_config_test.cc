@@ -1,0 +1,88 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// BenchConfig::FromEnv must reject unknown SKIPNODE_BENCH_SCALE /
+// SKIPNODE_SIMD values with a clear abort instead of silently defaulting —
+// a typo'd scale must not record a smoke run labelled as the requested one.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.h"
+
+namespace skipnode::bench {
+namespace {
+
+// Scoped setenv/unsetenv so cases cannot leak into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(BenchConfigTest, DefaultsAreSmokeWithSimdOn) {
+  const ScopedEnv scale("SKIPNODE_BENCH_SCALE", nullptr);
+  const ScopedEnv simd("SKIPNODE_SIMD", nullptr);
+  const BenchConfig config = BenchConfig::FromEnv();
+  EXPECT_EQ(config.scale, Scale::kSmoke);
+  EXPECT_TRUE(config.simd);
+}
+
+TEST(BenchConfigTest, ParsesTheTwoValidScales) {
+  {
+    const ScopedEnv scale("SKIPNODE_BENCH_SCALE", "smoke");
+    EXPECT_EQ(BenchConfig::FromEnv().scale, Scale::kSmoke);
+  }
+  {
+    const ScopedEnv scale("SKIPNODE_BENCH_SCALE", "paper");
+    EXPECT_EQ(BenchConfig::FromEnv().scale, Scale::kPaper);
+  }
+}
+
+TEST(BenchConfigTest, ParsesTheSimdKillSwitch) {
+  {
+    const ScopedEnv simd("SKIPNODE_SIMD", "0");
+    EXPECT_FALSE(BenchConfig::FromEnv().simd);
+  }
+  {
+    const ScopedEnv simd("SKIPNODE_SIMD", "1");
+    EXPECT_TRUE(BenchConfig::FromEnv().simd);
+  }
+}
+
+TEST(BenchConfigDeathTest, RejectsUnknownScale) {
+  EXPECT_DEATH(
+      {
+        const ScopedEnv scale("SKIPNODE_BENCH_SCALE", "warp");
+        BenchConfig::FromEnv();
+      },
+      "SKIPNODE_BENCH_SCALE");
+  EXPECT_DEATH(
+      {
+        const ScopedEnv scale("SKIPNODE_BENCH_SCALE", "Paper");
+        BenchConfig::FromEnv();
+      },
+      "SKIPNODE_BENCH_SCALE");
+}
+
+TEST(BenchConfigDeathTest, RejectsUnknownSimdValue) {
+  EXPECT_DEATH(
+      {
+        const ScopedEnv simd("SKIPNODE_SIMD", "banana");
+        BenchConfig::FromEnv();
+      },
+      "SKIPNODE_SIMD");
+}
+
+}  // namespace
+}  // namespace skipnode::bench

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "base/parallel.h"
+#include "base/simd.h"
 #include "graph/datasets.h"
 #include "graph/splits.h"
 #include "nn/model_factory.h"
@@ -142,6 +143,59 @@ TEST(FusedTrainTest, HarnessIsSelfConsistent) {
       Train(setup, "GCN", strategy, /*fused=*/false, /*pooled=*/false, 1);
   ExpectBitwiseEqual(a, b, "naive rerun");
   EXPECT_GT(a.result.final_train_loss, 0.0);
+}
+
+
+// End-to-end DESIGN section 14 pin: the SKIPNODE_SIMD kill-switch routes
+// every kernel through the scalar references, and a whole training run must
+// not move by a single bit.
+TEST(FusedTrainTest, TrainingIsBitwiseIdenticalAcrossSimdSwitch) {
+  Fixture setup;
+  const StrategyConfig strategy = StrategyConfig::SkipNodeU(0.5f);
+  const bool saved = simd::Enabled();
+  simd::SetEnabled(true);
+  const TrainedRun vec =
+      Train(setup, "GCN", strategy, /*fused=*/true, /*pooled=*/true, 1);
+  simd::SetEnabled(false);
+  const TrainedRun scalar =
+      Train(setup, "GCN", strategy, /*fused=*/true, /*pooled=*/true, 1);
+  const TrainedRun scalar_4t =
+      Train(setup, "GCN", strategy, /*fused=*/true, /*pooled=*/true, 4);
+  simd::SetEnabled(saved);
+  ExpectBitwiseEqual(vec, scalar, "simd on-vs-off");
+  ExpectBitwiseEqual(vec, scalar_4t, "simd on-vs-off@4t");
+}
+
+// fast_math (the reassociated Gemm dot) changes the floats — by rounding
+// only. The run must stay deterministic (rerun and thread-count invariant,
+// bitwise) and land at a comparable solution, but is NOT expected to match
+// the exact path bitwise.
+TEST(FusedTrainTest, FastMathTrainingIsDeterministicAndToleranceClose) {
+  Fixture setup;
+  StrategyConfig fast = StrategyConfig::SkipNodeU(0.5f);
+  fast.fast_math = true;
+  const TrainedRun fast_1t =
+      Train(setup, "GCN", fast, /*fused=*/true, /*pooled=*/true, 1);
+  const TrainedRun fast_rerun =
+      Train(setup, "GCN", fast, /*fused=*/true, /*pooled=*/true, 1);
+  const TrainedRun fast_4t =
+      Train(setup, "GCN", fast, /*fused=*/true, /*pooled=*/true, 4);
+  ExpectBitwiseEqual(fast_1t, fast_rerun, "fast_math rerun");
+  ExpectBitwiseEqual(fast_1t, fast_4t, "fast_math 1t-vs-4t");
+
+  const StrategyConfig exact = StrategyConfig::SkipNodeU(0.5f);
+  const TrainedRun exact_1t =
+      Train(setup, "GCN", exact, /*fused=*/true, /*pooled=*/true, 1);
+  EXPECT_NEAR(fast_1t.result.final_train_loss,
+              exact_1t.result.final_train_loss,
+              0.05 * (1.0 + exact_1t.result.final_train_loss));
+  ASSERT_EQ(fast_1t.parameters.size(), exact_1t.parameters.size());
+  for (size_t i = 0; i < fast_1t.parameters.size(); ++i) {
+    // Rounding differences compound over 12 epochs but stay small.
+    EXPECT_LT(MaxAbsDiff(fast_1t.parameters[i], exact_1t.parameters[i]),
+              0.05f)
+        << "parameter " << i;
+  }
 }
 
 }  // namespace

@@ -4,6 +4,12 @@
 #include "train/optimizer.h"
 
 #include <cmath>
+#include <cstring>
+#include <memory>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "base/simd.h"
 
 #include <gtest/gtest.h>
 
@@ -116,6 +122,56 @@ TEST(OptimizerTest, AdamIsScaleInvariantInFirstStep) {
     adam.Step({&w});
     EXPECT_NEAR(w.value.at(0, 0), -0.01f, 1e-4f);
   }
+}
+
+
+// Optimizer updates must be bitwise identical with the vectorized kernels
+// on and off (DESIGN section 14), both decay styles, odd sizes, any thread
+// count.
+TEST(OptimizerTest, StepsAreBitwiseIdenticalAcrossSimdAndThreads) {
+  const bool saved = simd::Enabled();
+  Rng rng(21);
+  const auto run = [&](bool vec, int threads, bool decoupled, bool sgd) {
+    simd::SetEnabled(vec);
+    SetParallelThreadCount(threads);
+    Parameter w("w", Matrix::Random(13, 19, rng));
+    Rng local(33);
+    Matrix init = Matrix::Random(13, 19, local);
+    w.value = init;
+    std::unique_ptr<Optimizer> opt;
+    if (sgd) {
+      opt = std::make_unique<Sgd>(0.05f, 5e-4f);
+    } else if (decoupled) {
+      opt = std::make_unique<AdamW>(0.01f, 5e-4f);
+    } else {
+      opt = std::make_unique<Adam>(0.01f, 5e-4f);
+    }
+    for (int step = 0; step < 5; ++step) {
+      Matrix g = Matrix::Random(13, 19, local);
+      w.grad = g;
+      opt->Step({&w});
+    }
+    return w.value;
+  };
+  for (const bool sgd : {false, true}) {
+    for (const bool decoupled : {false, true}) {
+      if (sgd && decoupled) continue;
+      const Matrix reference = run(false, 1, decoupled, sgd);
+      for (const bool vec : {false, true}) {
+        for (const int threads : {1, 4, 8}) {
+          const Matrix got = run(vec, threads, decoupled, sgd);
+          ASSERT_EQ(std::memcmp(got.data(), reference.data(),
+                                sizeof(float) *
+                                    static_cast<size_t>(got.size())),
+                    0)
+              << "sgd=" << sgd << " decoupled=" << decoupled
+              << " simd=" << vec << " threads=" << threads;
+        }
+      }
+    }
+  }
+  SetParallelThreadCount(0);
+  simd::SetEnabled(saved);
 }
 
 }  // namespace

@@ -14,6 +14,10 @@ DESIGN.md section 9, plus bench-specific invariants:
     spmm_t_masked over rho) with the rho=1.0 masked gather beating the
     unmasked one and spmm_t.rows_skipped > 0 at rho=0.5. Thread speedup is
     NOT hard-checked: CI hosts may be single-core.
+  * micro must emit the SIMD sweep (DESIGN section 14): simd_gemm /
+    simd_axpby / simd_adam in both simd=0 and simd=1 variants, with the
+    vectorized variant >= 1.5x faster on each of those three cells
+    (simd_spmm / simd_relu are informational, presence-checked only).
   * serve must show batched serving at 8 client threads reaching >= 2x the
     one-request-at-a-time EvaluateLogits baseline throughput, with p50/p99
     latency records present (the DESIGN section 11 acceptance signal).
@@ -161,6 +165,35 @@ def check_micro(path, records):
     if t_skipped is None or t_skipped["items"] <= 0:
         fail(f"{path}: spmm_t_masked rho=0.5 cell reports no "
              f"spmm_t.rows_skipped telemetry")
+
+    # SIMD sweep (DESIGN section 14): the vectorized microkernels must beat
+    # the retained scalar references by >= 1.5x single-threaded on the three
+    # gate cells. The margin is conservative — the portable build's
+    # compiler-vectorized strips measure ~3-4x on a 4-lane SSE2 baseline.
+    SIMD_SPEEDUP_FLOOR = 1.5
+
+    def simd_cell(cell, simd_on):
+        for r in records:
+            if r["cell"] == cell and r["metric"] == "ns_per_op" and \
+                    r["params"].get("simd") == simd_on:
+                return r
+        fail(f"{path}: micro emitted no {cell!r} ns_per_op record "
+             f"at simd={simd_on}")
+
+    for cell in ("simd_gemm", "simd_axpby", "simd_adam"):
+        scalar = simd_cell(cell, 0)
+        vector = simd_cell(cell, 1)
+        if vector["value"] <= 0:
+            fail(f"{path}: {cell} simd=1 ns_per_op is not positive")
+        speedup = scalar["value"] / vector["value"]
+        if speedup < SIMD_SPEEDUP_FLOOR:
+            fail(f"{path}: {cell} vectorized speedup {speedup:.2f}x is "
+                 f"below the {SIMD_SPEEDUP_FLOOR}x floor "
+                 f"({scalar['value']:.0f} ns scalar vs "
+                 f"{vector['value']:.0f} ns vectorized)")
+    for cell in ("simd_spmm", "simd_relu"):
+        simd_cell(cell, 0)
+        simd_cell(cell, 1)
 
 
 def check_serve(path, records):
