@@ -1,34 +1,44 @@
 // Copyright 2026 The SkipNode Authors.
 // Licensed under the Apache License, Version 2.0.
 //
-// The true-scale sweep (DESIGN §13): streams DC-SBM graphs straight into
-// CSR at 100k (smoke) / 1M (paper) nodes and trains full-batch GCNs on
-// them, recording wall time, the resident graph footprint, and the process
-// peak RSS. Two panels:
+// The true-scale sweep (DESIGN §13/§15): streams DC-SBM graphs straight into
+// CSR at 100k (smoke) / 1M (paper) nodes and trains GCNs on them, recording
+// wall time, the resident footprint, and the process peak RSS. Panels:
 //
-//   * stream_train — the headline memory cell: a dense high-degree synth
-//     graph is generated (no intermediate COO edge list) and trained for a
-//     few epochs. The first cell records rss_over_footprint =
-//     peak_rss / MemoryFootprintBytes(); the validator's check_scale rule
-//     holds it to <= 2x (the streaming-construction acceptance bound). It
-//     runs FIRST because ru_maxrss is a process-lifetime high-water mark —
-//     later, smaller cells cannot retroactively shrink it.
+//   * sampled_train — minibatch neighbor-sampled training (DESIGN §15) on
+//     the big graph: L=3 with fanout 4, batch 128, SkipNode-U rho=0.5 so the
+//     skip-aware frontier pruning fires. Records ms_per_epoch (one pass over
+//     the train split) and rss_over_footprint against the graph + sampler
+//     footprint; the validator's check_sampled rule holds the epoch wall to
+//     <= 0.5x the full-batch stream_train cell and the RSS ratio to <= 2x.
+//     It runs FIRST: ru_maxrss is a process-lifetime high-water mark, so the
+//     sampled cell's peak is only attributable while the full-batch working
+//     set has not yet been resident.
+//   * stream_train — the headline full-batch memory cell on the same graph.
+//     Records rss_over_footprint = peak_rss / MemoryFootprintBytes(); the
+//     validator's check_scale rule holds it to <= 2x (the
+//     streaming-construction acceptance bound).
 //   * depth_sweep — nodes x layers x rho: a mid-sized graph trained at
 //     increasing depth with SkipNode off/on, exposing which kernels stop
-//     scaling first (per-kernel telemetry rides along in each JSONL
-//     record).
+//     scaling first (per-kernel telemetry rides along in each JSONL record).
+//   * sampled_accuracy — full vs sampled training to convergence on the
+//     mid-sized graph; the validator holds the sampled val accuracy to
+//     within 0.15 of full-batch.
 //
 // The workspace pool is trimmed between cells so one cell's buffers don't
 // count against the next cell's budget.
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/telemetry.h"
 #include "bench_common.h"
+#include "graph/sampler.h"
 #include "tensor/pool.h"
 #include "train/optimizer.h"
 
@@ -42,22 +52,25 @@ int64_t PeakRssBytes() {
   return static_cast<int64_t>(usage.ru_maxrss) * 1024;
 }
 
-// Trains a GCN for `epochs` full-batch steps and returns the mean wall
-// time per epoch (ms). Dropout stays 0 at scale: the n x d mask and its
-// Hadamard copy would double the feature-sized working set for no
-// benchmarking value.
-double TrainMsPerEpoch(const Graph& graph, const Split& split,
-                       const StrategyConfig& strategy, int num_layers,
-                       int hidden, int epochs) {
+ModelConfig ScaleConfig(const Graph& graph, int num_layers, int hidden) {
   ModelConfig config;
   config.in_dim = graph.feature_dim();
   config.hidden_dim = hidden;
   config.out_dim = graph.num_classes();
   config.num_layers = num_layers;
+  // Dropout stays 0 at scale: the n x d mask and its Hadamard copy would
+  // double the feature-sized working set for no benchmarking value.
   config.dropout = 0.0f;
+  return config;
+}
 
+// Trains a GCN for `epochs` full-batch steps and returns the mean wall
+// time per epoch (ms).
+double TrainMsPerEpoch(const Graph& graph, const Split& split,
+                       const StrategyConfig& strategy, int num_layers,
+                       int hidden, int epochs) {
   Rng rng(3);
-  auto model = MakeModel("GCN", config, rng);
+  auto model = MakeModel("GCN", ScaleConfig(graph, num_layers, hidden), rng);
   const std::vector<Parameter*> params = model->Parameters();
   Adam optimizer(0.01f, 5e-4f);
 
@@ -75,79 +88,150 @@ double TrainMsPerEpoch(const Graph& graph, const Split& split,
          static_cast<double>(epochs);
 }
 
-struct StreamCellResult {
-  int64_t footprint_bytes = 0;
-  int64_t peak_rss_bytes = 0;
-  double ratio = 0.0;
-};
+// Minibatch neighbor-sampled counterpart (DESIGN §15): one epoch is one
+// shuffled pass over the train split, one optimizer step per batch — the
+// same loop TrainNodeClassifier runs in sampling mode, without the
+// full-batch evaluation passes so the cell times training alone.
+double SampledTrainMsPerEpoch(const Graph& graph, const Split& split,
+                              const StrategyConfig& strategy,
+                              NeighborSampler& sampler, int hidden,
+                              int batch_size, int epochs) {
+  const int num_layers = static_cast<int>(sampler.config().fanouts.size());
+  Rng rng(3);
+  auto model = MakeModel("GCN", ScaleConfig(graph, num_layers, hidden), rng);
+  const std::vector<Parameter*> params = model->Parameters();
+  Adam optimizer(0.01f, 5e-4f);
+  const LayerSkipMaskFn mask_fn =
+      MakeSampledSkipMaskFn(graph, strategy, num_layers, rng);
+  std::vector<int> seed_order = split.train;
 
-// One generate-then-train cell on the streaming synth DC-SBM.
-StreamCellResult RunStreamTrainCell(int64_t nodes, double avg_degree,
-                                    int num_layers, int hidden, int epochs,
-                                    bool checked) {
-  bench::CellRecorder recorder("stream_train");
-  recorder.Param("nodes", nodes)
-      .Param("avg_degree", avg_degree)
-      .Param("layers", num_layers)
-      .Param("hidden", hidden)
-      .Param("epochs", epochs)
-      .Param("checked", checked ? 1 : 0);
+  const int64_t start_ns = MonotonicNanos();
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t i = seed_order.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(rng.UniformInt(i));
+      std::swap(seed_order[i - 1], seed_order[j]);
+    }
+    for (size_t start = 0; start < seed_order.size();
+         start += static_cast<size_t>(batch_size)) {
+      const size_t end = std::min(start + static_cast<size_t>(batch_size),
+                                  seed_order.size());
+      const std::vector<int> seeds(seed_order.begin() + start,
+                                   seed_order.begin() + end);
+      const SampledBatch batch =
+          sampler.SampleBlocks(seeds, rng.Next(), mask_fn);
+      Tape tape;
+      Var logits = model->ForwardSampled(tape, graph, batch, strategy,
+                                         /*training=*/true, rng);
+      std::vector<int> batch_labels(seeds.size());
+      std::vector<int> batch_nodes(seeds.size());
+      for (size_t i = 0; i < seeds.size(); ++i) {
+        batch_labels[i] = graph.labels()[static_cast<size_t>(seeds[i])];
+        batch_nodes[i] = static_cast<int>(i);
+      }
+      Var loss = tape.SoftmaxCrossEntropy(logits, batch_labels, batch_nodes);
+      Optimizer::ZeroGrad(params);
+      tape.Backward(loss);
+      optimizer.Step(params);
+    }
+  }
+  return static_cast<double>(MonotonicNanos() - start_ns) / 1e6 /
+         static_cast<double>(epochs);
+}
 
+void RecordRss(bench::CellRecorder& recorder, int64_t footprint_bytes,
+               double* ratio_out) {
+  const int64_t peak = PeakRssBytes();
+  const double ratio =
+      static_cast<double>(peak) / static_cast<double>(footprint_bytes);
+  recorder.Record("footprint_bytes", static_cast<double>(footprint_bytes));
+  recorder.Record("peak_rss_bytes", static_cast<double>(peak));
+  recorder.Record("rss_over_footprint", ratio);
+  if (ratio_out != nullptr) *ratio_out = ratio;
+}
+
+// Panel 1: the big streaming graph, built once and shared by the sampled
+// and full-batch training cells. Degree is high by design: the memory
+// budget is relative to the resident graph, so the adjacency has to
+// outweigh the training working set (DESIGN §13 derives the bound). Scoped
+// in its own frame so the big graph is released before the mid-sized
+// panels run.
+void RunBigGraphPanel(int64_t big_nodes, double big_degree, int epochs) {
   DatasetRequest request;
   request.name = "synth";
   request.seed = 12;
-  request.nodes = nodes;
-  request.avg_degree = avg_degree;
-
+  request.nodes = big_nodes;
+  request.avg_degree = big_degree;
   const int64_t build_start_ns = MonotonicNanos();
   Graph graph = DatasetRegistry::Global().Build(request);
   const double build_ms =
       static_cast<double>(MonotonicNanos() - build_start_ns) / 1e6;
-  recorder.Param("edges", static_cast<int64_t>(graph.num_edges()))
-      .Param("index_width", graph.normalized_adjacency()->index_width());
-  recorder.Record("build_ms", build_ms);
-
   Rng split_rng(12);
   Split split = PublicSplit(graph, 20, 300, 500, split_rng);
-  const double ms = TrainMsPerEpoch(graph, split, StrategyConfig::None(),
-                                    num_layers, hidden, epochs);
-  recorder.Record("ms_per_epoch", ms);
 
-  StreamCellResult result;
-  result.footprint_bytes = graph.MemoryFootprintBytes();
-  result.peak_rss_bytes = PeakRssBytes();
-  result.ratio = static_cast<double>(result.peak_rss_bytes) /
-                 static_cast<double>(result.footprint_bytes);
-  recorder.Record("footprint_bytes",
-                  static_cast<double>(result.footprint_bytes));
-  recorder.Record("peak_rss_bytes",
-                  static_cast<double>(result.peak_rss_bytes));
-  if (checked) {
-    // Only the first cell's high-water mark is attributable to one graph.
-    recorder.Record("rss_over_footprint", result.ratio);
+  const auto stamp_graph = [&](bench::CellRecorder& recorder) -> auto& {
+    return recorder.Param("nodes", big_nodes)
+        .Param("avg_degree", big_degree)
+        .Param("hidden", 8)
+        .Param("epochs", epochs)
+        .Param("edges", static_cast<int64_t>(graph.num_edges()))
+        .Param("index_width", graph.normalized_adjacency()->index_width());
+  };
+
+  // sampled_train runs FIRST (see file comment: RSS attribution).
+  {
+    const int fanout = 4;
+    const int batch_size = 128;
+    const float rho = 0.5f;
+    bench::CellRecorder recorder("sampled_train");
+    stamp_graph(recorder)
+        .Param("layers", 3)
+        .Param("fanout", fanout)
+        .Param("batch_size", batch_size)
+        .Param("rho", static_cast<double>(rho));
+    NeighborSampler sampler(graph, {{fanout, fanout, fanout}});
+    const double ms =
+        SampledTrainMsPerEpoch(graph, split, StrategyConfig::SkipNodeU(rho),
+                               sampler, /*hidden=*/8, batch_size, epochs);
+    recorder.Record("ms_per_epoch", ms);
+    double ratio = 0.0;
+    RecordRss(recorder,
+              graph.MemoryFootprintBytes() + sampler.MemoryFootprintBytes(),
+              &ratio);
+    std::printf(
+        "sampled_train: synth @ %lld nodes, L=3 fanout=%d batch=%d "
+        "rho=%.1f\n  %.1f ms/epoch, RSS ratio %.2f (budget 2.00)\n\n",
+        static_cast<long long>(big_nodes), fanout, batch_size,
+        static_cast<double>(rho), ms, ratio);
   }
-  return result;
+  GlobalMatrixPool().Trim();
+
+  // stream_train — the full-batch headline cell on the same graph.
+  {
+    bench::CellRecorder recorder("stream_train");
+    stamp_graph(recorder).Param("layers", 2).Param("checked", 1);
+    recorder.Record("build_ms", build_ms);
+    const double ms = TrainMsPerEpoch(graph, split, StrategyConfig::None(),
+                                      /*num_layers=*/2, /*hidden=*/8, epochs);
+    recorder.Record("ms_per_epoch", ms);
+    double ratio = 0.0;
+    RecordRss(recorder, graph.MemoryFootprintBytes(), &ratio);
+    std::printf(
+        "stream_train: synth @ %lld nodes, avg degree %.0f\n"
+        "  built in %.0f ms, %.1f ms/epoch, footprint %.1f MB, "
+        "RSS ratio %.2f (budget 2.00)\n\n",
+        static_cast<long long>(big_nodes), big_degree, build_ms, ms,
+        static_cast<double>(graph.MemoryFootprintBytes()) / 1e6, ratio);
+  }
+  GlobalMatrixPool().Trim();
 }
 
 void Main() {
   bench::Begin("scale");
 
-  // --- Panel 1: the streaming-memory acceptance cell (must run first; see
-  // file comment). Degree is high by design: the budget is relative to the
-  // resident graph, so the adjacency has to outweigh the training
-  // working set (DESIGN §13 derives the bound).
   const int64_t big_nodes = bench::Pick<int64_t>(100000, 1000000);
   const double big_degree = bench::Pick(150.0, 100.0);
-  std::printf("stream_train: synth @ %lld nodes, avg degree %.0f\n",
-              static_cast<long long>(big_nodes), big_degree);
-  const StreamCellResult big = RunStreamTrainCell(
-      big_nodes, big_degree, /*num_layers=*/2, /*hidden=*/8,
-      /*epochs=*/bench::Pick(2, 3), /*checked=*/true);
-  std::printf(
-      "  footprint %.1f MB, peak RSS %.1f MB, ratio %.2f (budget 2.00)\n\n",
-      static_cast<double>(big.footprint_bytes) / 1e6,
-      static_cast<double>(big.peak_rss_bytes) / 1e6, big.ratio);
-  GlobalMatrixPool().Trim();
+  const int epochs = bench::Pick(2, 3);
+  RunBigGraphPanel(big_nodes, big_degree, epochs);
 
   // --- Panel 2: depth x rho at a mid-sized graph (default degree 10).
   const int64_t sweep_nodes = bench::Pick<int64_t>(20000, 250000);
@@ -155,15 +239,14 @@ void Main() {
       bench::PaperScale() ? std::vector<int>{2, 8, 32}
                           : std::vector<int>{2, 8, 16};
   const int hidden = 16;
-  const int epochs = bench::Pick(2, 3);
 
   DatasetRequest request;
   request.name = "synth";
   request.seed = 12;
   request.nodes = sweep_nodes;
-  Graph graph = DatasetRegistry::Global().Build(request);
-  Rng split_rng(12);
-  Split split = PublicSplit(graph, 20, 300, 500, split_rng);
+  Graph sweep_graph = DatasetRegistry::Global().Build(request);
+  Rng sweep_split_rng(12);
+  Split sweep_split = PublicSplit(sweep_graph, 20, 300, 500, sweep_split_rng);
   std::printf("depth_sweep: synth @ %lld nodes, layers x rho\n",
               static_cast<long long>(sweep_nodes));
 
@@ -177,13 +260,42 @@ void Main() {
           .Param("rho", static_cast<double>(rho))
           .Param("hidden", hidden)
           .Param("epochs", epochs);
-      const double ms =
-          TrainMsPerEpoch(graph, split, strategy, depth, hidden, epochs);
+      const double ms = TrainMsPerEpoch(sweep_graph, sweep_split, strategy,
+                                        depth, hidden, epochs);
       recorder.Record("ms_per_epoch", ms);
       recorder.Record("peak_rss_bytes", static_cast<double>(PeakRssBytes()));
       std::printf("  L=%-3d rho=%.1f  %.1f ms/epoch\n", depth, rho, ms);
       GlobalMatrixPool().Trim();
     }
+  }
+
+  // --- Panel 3: sampled vs full-batch accuracy to convergence (the
+  // validator holds sampled within 0.15 of full; DESIGN §15).
+  const int acc_epochs = bench::Pick(40, 100);
+  std::printf("\nsampled_accuracy: synth @ %lld nodes, L=3, %d epochs\n",
+              static_cast<long long>(sweep_nodes), acc_epochs);
+  for (const bool sampled : {false, true}) {
+    bench::CellRecorder recorder("sampled_accuracy");
+    recorder.Param("nodes", sweep_nodes)
+        .Param("layers", 3)
+        .Param("hidden", hidden)
+        .Param("epochs", acc_epochs)
+        .Param("mode", sampled ? "sampled" : "full")
+        .Param("rho", 0.5);
+    Rng rng(3);
+    auto model = MakeModel("GCN", ScaleConfig(sweep_graph, 3, hidden), rng);
+    TrainRun run{.options = {.epochs = acc_epochs, .seed = 7}};
+    if (sampled) run.sampling = {.fanouts = {4, 4, 4}, .batch_size = 128};
+    const TrainResult result =
+        TrainNodeClassifier(*model, sweep_graph, sweep_split,
+                            StrategyConfig::SkipNodeU(0.5f), run);
+    recorder.Record("val_accuracy", result.best_val_accuracy);
+    recorder.Record("test_accuracy", result.test_accuracy);
+    std::printf("  %-7s val %.1f%%, test %.1f%%\n",
+                sampled ? "sampled" : "full",
+                100.0 * result.best_val_accuracy,
+                100.0 * result.test_accuracy);
+    GlobalMatrixPool().Trim();
   }
 }
 

@@ -120,4 +120,35 @@ Var StrategyContext::TransformBoundary(Tape& tape, Var conv) {
   return conv;
 }
 
+LayerSkipMaskFn MakeSampledSkipMaskFn(const Graph& graph,
+                                      const StrategyConfig& config,
+                                      int num_layers, Rng& rng) {
+  SKIPNODE_CHECK(num_layers >= 2);
+  if (config.kind == StrategyKind::kNone) return nullptr;
+  SKIPNODE_CHECK_MSG(config.kind == StrategyKind::kSkipNodeUniform ||
+                         config.kind == StrategyKind::kSkipNodeBiased,
+                     "sampled training supports only SkipNode-U/-B or none");
+  const bool biased = config.kind == StrategyKind::kSkipNodeBiased;
+  return [&graph, config, num_layers, biased, &rng](
+             int layer, const std::vector<int>& dst_nodes) {
+    if (layer <= 0 || layer >= num_layers - 1) return std::vector<uint8_t>();
+    // Middle layer l is the (l-1)-th middle combine of a forward pass.
+    const float rho = ClampRate(config.rate +
+                                config.rho_growth * static_cast<float>(layer - 1));
+    if (rho <= 0.0f) return std::vector<uint8_t>();
+    if (biased) {
+      // Biased draw over the *frontier's* degree weights: gathering keeps
+      // the batch draw proportional to degree among the rows that exist in
+      // this batch.
+      const std::vector<double>& weights = graph.degree_weights();
+      std::vector<double> gathered(dst_nodes.size());
+      for (size_t i = 0; i < dst_nodes.size(); ++i) {
+        gathered[i] = weights[static_cast<size_t>(dst_nodes[i])];
+      }
+      return SampleSkipMaskBiased(gathered, rho, rng);
+    }
+    return SampleSkipMaskUniform(static_cast<int>(dst_nodes.size()), rho, rng);
+  };
+}
+
 }  // namespace skipnode

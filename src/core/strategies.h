@@ -26,6 +26,7 @@
 #include "autograd/tape.h"
 #include "base/rng.h"
 #include "graph/graph.h"
+#include "graph/sampler.h"
 
 namespace skipnode {
 
@@ -152,6 +153,20 @@ class StrategyContext {
   std::shared_ptr<const CsrMatrix> shared_adjacency_;
   int middle_calls_ = 0;
 };
+
+// Builds the NeighborSampler's per-layer skip-mask callback from a strategy
+// (DESIGN §15). For SkipNode the callback draws the batch's middle-layer
+// masks over the dst frontier — uniform, or biased by the gathered
+// degree weights — from `rng`, in the sampler's serial top-layer-first
+// order; the same masks ride along in SampledLayer::skip_mask and drive the
+// forward's RowSelect, so pruning and training agree row for row. The rho
+// schedule matches the full-batch pass: middle layer l uses
+// clamp(rate + rho_growth * (l - 1), 0, 1). kNone returns a null callback
+// (no pruning); any other strategy aborts — the sampled path supports only
+// SkipNode and the vanilla backbone.
+LayerSkipMaskFn MakeSampledSkipMaskFn(const Graph& graph,
+                                      const StrategyConfig& config,
+                                      int num_layers, Rng& rng);
 
 }  // namespace skipnode
 

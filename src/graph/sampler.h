@@ -1,0 +1,143 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Seeded, thread-parallel neighbor sampler for minibatch training
+// (DESIGN §15). A batch of seed nodes expands layer by layer (top layer
+// first) into per-layer *bipartite blocks*: rectangular CSR slices of the
+// normalised adjacency Â mapping a sampled src frontier onto the layer's
+// dst frontier. Frontiers are nested — every dst frontier is a prefix of
+// its src frontier, so local row i of a layer's output and local row i of
+// its input name the same node — which is what lets the tape's masked /
+// row-select kernels run over blocks unchanged.
+//
+// Per row, at most `fanout` non-self neighbors of Â are kept (drawn without
+// replacement) plus the self entry, and the surviving values are rescaled
+// by full-row-sum / sampled-row-sum so every block row preserves its Â row
+// sum (rows whose whole neighborhood fits the fanout are copied exactly,
+// scale 1). Blocks stream through CsrBuilder — counting is analytic, so no
+// intermediate edge vector is ever materialised.
+//
+// Determinism contract (DESIGN §7): every dst row draws from its own Rng
+// stream keyed on (batch_seed, layer, global node id), so the draw is a
+// pure function of the row — independent of thread count, chunk boundaries
+// and fill order. The serial frontier walk assigns local ids in
+// first-appearance order (rows in order, entries in Â column order); the
+// parallel fill pass then replays each row's stream into its own CSR
+// segment. A fixed (seeds, batch_seed) pair therefore reproduces a batch
+// bit for bit at any thread count.
+//
+// Skip-aware pruning: an optional per-layer mask callback (sampled from the
+// SkipNode strategy — core/strategies.h builds it) marks dst rows that this
+// batch will pass through unconvolved. Masked rows expand *no* neighbors —
+// their block row is the bare self entry, which the masked kernels never
+// read — so the frontier below them stays small. Telemetry counters
+// sampler.nodes_pruned / sampler.edges_pruned account the rows and the
+// neighbor fetches saved.
+
+#ifndef SKIPNODE_GRAPH_SAMPLER_H_
+#define SKIPNODE_GRAPH_SAMPLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sparse/csr_matrix.h"
+
+namespace skipnode {
+
+struct SamplerConfig {
+  // Per-layer cap on sampled non-self neighbors, one entry per model
+  // convolution layer (fanouts[l] feeds layer l); every entry >= 1.
+  std::vector<int> fanouts;
+};
+
+// One layer's bipartite block. Rows are the layer's dst frontier, columns
+// its src frontier; the dst frontier is the first `block->rows()` entries
+// of the src frontier (prefix property above).
+struct SampledLayer {
+  // num_dst x num_src renormalised Â slice.
+  std::shared_ptr<const CsrMatrix> block;
+  // Per-dst-row SkipNode mask for this batch (empty = no mask). Rows with
+  // mask != 0 hold only their self entry.
+  std::vector<uint8_t> skip_mask;
+
+  int num_dst() const { return block->rows(); }
+  int num_src() const { return block->cols(); }
+};
+
+// One minibatch: per-layer blocks plus the id maps. layers[l] is consumed
+// by model layer l; layers.back()'s dst frontier is exactly `seeds`.
+struct SampledBatch {
+  std::vector<int> seeds;
+  // Global ids of the bottom src frontier — the rows of the feature matrix
+  // the forward pass gathers. seeds is a prefix of this.
+  std::vector<int> input_nodes;
+  std::vector<SampledLayer> layers;
+  // Skip-aware pruning accounting for this batch: masked dst rows, and the
+  // neighbor draws those rows would otherwise have fetched.
+  int64_t nodes_pruned = 0;
+  int64_t edges_pruned = 0;
+};
+
+// Samples the skip mask for `layer` over its dst frontier (global ids)
+// *before* neighbors are fetched. An empty return (or a null function)
+// means no pruning for that layer. Called serially, top layer first, so
+// implementations may draw from a shared Rng.
+using LayerSkipMaskFn = std::function<std::vector<uint8_t>(
+    int layer, const std::vector<int>& dst_nodes)>;
+
+// Expands seed batches into block sequences over one graph. Holds cached
+// per-node state (the global→local id map, generation-stamped so batches
+// don't pay an O(N) clear); MemoryFootprintBytes() reports it so the
+// bench/scale RSS budget stays honest. Not safe for concurrent
+// SampleBlocks calls on the same instance — use one sampler per trainer.
+class NeighborSampler {
+ public:
+  // `graph` must outlive the sampler; its normalised adjacency is built
+  // here (one-time) if it does not exist yet.
+  NeighborSampler(const Graph& graph, SamplerConfig config);
+
+  // Expands `seeds` (distinct node ids) into one SampledBatch. A fixed
+  // (seeds, batch_seed) reproduces the batch bitwise at any thread count.
+  // `skip_mask_fn` may be null (no pruning).
+  SampledBatch SampleBlocks(const std::vector<int>& seeds, uint64_t batch_seed,
+                            const LayerSkipMaskFn& skip_mask_fn);
+
+  const SamplerConfig& config() const { return config_; }
+
+  // Heap bytes of the cached per-node state (the stamped id map). Added to
+  // Graph::MemoryFootprintBytes() in the scale bench's RSS denominator.
+  int64_t MemoryFootprintBytes() const;
+
+ private:
+  // Local id of `node` this generation, or -1.
+  int LocalId(int node) const {
+    return stamp_[static_cast<size_t>(node)] == generation_
+               ? local_id_[static_cast<size_t>(node)]
+               : -1;
+  }
+  // Assigns the next local id to `node` (must be unseen) and records it in
+  // `frontier`.
+  void Assign(int node, std::vector<int>& frontier) {
+    local_id_[static_cast<size_t>(node)] =
+        static_cast<int>(frontier.size());
+    stamp_[static_cast<size_t>(node)] = generation_;
+    frontier.push_back(node);
+  }
+
+  const Graph& graph_;
+  SamplerConfig config_;
+  std::shared_ptr<const CsrMatrix> adjacency_;
+
+  // Generation-stamped global→local map: local_id_[n] is valid only when
+  // stamp_[n] == generation_, so starting a batch is O(1).
+  std::vector<int> local_id_;
+  std::vector<uint32_t> stamp_;
+  uint32_t generation_ = 0;
+};
+
+}  // namespace skipnode
+
+#endif  // SKIPNODE_GRAPH_SAMPLER_H_

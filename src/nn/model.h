@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "autograd/tape.h"
+#include "base/check.h"
 #include "base/rng.h"
 #include "core/strategies.h"
 #include "graph/graph.h"
+#include "graph/sampler.h"
 #include "tensor/matrix.h"
 
 namespace skipnode {
@@ -61,6 +63,31 @@ class Model {
   // toggles Dropout and per-step strategy sampling.
   virtual Var Forward(Tape& tape, const Graph& graph, StrategyContext& ctx,
                       bool training, Rng& rng) = 0;
+
+  // True when the model implements ForwardSampled (minibatch training over
+  // sampled blocks, DESIGN §15). The trainer checks this before entering
+  // sampled mode so unsupported backbones fail with a clear message.
+  virtual bool SupportsSampledForward() const { return false; }
+
+  // Builds one minibatch forward over `batch`'s bipartite blocks and returns
+  // |batch.seeds| x num_classes logits (seed order). Layer l propagates with
+  // batch.layers[l].block; middle layers apply the batch's pre-drawn
+  // SkipNode masks (SampledLayer::skip_mask) — the strategy config only
+  // selects the fused vs naive combine. Does not refresh Penultimate().
+  // Models that return false from SupportsSampledForward abort here.
+  virtual Var ForwardSampled(Tape& tape, const Graph& graph,
+                             const SampledBatch& batch,
+                             const StrategyConfig& config, bool training,
+                             Rng& rng) {
+    (void)tape;
+    (void)graph;
+    (void)batch;
+    (void)config;
+    (void)training;
+    (void)rng;
+    SKIPNODE_CHECK_MSG(false, "model does not support sampled forward");
+    return Var();
+  }
 
   // Auxiliary loss added to the classification loss (weighted by the model),
   // e.g. GRAND's consistency regulariser. Returns an invalid Var when the

@@ -39,7 +39,7 @@ void CsrBuilder::FinishCounting() {
 }
 
 void CsrBuilder::AddEntry(int row, int col, float value) {
-  SKIPNODE_CHECK(phase_ == Phase::kFilling);
+  SKIPNODE_CHECK(phase_ == Phase::kFilling && !row_fill_);
   if (!has_values_) {
     SKIPNODE_CHECK(added_ == 0);  // No mixing with AddPatternEntry.
     has_values_ = true;
@@ -53,8 +53,30 @@ void CsrBuilder::AddEntry(int row, int col, float value) {
   ++added_;
 }
 
-void CsrBuilder::AddPatternEntry(int row, int col) {
+void CsrBuilder::BeginRowFill() {
   SKIPNODE_CHECK(phase_ == Phase::kFilling);
+  SKIPNODE_CHECK(added_ == 0 && !has_values_ && !row_fill_);
+  row_fill_ = true;
+  has_values_ = true;
+  vals_buf_.resize(cols_buf_.size());
+}
+
+void CsrBuilder::AddRowEntries(int row, const int* cols, const float* values,
+                               int n) {
+  SKIPNODE_CHECK(phase_ == Phase::kFilling && row_fill_);
+  SKIPNODE_CHECK(row >= 0 && row < rows_ && n >= 0);
+  const int64_t pos = counts_[static_cast<size_t>(row)];
+  SKIPNODE_CHECK(pos + n <= raw_offsets_[static_cast<size_t>(row) + 1]);
+  for (int i = 0; i < n; ++i) {
+    SKIPNODE_CHECK(cols[i] >= 0 && cols[i] < cols_);
+    cols_buf_[static_cast<size_t>(pos + i)] = cols[i];
+    vals_buf_[static_cast<size_t>(pos + i)] = values[i];
+  }
+  counts_[static_cast<size_t>(row)] = pos + n;
+}
+
+void CsrBuilder::AddPatternEntry(int row, int col) {
+  SKIPNODE_CHECK(phase_ == Phase::kFilling && !row_fill_);
   SKIPNODE_CHECK(!has_values_);
   SKIPNODE_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
   const int64_t pos = counts_[static_cast<size_t>(row)]++;
@@ -65,7 +87,16 @@ void CsrBuilder::AddPatternEntry(int row, int col) {
 
 void CsrBuilder::MergeRows(bool with_values) {
   SKIPNODE_CHECK(phase_ == Phase::kFilling);
-  SKIPNODE_CHECK(added_ == total_count_);  // Fill pass matched the count pass.
+  if (row_fill_) {
+    // Row-owner fill: the shared added_ counter stays untouched (parallel
+    // writers), so completeness is every per-row cursor at its segment end.
+    for (int r = 0; r < rows_; ++r) {
+      SKIPNODE_CHECK(counts_[static_cast<size_t>(r)] ==
+                     raw_offsets_[static_cast<size_t>(r) + 1]);
+    }
+  } else {
+    SKIPNODE_CHECK(added_ == total_count_);  // Fill matched the count pass.
+  }
   const ScopedTimer timer("sparse.csr_build", /*items=*/total_count_);
 
   // Sort each raw row segment by column and merge duplicates in place (the

@@ -11,10 +11,11 @@
 //
 // Two fill modes, chosen by which Add call the second pass uses:
 //   * Value mode  — AddEntry(r, c, v); Build() sorts each row by column and
-//     sums duplicate coordinates in per-row insertion order. This reproduces
-//     CsrMatrix::FromCoo bit for bit (every producer of duplicates in this
-//     codebase emits float-equal values per coordinate, so the sum is
-//     order-independent anyway).
+//     sums duplicate coordinates in per-row insertion order (every producer
+//     of duplicates in this codebase emits float-equal values per
+//     coordinate, so the sum is order-independent anyway). BeginRowFill /
+//     AddRowEntries switch the fill pass to row-owner mode, where parallel
+//     code may fill disjoint rows concurrently (the sampler's block build).
 //   * Pattern mode — AddPatternEntry(r, c); FinalizePattern() collapses
 //     duplicates to a single entry, after which FinalRowNnz exposes the
 //     deduplicated degrees and BuildWithValues(fn) assigns each surviving
@@ -79,6 +80,20 @@ class CsrBuilder {
   void AddEntry(int row, int col, float value);
   void AddPatternEntry(int row, int col);
 
+  // Switches the fill pass to row-owner value mode: allocates the value
+  // buffer up front so the AddRowEntries calls below may run from parallel
+  // code. Call once, serially, after FinishCounting; AddEntry /
+  // AddPatternEntry are disallowed afterwards.
+  void BeginRowFill();
+
+  // Appends `n` (col, value) entries to `row`'s segment in one call. Safe to
+  // call concurrently for *different* rows — each row must be filled by
+  // exactly one thread (ParallelFor row ownership, DESIGN §7); the per-row
+  // cursors and segments are disjoint, so no synchronisation is needed.
+  // Requires BeginRowFill; Build() verifies every row's segment filled up
+  // exactly.
+  void AddRowEntries(int row, const int* cols, const float* values, int n);
+
   // --- Finish: value mode ---------------------------------------------
   // Sorts each row by column, sums duplicates in per-row insertion order,
   // and returns the matrix. The builder is consumed.
@@ -113,6 +128,10 @@ class CsrBuilder {
   int64_t total_count_ = 0;
   int64_t added_ = 0;
   bool has_values_ = false;
+  // Set by BeginRowFill: fill completeness is verified per row (cursor ==
+  // segment end) instead of via the shared added_ counter, which parallel
+  // AddRowEntries calls must not touch.
+  bool row_fill_ = false;
 
   // Counting pass: per-row raw counts; after FinishCounting, reused as the
   // per-row fill cursors; after MergeRows, holds per-row unique counts.

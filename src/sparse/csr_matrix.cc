@@ -16,22 +16,6 @@
 
 namespace skipnode {
 
-CsrMatrix CsrMatrix::FromCoo(int rows, int cols,
-                             std::vector<std::pair<int, int>> coords,
-                             std::vector<float> values) {
-  SKIPNODE_CHECK(coords.size() == values.size());
-  CsrBuilder builder(rows, cols);
-  for (const auto& [r, c] : coords) {
-    SKIPNODE_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
-    builder.CountEntry(r);
-  }
-  builder.FinishCounting();
-  for (size_t i = 0; i < coords.size(); ++i) {
-    builder.AddEntry(coords[i].first, coords[i].second, values[i]);
-  }
-  return builder.Build();
-}
-
 CsrMatrix CsrMatrix::Identity(int n) {
   CsrBuilder builder(n, n);
   for (int i = 0; i < n; ++i) builder.CountEntry(i);

@@ -56,15 +56,6 @@ class CsrMatrix {
         row_ptr_(OffsetVec::Narrow(std::vector<int>(1, 0))),
         plan_cache_(std::make_shared<PlanCache>()) {}
 
-  // Builds from coordinate triplets (row, col, value); a convenience shim
-  // over CsrBuilder for callers that already hold a COO list (tests, tiny
-  // matrices — large producers stream into CsrBuilder directly). Duplicate
-  // coordinates are summed in per-row insertion order. Entries with value 0
-  // are kept (callers rarely produce them).
-  static CsrMatrix FromCoo(int rows, int cols,
-                           std::vector<std::pair<int, int>> coords,
-                           std::vector<float> values);
-
   // Identity matrix of size n.
   static CsrMatrix Identity(int n);
 
@@ -75,12 +66,6 @@ class CsrMatrix {
   // 32 or 64: the stored offset width.
   int index_width() const { return row_ptr_.wide() ? 64 : 32; }
 
-  // Narrow-only legacy view of the row pointers (aborts on a wide matrix).
-  // Deprecated: use row_offsets() with WithOffsets (or RowBegin / RowEnd) so
-  // the code path also covers wide-offset (1M-node) graphs.
-  [[deprecated("use row_offsets()/WithOffsets; row_ptr() aborts on wide-"
-               "offset matrices")]]
-  const std::vector<int>& row_ptr() const { return row_ptr_.narrow_vector(); }
   const OffsetVec& row_offsets() const { return row_ptr_; }
   const std::vector<int>& col_idx() const { return col_idx_; }
   const std::vector<float>& values() const { return values_; }

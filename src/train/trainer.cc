@@ -3,9 +3,13 @@
 
 #include "train/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <memory>
+#include <numeric>
+#include <utility>
 
 #include "autograd/health.h"
 #include "base/check.h"
@@ -73,6 +77,24 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
   Adam optimizer(learning_rate, options.weight_decay);
   const std::vector<Parameter*> parameters = model.Parameters();
   FaultInjector injector(run.fault);
+
+  // Minibatch sampling state (DESIGN §15). The sampler and the mask callback
+  // live for the whole run; the callback draws the per-batch SkipNode masks
+  // from the run Rng, serially, inside SampleBlocks.
+  const SamplingOptions& sampling = run.sampling;
+  std::unique_ptr<NeighborSampler> sampler;
+  LayerSkipMaskFn sampled_mask_fn;
+  std::vector<int> seed_order;
+  if (sampling.enabled()) {
+    SKIPNODE_CHECK_MSG(model.SupportsSampledForward(),
+                       "model does not support sampled training");
+    SKIPNODE_CHECK(sampling.batch_size >= 1);
+    sampler = std::make_unique<NeighborSampler>(
+        graph, SamplerConfig{sampling.fanouts});
+    sampled_mask_fn = MakeSampledSkipMaskFn(
+        graph, strategy, static_cast<int>(sampling.fanouts.size()), rng);
+    seed_order = split.train;
+  }
 
   TrainResult result;
   result.final_learning_rate = learning_rate;
@@ -214,6 +236,114 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
     return StepStatus::kOk;
   };
 
+  // One sampled epoch: a pass over the shuffled train split in minibatches,
+  // one optimizer step per batch, under the same guardrails as train_step
+  // (loss check per batch; gradient probe / clip per batch when armed; the
+  // parameter scan + snapshot once, after the epoch's last step). A rollback
+  // abandons the rest of the epoch — the restored parameters predate every
+  // batch of it. All Rng draws (shuffle, batch seeds, masks, dropout) happen
+  // serially, so the epoch is bitwise identical at any thread count.
+  const auto sampled_epoch = [&](int epoch) {
+    const bool scan_epoch =
+        health.enabled &&
+        (epoch % health.check_every == 0 || epoch == options.epochs - 1);
+    // Fisher-Yates from the run Rng: a fresh minibatch partition per epoch.
+    for (size_t i = seed_order.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(rng.UniformInt(i));
+      std::swap(seed_order[i - 1], seed_order[j]);
+    }
+    const size_t batch_size = static_cast<size_t>(sampling.batch_size);
+    double epoch_loss = 0.0;
+    int num_batches = 0;
+    for (size_t start = 0; start < seed_order.size(); start += batch_size) {
+      const size_t end = std::min(start + batch_size, seed_order.size());
+      const std::vector<int> seeds(seed_order.begin() + start,
+                                   seed_order.begin() + end);
+      const uint64_t batch_seed = rng.Next();
+      const int64_t forward_start = now();
+      const SampledBatch batch =
+          sampler->SampleBlocks(seeds, batch_seed, sampled_mask_fn);
+      Tape tape;
+      tape.set_fast_math(strategy.fast_math);
+      Var logits = model.ForwardSampled(tape, graph, batch, strategy,
+                                        /*training=*/true, rng);
+      {
+        Matrix& activations = tape.MutableValue(logits);
+        maybe_inject(FaultSite::kActivation, epoch, activations.data(),
+                     activations.size());
+      }
+      // Logit row i is seed i: the loss sees the batch-local id space.
+      std::vector<int> batch_labels(seeds.size());
+      std::vector<int> batch_nodes(seeds.size());
+      for (size_t i = 0; i < seeds.size(); ++i) {
+        batch_labels[i] = graph.labels()[static_cast<size_t>(seeds[i])];
+        batch_nodes[i] = static_cast<int>(i);
+      }
+      const Var loss = tape.SoftmaxCrossEntropy(logits, batch_labels,
+                                                batch_nodes);
+      const double loss_value = loss.value()(0, 0);
+      epoch_loss += loss_value;
+      ++num_batches;
+      result.final_train_loss = epoch_loss / num_batches;
+      phase.forward_ns += now() - forward_start;
+      if (health.enabled && !std::isfinite(loss_value)) {
+        log_event(HealthEventKind::kNonFiniteLoss, epoch,
+                  FormatDetail("loss = %g (batch %d)", loss_value,
+                               num_batches - 1));
+        return rollback(epoch) ? StepStatus::kRolledBack : StepStatus::kHalt;
+      }
+      const int64_t backward_start = now();
+      Optimizer::ZeroGrad(parameters);
+      tape.Backward(loss);
+      if (injector.ShouldFire(FaultSite::kGradient, epoch)) {
+        Parameter* target =
+            parameters[run.fault.parameter_index % parameters.size()];
+        maybe_inject(FaultSite::kGradient, epoch, target->grad.data(),
+                     target->grad.size());
+      }
+      phase.backward_ns += now() - backward_start;
+      if (scan_epoch || (health.enabled && health.grad_clip_norm > 0.0f)) {
+        const int64_t probe_start = now();
+        const GradientHealth grads = ProbeGradients(parameters);
+        if (!grads.finite) {
+          log_event(HealthEventKind::kNonFiniteGradient, epoch,
+                    grads.first_bad);
+          return rollback(epoch) ? StepStatus::kRolledBack : StepStatus::kHalt;
+        }
+        if (health.grad_clip_norm > 0.0f &&
+            grads.global_norm > health.grad_clip_norm) {
+          ScaleGradients(parameters,
+                         static_cast<float>(health.grad_clip_norm /
+                                            grads.global_norm));
+          log_event(HealthEventKind::kGradientClipped, epoch,
+                    FormatDetail("norm %g > %g", grads.global_norm,
+                                 health.grad_clip_norm));
+        }
+        phase.health_ns += now() - probe_start;
+      }
+      const int64_t step_start = now();
+      optimizer.Step(parameters);
+      if (injector.ShouldFire(FaultSite::kUpdate, epoch)) {
+        Parameter* target =
+            parameters[run.fault.parameter_index % parameters.size()];
+        maybe_inject(FaultSite::kUpdate, epoch, target->value.data(),
+                     target->value.size());
+      }
+      phase.step_ns += now() - step_start;
+    }
+    if (scan_epoch) {
+      const int64_t scan_start = now();
+      std::string first_bad;
+      if (!ParametersFinite(parameters, &first_bad)) {
+        log_event(HealthEventKind::kNonFiniteParameter, epoch, first_bad);
+        return rollback(epoch) ? StepStatus::kRolledBack : StepStatus::kHalt;
+      }
+      take_snapshot(epoch);
+      phase.health_ns += now() - scan_start;
+    }
+    return StepStatus::kOk;
+  };
+
   // Flushes the epoch's phase timings: into the process-wide telemetry
   // registry (no-ops when telemetry is off) and into the result when the
   // caller asked for per-epoch metrics. Called on every loop exit path.
@@ -234,7 +364,8 @@ TrainResult TrainNodeClassifier(Model& model, const Graph& graph,
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     phase = EpochMetrics{};
     phase.epoch = epoch;
-    const StepStatus status = train_step(epoch);
+    const StepStatus status =
+        sampling.enabled() ? sampled_epoch(epoch) : train_step(epoch);
     result.epochs_run = epoch + 1;
     phase.train_loss = result.final_train_loss;
     if (status == StepStatus::kHalt) {

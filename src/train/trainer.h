@@ -112,6 +112,27 @@ struct TrainResult {
   std::vector<EpochMetrics> epoch_metrics;
 };
 
+// Minibatch neighbor-sampled training (DESIGN §15). When enabled(), every
+// epoch makes one pass over the shuffled train split in minibatches: each
+// batch draws a fresh seed from the run Rng, expands its seed nodes into
+// per-layer bipartite blocks (graph/sampler.h, skip-masked rows pruned
+// before neighbor fetch), runs Model::ForwardSampled, and takes one
+// optimizer step. Evaluation (and model selection) stays full-batch.
+// Deterministic: a fixed TrainOptions::seed reproduces every batch — and
+// every trained weight — bitwise at any thread count. Requires
+// Model::SupportsSampledForward() and a strategy of kind kNone /
+// kSkipNodeUniform / kSkipNodeBiased.
+struct SamplingOptions {
+  // Per-layer neighbor fanout caps, one entry per model layer (each >= 1).
+  // Empty disables sampling (full-batch training, the bitwise reference).
+  std::vector<int> fanouts;
+  // Seed nodes per minibatch (>= 1). The last batch of an epoch may be
+  // smaller.
+  int batch_size = 512;
+
+  bool enabled() const { return !fanouts.empty(); }
+};
+
 // Observes training progress on evaluated epochs. The callback never sees
 // the Rng and accuracy computation consumes no randomness, so attaching or
 // removing it cannot change the TrainResult.
@@ -141,6 +162,8 @@ struct TrainRun {
   // Collect per-epoch phase timings into TrainResult::epoch_metrics. Off the
   // numeric path: the trained weights are bitwise identical either way.
   bool collect_metrics = false;
+  // Minibatch neighbor sampling; disabled (full-batch) by default.
+  SamplingOptions sampling;
 };
 
 // Trains `model` on `graph` under `strategy` and returns validation-selected

@@ -15,6 +15,7 @@
 #include "autograd/grad_check.h"
 #include "autograd/tape.h"
 #include "tensor/ops.h"
+#include "testing/coo_matrix.h"
 
 namespace skipnode {
 namespace {
@@ -81,7 +82,7 @@ std::vector<OpCase> MakeOpCases() {
   const Matrix rhs = Matrix::Random(4, 3, shared_rng);
   const Matrix lhs = Matrix::Random(5, 3, shared_rng);
   const Matrix same_shape = Matrix::Random(3, 4, shared_rng);
-  const auto sparse = std::make_shared<CsrMatrix>(CsrMatrix::FromCoo(
+  const auto sparse = std::make_shared<CsrMatrix>(testing::CsrFromCoo(
       3, 3, {{0, 0}, {0, 1}, {1, 2}, {2, 0}, {2, 2}},
       {0.5f, -1.0f, 2.0f, 1.5f, 0.25f}));
 
@@ -154,7 +155,7 @@ std::vector<OpCase> MakeOpCases() {
                    }});
   // Attention pattern for the GatAggregate cases: a 4-node graph with self
   // loops (values irrelevant).
-  const auto gat_pattern = std::make_shared<CsrMatrix>(CsrMatrix::FromCoo(
+  const auto gat_pattern = std::make_shared<CsrMatrix>(testing::CsrFromCoo(
       4, 4,
       {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 2}, {2, 1}, {2, 2}, {3, 3},
        {3, 0}, {0, 3}},

@@ -22,6 +22,7 @@
 #include "sparse/csr_matrix.h"
 #include "tensor/ops.h"
 #include "tensor/pool.h"
+#include "testing/coo_matrix.h"
 
 namespace skipnode {
 namespace {
@@ -31,7 +32,7 @@ constexpr float kRelTolerance = 3e-2f;
 constexpr float kAbsTolerance = 2e-2f;
 
 std::shared_ptr<const CsrMatrix> SmallAdjacency() {
-  return std::make_shared<const CsrMatrix>(CsrMatrix::FromCoo(
+  return std::make_shared<const CsrMatrix>(testing::CsrFromCoo(
       4, 4,
       {{0, 0}, {0, 1}, {1, 1}, {1, 3}, {2, 0}, {2, 2}, {3, 2}, {3, 3}},
       {0.5f, -1.0f, 2.0f, 1.5f, 0.25f, -0.75f, 1.0f, 0.5f}));
@@ -105,7 +106,7 @@ std::shared_ptr<const CsrMatrix> MediumAdjacency(int n, Rng& rng) {
     }
   }
   return std::make_shared<const CsrMatrix>(
-      CsrMatrix::FromCoo(n, n, coords, values));
+      testing::CsrFromCoo(n, n, coords, values));
 }
 
 std::vector<int> Degrees(int n, Rng& rng) {

@@ -11,6 +11,7 @@
 
 #include "autograd/tape.h"
 #include "tensor/ops.h"
+#include "testing/coo_matrix.h"
 
 namespace skipnode {
 namespace {
@@ -154,7 +155,7 @@ TEST(TapeEdgeTest, ScalarChainOfLossesComposes) {
 TEST(TapeEdgeTest, SpMMThroughEmptyRowsGivesZeroGradThere) {
   // Adjacency with an all-zero column: gradients to that input row are 0.
   auto sparse = std::make_shared<CsrMatrix>(
-      CsrMatrix::FromCoo(2, 2, {{0, 0}, {1, 0}}, {1.0f, 1.0f}));
+      testing::CsrFromCoo(2, 2, {{0, 0}, {1, 0}}, {1.0f, 1.0f}));
   Parameter x("x", Matrix::Ones(2, 2));
   Tape tape;
   Var out = tape.SpMM(sparse, tape.Leaf(x));
@@ -168,7 +169,7 @@ TEST(TapeEdgeTest, SpMMThroughEmptyRowsGivesZeroGradThere) {
 TEST(TapeEdgeTest, GatAggregateAttentionIsRowStochastic) {
   // With h = all-ones, out_i = sum_j alpha_ij * 1 = 1 exactly, because the
   // attention weights of each row form a softmax.
-  auto pattern = std::make_shared<CsrMatrix>(CsrMatrix::FromCoo(
+  auto pattern = std::make_shared<CsrMatrix>(testing::CsrFromCoo(
       3, 3, {{0, 0}, {0, 1}, {1, 1}, {2, 0}, {2, 2}},
       std::vector<float>(5, 1.0f)));
   Rng rng(1);
@@ -184,7 +185,7 @@ TEST(TapeEdgeTest, GatAggregateSingleNeighborIsCopy) {
   // A row with exactly one pattern entry gets that neighbour's h verbatim
   // (softmax over one element is 1).
   auto pattern = std::make_shared<CsrMatrix>(
-      CsrMatrix::FromCoo(2, 2, {{0, 1}, {1, 1}}, {1.0f, 1.0f}));
+      testing::CsrFromCoo(2, 2, {{0, 1}, {1, 1}}, {1.0f, 1.0f}));
   Rng rng(2);
   Matrix h_val = Matrix::Random(2, 3, rng);
   Tape tape;
@@ -200,7 +201,7 @@ TEST(TapeEdgeTest, GatAggregateSingleNeighborIsCopy) {
 TEST(TapeEdgeTest, GatAggregateEmptyRowIsZero) {
   // Nodes with no pattern entries (DropNode-style isolation) output zeros.
   auto pattern = std::make_shared<CsrMatrix>(
-      CsrMatrix::FromCoo(2, 2, {{0, 0}}, {1.0f}));
+      testing::CsrFromCoo(2, 2, {{0, 0}}, {1.0f}));
   Rng rng(3);
   Tape tape;
   Var out = tape.GatAggregate(pattern, tape.Constant(Matrix::Ones(2, 3)),

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "tensor/ops.h"
+#include "testing/coo_matrix.h"
 
 namespace skipnode {
 namespace {
@@ -141,7 +142,7 @@ TEST(TapeTest, RowSelectTakesMaskedRowsFromSkipPath) {
 TEST(TapeTest, SpmmMatchesDense) {
   Rng rng(5);
   auto sparse = std::make_shared<CsrMatrix>(
-      CsrMatrix::FromCoo(3, 3, {{0, 1}, {1, 0}, {2, 2}}, {2, 2, 1}));
+      testing::CsrFromCoo(3, 3, {{0, 1}, {1, 0}, {2, 2}}, {2, 2, 1}));
   Matrix x = Matrix::Random(3, 4, rng);
   Tape tape;
   Var out = tape.SpMM(sparse, tape.Constant(x));

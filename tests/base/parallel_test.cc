@@ -227,6 +227,60 @@ TEST_F(ParallelTest, BalancedBoundariesAreThreadCountDeterministic) {
   for (int round = 0; round < 20; ++round) EXPECT_EQ(collect(), first);
 }
 
+TEST_F(ParallelTest, BalancedWideOffsetsMatchNarrowBoundariesExactly) {
+  // The int64_t cost-prefix overload (wide CSR offsets, and the sampler's
+  // per-row entry prefixes) must carve the exact same chunk boundaries as
+  // the int overload for equal costs — the two offset widths share one
+  // partitioning contract (DESIGN §13).
+  std::vector<int> narrow(201);
+  std::vector<int64_t> wide(201);
+  narrow[0] = 0;
+  wide[0] = 0;
+  for (int i = 1; i <= 200; ++i) {
+    const int cost = (i * 11) % 17;
+    narrow[i] = narrow[i - 1] + cost;
+    wide[i] = wide[i - 1] + cost;
+  }
+  for (const int threads : {1, 4, 8}) {
+    SetParallelThreadCount(threads);
+    auto collect = [&](auto* prefix) {
+      std::mutex mu;
+      std::vector<std::pair<int64_t, int64_t>> chunks;
+      ParallelForBalanced(200, prefix, [&](int64_t lo, int64_t hi) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(lo, hi);
+      });
+      std::sort(chunks.begin(), chunks.end());
+      return chunks;
+    };
+    EXPECT_EQ(collect(narrow.data()), collect(wide.data()))
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelTest, BalancedWideOffsetsHandleCostsBeyondInt32) {
+  SetParallelThreadCount(4);
+  // Per-element costs of ~2^31 overflow an int prefix immediately; the wide
+  // overload must still tile the range exactly once with balanced chunks.
+  constexpr int64_t kBig = int64_t{1} << 31;
+  std::vector<int64_t> prefix(9);
+  for (int i = 0; i <= 8; ++i) prefix[i] = i * kBig;
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelForBalanced(8, prefix.data(), [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_LT(lo, hi);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 4u);  // Uniform huge costs: one chunk per thread.
+  EXPECT_EQ(chunks.front().first, 0);
+  EXPECT_EQ(chunks.back().second, 8);
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+  }
+}
+
 TEST_F(ParallelTest, ManyThreadsOnFewElementsNeverYieldsEmptyChunks) {
   SetParallelThreadCount(8);
   std::mutex mu;

@@ -14,6 +14,7 @@
 #include "base/parallel.h"
 #include "sparse/csr_matrix.h"
 #include "sparse/graph_ops.h"
+#include "testing/coo_matrix.h"
 
 namespace skipnode {
 namespace {
@@ -110,7 +111,7 @@ TEST(DatasetsTest, HomophilicDatasetsAreHomophilic) {
 // The retired COO-era normalisation, reimplemented verbatim as the
 // reference: symmetric-entry degree counting (duplicates counted), +1 for
 // the self-loop, inv_sqrt in float, entries streamed edges-then-loops
-// through FromCoo. The streaming CsrBuilder path must reproduce it bit for
+// through a COO list. The streaming CsrBuilder path must reproduce it bit for
 // bit on every dataset (DESIGN §13).
 CsrMatrix CooReferenceNormalized(int n, const EdgeList& edges) {
   std::vector<int64_t> degree(n, 0);
@@ -135,7 +136,7 @@ CsrMatrix CooReferenceNormalized(int n, const EdgeList& edges) {
     coords.push_back({i, i});
     values.push_back(inv_sqrt[i] * inv_sqrt[i]);
   }
-  return CsrMatrix::FromCoo(n, n, std::move(coords), std::move(values));
+  return testing::CsrFromCoo(n, n, std::move(coords), std::move(values));
 }
 
 void ExpectIdenticalCsr(const CsrMatrix& a, const CsrMatrix& b) {
@@ -233,6 +234,20 @@ TEST(DatasetsTest, NodeOverrideStreamsClassicSpecIntoCsr) {
   EXPECT_EQ(graph.num_classes(), 7);
   EXPECT_GT(graph.num_edges(), 0);
   EXPECT_GT(graph.MemoryFootprintBytes(), 0);
+}
+
+TEST(DatasetsTest, MemoryFootprintCountsLazyDegreeWeightCache) {
+  // The footprint must track every resident array, including the lazily
+  // materialised degree-weight cache the biased SkipNode sampler reads —
+  // bench/scale budgets peak RSS against this number (DESIGN §13/§15).
+  Graph graph = BuildDatasetByName("cora_like", 0.2, 3);
+  const int64_t before = graph.MemoryFootprintBytes();
+  const std::vector<double>& weights = graph.degree_weights();
+  ASSERT_EQ(static_cast<int>(weights.size()), graph.num_nodes());
+  const int64_t after = graph.MemoryFootprintBytes();
+  EXPECT_EQ(after - before,
+            static_cast<int64_t>(graph.num_nodes()) *
+                static_cast<int64_t>(sizeof(double)));
 }
 
 TEST(DatasetsTest, StreamingSynthIsDeterministicAndHomophilous) {

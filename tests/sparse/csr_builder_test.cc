@@ -2,7 +2,8 @@
 // Licensed under the Apache License, Version 2.0.
 //
 // The streaming two-pass CSR builder (DESIGN §13). Contracts under test:
-//   * Value mode reproduces CsrMatrix::FromCoo bit for bit — same row
+//   * Value mode reproduces the serial COO reference (testing/coo_matrix.h,
+//     the retired CsrMatrix::FromCoo semantics) bit for bit — same row
 //     pointers, column order, and summed duplicate values — at any thread
 //     count (the builder's per-row merge fans out).
 //   * Pattern mode collapses duplicates before weights exist, exposes the
@@ -22,6 +23,7 @@
 #include "sparse/csr_builder.h"
 #include "sparse/csr_matrix.h"
 #include "tensor/ops.h"
+#include "testing/coo_matrix.h"
 
 namespace skipnode {
 namespace {
@@ -91,10 +93,10 @@ class CsrBuilderTest : public ::testing::Test {
   void TearDown() override { SetParallelThreadCount(0); }
 };
 
-TEST_F(CsrBuilderTest, ValueModeMatchesFromCooAtAllThreadCounts) {
+TEST_F(CsrBuilderTest, ValueModeMatchesCooReferenceAtAllThreadCounts) {
   const Coo coo = RandomCoo(211, 97, /*seed=*/21);
   const CsrMatrix reference =
-      CsrMatrix::FromCoo(coo.rows, coo.cols, coo.coords, coo.values);
+      testing::CsrFromCoo(coo.rows, coo.cols, coo.coords, coo.values);
   for (const int threads : {1, 4, 8}) {
     SetParallelThreadCount(threads);
     ExpectIdenticalCsr(reference, BuildStreaming(coo, /*force_wide=*/false));
@@ -111,11 +113,44 @@ TEST_F(CsrBuilderTest, DuplicatesSumInPerRowInsertionOrder) {
   coo.coords = {{0, 2}, {0, 2}, {1, 0}, {0, 2}, {1, 1}};
   coo.values = {0.1f, 0.2f, 5.0f, 0.3f, -1.0f};
   const CsrMatrix reference =
-      CsrMatrix::FromCoo(coo.rows, coo.cols, coo.coords, coo.values);
+      testing::CsrFromCoo(coo.rows, coo.cols, coo.coords, coo.values);
   const CsrMatrix streamed = BuildStreaming(coo, /*force_wide=*/false);
   ExpectIdenticalCsr(reference, streamed);
   EXPECT_EQ(streamed.values()[0], (0.1f + 0.2f) + 0.3f);  // bitwise
   EXPECT_EQ(streamed.nnz(), 3);
+}
+
+TEST_F(CsrBuilderTest, RowOwnerFillMatchesSerialFillAtAllThreadCounts) {
+  // The sampler's fill mode: BeginRowFill + one AddRowEntries call per row,
+  // issued from parallel code with row ownership. Must be bitwise identical
+  // to the serial AddEntry path at any thread count.
+  const Coo coo = RandomCoo(160, 80, /*seed=*/33);
+  const CsrMatrix reference = BuildStreaming(coo, /*force_wide=*/false);
+  // Group the COO stream by row, preserving per-row insertion order.
+  std::vector<std::vector<int>> row_cols(static_cast<size_t>(coo.rows));
+  std::vector<std::vector<float>> row_vals(static_cast<size_t>(coo.rows));
+  for (size_t i = 0; i < coo.coords.size(); ++i) {
+    row_cols[static_cast<size_t>(coo.coords[i].first)].push_back(
+        coo.coords[i].second);
+    row_vals[static_cast<size_t>(coo.coords[i].first)].push_back(
+        coo.values[i]);
+  }
+  for (const int threads : {1, 4, 8}) {
+    SetParallelThreadCount(threads);
+    CsrBuilder builder(coo.rows, coo.cols);
+    for (const auto& [r, c] : coo.coords) builder.CountEntry(r);
+    builder.FinishCounting();
+    builder.BeginRowFill();
+    ParallelFor(0, coo.rows, [&](int64_t begin, int64_t end) {
+      for (int64_t r = begin; r < end; ++r) {
+        builder.AddRowEntries(
+            static_cast<int>(r), row_cols[static_cast<size_t>(r)].data(),
+            row_vals[static_cast<size_t>(r)].data(),
+            static_cast<int>(row_cols[static_cast<size_t>(r)].size()));
+      }
+    });
+    ExpectIdenticalCsr(reference, builder.Build());
+  }
 }
 
 TEST_F(CsrBuilderTest, EmptyRowsAndEmptyMatrix) {

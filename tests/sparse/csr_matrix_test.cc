@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "tensor/ops.h"
+#include "testing/coo_matrix.h"
 
 namespace skipnode {
 namespace {
@@ -14,11 +15,11 @@ CsrMatrix SmallMatrix() {
   // [[0, 2, 0],
   //  [1, 0, 3],
   //  [0, 0, 4]]
-  return CsrMatrix::FromCoo(3, 3, {{0, 1}, {1, 0}, {1, 2}, {2, 2}},
+  return testing::CsrFromCoo(3, 3, {{0, 1}, {1, 0}, {1, 2}, {2, 2}},
                             {2, 1, 3, 4});
 }
 
-TEST(CsrMatrixTest, FromCooBasics) {
+TEST(CsrMatrixTest, CooBuildBasics) {
   CsrMatrix m = SmallMatrix();
   EXPECT_EQ(m.rows(), 3);
   EXPECT_EQ(m.cols(), 3);
@@ -35,14 +36,14 @@ TEST(CsrMatrixTest, ToDenseMatchesLayout) {
 }
 
 TEST(CsrMatrixTest, DuplicateCoordinatesAreSummed) {
-  CsrMatrix m = CsrMatrix::FromCoo(2, 2, {{0, 0}, {0, 0}, {1, 1}},
+  CsrMatrix m = testing::CsrFromCoo(2, 2, {{0, 0}, {0, 0}, {1, 1}},
                                    {1.0f, 2.5f, 4.0f});
   EXPECT_EQ(m.nnz(), 2);
   EXPECT_FLOAT_EQ(m.ToDense().at(0, 0), 3.5f);
 }
 
 TEST(CsrMatrixTest, UnsortedInputIsSorted) {
-  CsrMatrix m = CsrMatrix::FromCoo(2, 3, {{1, 2}, {0, 1}, {1, 0}},
+  CsrMatrix m = testing::CsrFromCoo(2, 3, {{1, 2}, {0, 1}, {1, 0}},
                                    {3, 1, 2});
   const std::vector<int>& cols = m.col_idx();
   EXPECT_EQ(cols[0], 1);  // Row 0.
@@ -95,22 +96,22 @@ TEST(CsrMatrixTest, RowSumsAccumulateInDouble) {
   // once at the end. 1e8 + 1 is exactly representable in double but rounds
   // to 1e8 in float, so a float-order accumulation of {1e8, 1, -1e8} would
   // return 0 while the double accumulation returns exactly 1.
-  CsrMatrix m = CsrMatrix::FromCoo(1, 3, {{0, 0}, {0, 1}, {0, 2}},
+  CsrMatrix m = testing::CsrFromCoo(1, 3, {{0, 0}, {0, 1}, {0, 2}},
                                    {1e8f, 1.0f, -1e8f});
   EXPECT_EQ(m.RowSums().at(0, 0), 1.0f);
 }
 
-TEST(CsrMatrixTest, TransposePlanMatchesFromCooTranspose) {
+TEST(CsrMatrixTest, TransposePlanMatchesExplicitTranspose) {
   // An asymmetric rectangular matrix, including a duplicate coordinate so
   // the merged-entry path is covered.
-  CsrMatrix m = CsrMatrix::FromCoo(
+  CsrMatrix m = testing::CsrFromCoo(
       3, 4, {{0, 2}, {0, 0}, {1, 2}, {2, 3}, {2, 0}, {2, 0}},
       {5.0f, 1.0f, 2.0f, 7.0f, 3.0f, 4.0f});
   const CsrMatrix::TransposePlan& plan = m.transpose_plan();
   ASSERT_FALSE(plan.symmetric_alias);
 
   // Reference transpose: swap every stored (r, c, v) and rebuild via the
-  // same FromCoo used everywhere else.
+  // same COO helper used everywhere else.
   std::vector<std::pair<int, int>> coords;
   std::vector<float> values;
   for (int r = 0; r < m.rows(); ++r) {
@@ -120,7 +121,7 @@ TEST(CsrMatrixTest, TransposePlanMatchesFromCooTranspose) {
       values.push_back(m.values()[se]);
     }
   }
-  CsrMatrix t = CsrMatrix::FromCoo(m.cols(), m.rows(), std::move(coords),
+  CsrMatrix t = testing::CsrFromCoo(m.cols(), m.rows(), std::move(coords),
                                    std::move(values));
 
   ASSERT_EQ(plan.row_ptr.size(), t.row_offsets().size());
@@ -137,7 +138,7 @@ TEST(CsrMatrixTest, TransposePlanMatchesFromCooTranspose) {
 }
 
 TEST(CsrMatrixTest, TransposePlanAliasesExactlySymmetricMatrices) {
-  CsrMatrix sym = CsrMatrix::FromCoo(
+  CsrMatrix sym = testing::CsrFromCoo(
       3, 3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 2}},
       {0.5f, 0.5f, 0.25f, 0.25f, 1.0f});
   const CsrMatrix::TransposePlan& plan = sym.transpose_plan();
@@ -161,10 +162,10 @@ TEST(CsrMatrixTest, TransposePlanSharedByCopies) {
 
 TEST(CsrMatrixTest, SymmetryDetection) {
   EXPECT_FALSE(SmallMatrix().IsSymmetric());
-  CsrMatrix sym = CsrMatrix::FromCoo(2, 2, {{0, 1}, {1, 0}, {0, 0}},
+  CsrMatrix sym = testing::CsrFromCoo(2, 2, {{0, 1}, {1, 0}, {0, 0}},
                                      {2, 2, 1});
   EXPECT_TRUE(sym.IsSymmetric());
-  CsrMatrix asym_values = CsrMatrix::FromCoo(2, 2, {{0, 1}, {1, 0}},
+  CsrMatrix asym_values = testing::CsrFromCoo(2, 2, {{0, 1}, {1, 0}},
                                              {2, 3});
   EXPECT_FALSE(asym_values.IsSymmetric());
 }

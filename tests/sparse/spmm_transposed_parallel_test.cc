@@ -19,6 +19,7 @@
 #include "sparse/csr_matrix.h"
 #include "sparse/graph_ops.h"
 #include "tensor/ops.h"
+#include "testing/coo_matrix.h"
 
 namespace skipnode {
 namespace {
@@ -70,7 +71,7 @@ CsrMatrix AsymmetricRectangular(int rows, int cols, Rng& rng) {
       values.push_back(rng.UniformFloat(-2.0f, 2.0f));
     }
   }
-  return CsrMatrix::FromCoo(rows, cols, std::move(coords), std::move(values));
+  return testing::CsrFromCoo(rows, cols, std::move(coords), std::move(values));
 }
 
 // A symmetric normalised adjacency, the production shape of every backward
@@ -145,7 +146,7 @@ TEST_F(SpmmTransposedParallelTest, NearSymmetricValuesDoNotAlias) {
   // Mirrored values differing below IsSymmetric's default tolerance must
   // still defeat the alias: the fast path requires *exact* equality, or the
   // gather would read A[c][r] bits that differ from the scatter's A[r][c].
-  const CsrMatrix a = CsrMatrix::FromCoo(
+  const CsrMatrix a = testing::CsrFromCoo(
       2, 2, {{0, 1}, {1, 0}}, {1.0f, 1.0f + 1.1920929e-7f});
   ASSERT_FALSE(a.transpose_plan().symmetric_alias);
   ExpectBitwiseAtAllThreadCounts(a);

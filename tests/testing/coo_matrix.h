@@ -1,0 +1,42 @@
+// Copyright 2026 The SkipNode Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Test-only COO convenience over CsrBuilder. Production code streams
+// entries through CsrBuilder directly (DESIGN §13); tests that hold tiny
+// triplet lists build through this helper instead — it replays the retired
+// CsrMatrix::FromCoo shim exactly (count, fill in list order, Build), so
+// duplicate coordinates still sum in per-row insertion order.
+
+#ifndef SKIPNODE_TESTS_TESTING_COO_MATRIX_H_
+#define SKIPNODE_TESTS_TESTING_COO_MATRIX_H_
+
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "sparse/csr_builder.h"
+#include "sparse/csr_matrix.h"
+
+namespace skipnode {
+namespace testing {
+
+inline CsrMatrix CsrFromCoo(int rows, int cols,
+                            const std::vector<std::pair<int, int>>& coords,
+                            const std::vector<float>& values) {
+  SKIPNODE_CHECK(coords.size() == values.size());
+  CsrBuilder builder(rows, cols);
+  for (const auto& [r, c] : coords) {
+    SKIPNODE_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
+    builder.CountEntry(r);
+  }
+  builder.FinishCounting();
+  for (size_t i = 0; i < coords.size(); ++i) {
+    builder.AddEntry(coords[i].first, coords[i].second, values[i]);
+  }
+  return builder.Build();
+}
+
+}  // namespace testing
+}  // namespace skipnode
+
+#endif  // SKIPNODE_TESTS_TESTING_COO_MATRIX_H_

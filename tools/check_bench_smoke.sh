@@ -7,7 +7,10 @@
 # show the fused SkipNode propagation beating the naive path at rho=0.5,
 # and serve must show 8-client batched serving at >= 2x the EvaluateLogits
 # baseline throughput. scale must keep peak RSS within 2x of the resident
-# CSR+features footprint at its checked streaming cell.
+# CSR+features footprint at its checked streaming cell, and its
+# sampled_train cell must hold the minibatch-sampling acceptance (epoch
+# wall <= 0.5x full-batch, RSS ratio <= 2x, pruning telemetry at rho > 0,
+# sampled accuracy within 0.15 of full).
 # When tools/BENCH_baseline.jsonl exists each run is also diffed against it:
 # missing (cell, metric) pairs fail (schema drift), slow cells only warn.
 # Refresh the baseline by re-running this script with

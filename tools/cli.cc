@@ -50,6 +50,11 @@ Options:
                         skipnode-b                              (default none)
   --rate F              strategy sampling rate rho              (default 0.5)
   --epochs N            training epochs                         (default 200)
+  --sample-fanout N     minibatch neighbor sampling: cap every layer's
+                        sampled non-self neighbors at N (0 = full-batch;
+                        GCN/ResGCN with strategy none/skipnode-u/skipnode-b
+                        only; eval stays full-batch)            (default 0)
+  --batch-size N        seed nodes per minibatch when sampling  (default 512)
   --lr F                learning rate                           (default 0.01)
   --weight-decay F      L2 coefficient                          (default 5e-4)
   --log-every N         print loss/val/test every N evaluated
@@ -94,6 +99,8 @@ struct CliOptions {
   std::string inject_site;
   int inject_epoch = 0;
   std::string inject_kind = "nan";
+  int sample_fanout = 0;
+  int batch_size = 512;
 };
 
 // Writes the per-epoch phase timings and a final summary (with the
@@ -153,6 +160,8 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
   parser.AddString("--inject", &options.inject_site);
   parser.AddInt("--inject-epoch", &options.inject_epoch);
   parser.AddString("--inject-kind", &options.inject_kind);
+  parser.AddInt("--sample-fanout", &options.sample_fanout);
+  parser.AddInt("--batch-size", &options.batch_size);
   if (!parser.Parse(argc, argv, out)) return 1;
 
   // --- Data ---------------------------------------------------------------
@@ -261,6 +270,29 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
     plan.seed = options.md.seed + 41;
     train_run.fault = plan;
   }
+  if (options.sample_fanout < 0 || options.batch_size < 1) {
+    std::fprintf(out, "error: bad sampling flags (see --help)\n");
+    return 1;
+  }
+  if (options.sample_fanout > 0) {
+    if (!model->SupportsSampledForward()) {
+      std::fprintf(out,
+                   "error: --sample-fanout is not supported by model '%s'\n",
+                   options.md.model.c_str());
+      return 1;
+    }
+    if (strategy.kind != StrategyKind::kNone &&
+        strategy.kind != StrategyKind::kSkipNodeUniform &&
+        strategy.kind != StrategyKind::kSkipNodeBiased) {
+      std::fprintf(out,
+                   "error: --sample-fanout supports only strategies none / "
+                   "skipnode-u / skipnode-b\n");
+      return 1;
+    }
+    train_run.sampling.fanouts.assign(
+        static_cast<size_t>(options.md.layers), options.sample_fanout);
+    train_run.sampling.batch_size = options.batch_size;
+  }
   if (options.log_every > 0) {
     const int log_every = options.log_every;
     train_run.on_epoch = [out, log_every](int epoch, double train_loss,
@@ -281,6 +313,10 @@ int RunCli(int argc, const char* const* argv, std::FILE* out) {
   std::fprintf(out, "training %s (L=%d, hidden=%d) + %s for %d epochs\n",
                options.md.model.c_str(), options.md.layers, options.md.hidden,
                StrategyName(strategy.kind), options.md.epochs);
+  if (train_run.sampling.enabled()) {
+    std::fprintf(out, "sampling: fanout %d, batch size %d\n",
+                 options.sample_fanout, train_run.sampling.batch_size);
+  }
   const TrainResult result =
       TrainNodeClassifier(*model, *graph, split, strategy, train_run);
   if (!options.metrics_out.empty() &&

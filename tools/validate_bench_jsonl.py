@@ -31,6 +31,12 @@ DESIGN.md section 9, plus bench-specific invariants:
     CSR+features footprint, the streaming-construction acceptance bound
     (DESIGN section 13) — plus depth_sweep ms_per_epoch cells at rho 0
     and rho > 0.
+  * scale must also pass the minibatch-sampling acceptance (DESIGN
+    section 15): the sampled_train cell's ms_per_epoch <= 0.5x the
+    full-batch stream_train cell on the same graph, its
+    rss_over_footprint <= 2.0 against the graph + sampler footprint,
+    sampler.edges_pruned > 0 in its telemetry whenever rho > 0, and the
+    sampled_accuracy val_accuracy within 0.15 of the full-batch run.
 
 With --baseline, diffs the run against a committed baseline (filtered to
 BENCH_NAME): a (cell, metric) pair present in the baseline but missing from
@@ -323,6 +329,56 @@ def check_scale(path, records):
                  f"rho {'>' if want_skip else '='} 0")
 
 
+def check_sampled(path, records):
+    """The minibatch-sampling acceptance check (DESIGN section 15): one
+    sampled epoch (a pass over the train split) must cost at most half a
+    full-batch epoch on the same graph, stay within the 2x RSS budget
+    against the graph + sampler footprint, actually prune expansion work
+    whenever rho > 0, and converge to within 0.15 of full-batch val
+    accuracy."""
+    SAMPLED_EPOCH_FACTOR = 0.5
+    RSS_BUDGET_FACTOR = 2.0
+    ACCURACY_TOLERANCE = 0.15
+
+    def one(cell, metric, **params):
+        for r in records:
+            if r["cell"] == cell and r["metric"] == metric and \
+                    all(r["params"].get(k) == v for k, v in params.items()):
+                return r
+        fail(f"{path}: scale emitted no {cell!r} {metric} record"
+             + (f" with {params}" if params else ""))
+
+    sampled = one("sampled_train", "ms_per_epoch")
+    full = one("stream_train", "ms_per_epoch",
+               nodes=sampled["params"].get("nodes"))
+    if sampled["value"] <= 0:
+        fail(f"{path}: sampled_train ms_per_epoch is not positive")
+    if sampled["value"] > SAMPLED_EPOCH_FACTOR * full["value"]:
+        fail(f"{path}: sampled epoch ({sampled['value']:.1f} ms) exceeds "
+             f"{SAMPLED_EPOCH_FACTOR}x the full-batch epoch "
+             f"({full['value']:.1f} ms) on the same graph")
+
+    ratio = one("sampled_train", "rss_over_footprint")
+    if not 0 < ratio["value"] <= RSS_BUDGET_FACTOR:
+        fail(f"{path}: sampled_train peak RSS is {ratio['value']:.2f}x the "
+             f"graph + sampler footprint (budget {RSS_BUDGET_FACTOR:.1f}x)")
+
+    if sampled["params"].get("rho", 0) > 0:
+        pruned = sampled["telemetry"].get("sampler.edges_pruned")
+        if pruned is None or pruned["items"] <= 0:
+            fail(f"{path}: sampled_train at rho="
+                 f"{sampled['params'].get('rho')} reports no "
+                 f"sampler.edges_pruned telemetry — skip-aware frontier "
+                 f"pruning never fired")
+
+    full_acc = one("sampled_accuracy", "val_accuracy", mode="full")
+    sampled_acc = one("sampled_accuracy", "val_accuracy", mode="sampled")
+    if sampled_acc["value"] < full_acc["value"] - ACCURACY_TOLERANCE:
+        fail(f"{path}: sampled val accuracy {sampled_acc['value']:.3f} "
+             f"fell more than {ACCURACY_TOLERANCE} below full-batch "
+             f"{full_acc['value']:.3f}")
+
+
 def diff_against_baseline(path, records, baseline_path, bench_name):
     baseline = load_records(baseline_path, bench_name=bench_name)
     if not baseline:
@@ -387,6 +443,7 @@ def main():
         check_serve(path, records)
     if bench_name == "scale":
         check_scale(path, records)
+        check_sampled(path, records)
     if baseline_path is not None:
         diff_against_baseline(path, records, baseline_path, bench_name)
 
